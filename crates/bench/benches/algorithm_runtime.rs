@@ -1,0 +1,32 @@
+//! Criterion bench for the paper's runtime claim ("the method runs within
+//! minutes even for the largest benchmark"): wall-clock of the
+//! deadlock-removal algorithm alone on the largest benchmarks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use noc_bench::{run_removal, synthesize_benchmark};
+use noc_deadlock::removal::RemovalConfig;
+use noc_topology::benchmarks::Benchmark;
+
+fn runtime(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm_runtime");
+    group.sample_size(10);
+    for (benchmark, switches) in [
+        (Benchmark::D26Media, 14usize),
+        (Benchmark::D36x8, 14),
+        (Benchmark::D36x8, 30),
+        (Benchmark::D38Tvopd, 14),
+    ] {
+        let design = synthesize_benchmark(benchmark, switches).expect("synthesis succeeds");
+        group.bench_with_input(
+            BenchmarkId::new(benchmark.name(), switches),
+            &design,
+            |b, design| {
+                b.iter(|| run_removal(design, &RemovalConfig::default()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, runtime);
+criterion_main!(benches);

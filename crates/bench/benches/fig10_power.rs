@@ -1,0 +1,33 @@
+//! Criterion bench regenerating the Figure 10 comparison (normalised power,
+//! six benchmarks at 14 switches).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_bench::{power_comparison, sweeps};
+use noc_topology::benchmarks::Benchmark;
+
+fn fig10(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_power");
+    group.sample_size(10);
+    for benchmark in [Benchmark::D26Media, Benchmark::D36x8] {
+        group.bench_function(benchmark.name(), |b| {
+            b.iter(|| power_comparison(benchmark, sweeps::FIG10_SWITCHES));
+        });
+    }
+    group.finish();
+
+    println!("\n== Figure 10 series (normalised power, 14 switches) ==");
+    for benchmark in Benchmark::ALL {
+        let c = power_comparison(benchmark, sweeps::FIG10_SWITCHES);
+        println!(
+            "{:>10}: removal=1.000 ordering={:.3} (removal VCs {}, ordering VCs {}, overhead {:.2}%)",
+            c.benchmark,
+            c.normalised_ordering_power(),
+            c.removal_vcs,
+            c.ordering_vcs,
+            c.removal_power_overhead() * 100.0
+        );
+    }
+}
+
+criterion_group!(benches, fig10);
+criterion_main!(benches);

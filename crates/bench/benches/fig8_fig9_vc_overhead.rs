@@ -1,0 +1,50 @@
+//! Criterion bench regenerating the Figure 8 / Figure 9 data points
+//! (VC overhead of resource ordering vs. the deadlock-removal algorithm).
+//!
+//! The measured quantity is the end-to-end time of one sweep point
+//! (synthesis + both schemes); the printed summary after the run is the data
+//! series itself, captured by `bench_output.txt`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use noc_bench::vc_overhead_sweep;
+use noc_topology::benchmarks::Benchmark;
+
+fn fig8_fig9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_fig9_vc_overhead");
+    group.sample_size(10);
+
+    for (benchmark, switches) in [
+        (Benchmark::D26Media, 10usize),
+        (Benchmark::D26Media, 20),
+        (Benchmark::D36x8, 14),
+        (Benchmark::D36x8, 28),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new(benchmark.name(), switches),
+            &switches,
+            |b, &switches| {
+                b.iter(|| vc_overhead_sweep(benchmark, [switches]));
+            },
+        );
+    }
+    group.finish();
+
+    // Print the full series once so the bench log doubles as the figure data.
+    println!("\n== Figure 8 series (D26_media) ==");
+    for p in vc_overhead_sweep(Benchmark::D26Media, (5..=25).step_by(5)) {
+        println!(
+            "switches={:>3} resource_ordering={:>4} deadlock_removal={:>4}",
+            p.switch_count, p.resource_ordering_vcs, p.deadlock_removal_vcs
+        );
+    }
+    println!("== Figure 9 series (D36_8) ==");
+    for p in vc_overhead_sweep(Benchmark::D36x8, (10..=35).step_by(5)) {
+        println!(
+            "switches={:>3} resource_ordering={:>4} deadlock_removal={:>4}",
+            p.switch_count, p.resource_ordering_vcs, p.deadlock_removal_vcs
+        );
+    }
+}
+
+criterion_group!(benches, fig8_fig9);
+criterion_main!(benches);

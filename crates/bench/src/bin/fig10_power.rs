@@ -1,0 +1,28 @@
+//! Reproduces Figure 10: normalised NoC power consumption of the
+//! resource-ordering baseline relative to the deadlock-removal algorithm for
+//! the six SoC benchmarks at 14 switches.
+
+use noc_bench::{power_comparison, sweeps};
+use noc_topology::benchmarks::Benchmark;
+
+fn main() {
+    println!(
+        "# Figure 10 — normalised power (resource ordering / deadlock removal), {} switches",
+        sweeps::FIG10_SWITCHES
+    );
+    println!(
+        "{:>12} {:>18} {:>18} {:>12} {:>12}",
+        "benchmark", "removal_norm", "ordering_norm", "removal_vc", "ordering_vc"
+    );
+    for benchmark in Benchmark::ALL {
+        let c = power_comparison(benchmark, sweeps::FIG10_SWITCHES);
+        println!(
+            "{:>12} {:>18.3} {:>18.3} {:>12} {:>12}",
+            c.benchmark,
+            1.0,
+            c.normalised_ordering_power(),
+            c.removal_vcs,
+            c.ordering_vcs
+        );
+    }
+}

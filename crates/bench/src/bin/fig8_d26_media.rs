@@ -1,0 +1,22 @@
+//! Reproduces Figure 8: extra VCs versus switch count for D26_media,
+//! resource ordering versus the deadlock-removal algorithm.
+
+use noc_bench::{sweeps, vc_overhead_sweep};
+use noc_topology::benchmarks::Benchmark;
+
+fn main() {
+    println!("# Figure 8 — D26_media: extra VCs vs. switch count");
+    println!(
+        "{:>12} {:>22} {:>22} {:>14}",
+        "switches", "resource_ordering_vc", "deadlock_removal_vc", "cycles_broken"
+    );
+    for point in vc_overhead_sweep(Benchmark::D26Media, sweeps::FIG8_SWITCH_COUNTS) {
+        println!(
+            "{:>12} {:>22} {:>22} {:>14}",
+            point.switch_count,
+            point.resource_ordering_vcs,
+            point.deadlock_removal_vcs,
+            point.cycles_broken
+        );
+    }
+}

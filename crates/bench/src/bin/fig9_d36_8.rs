@@ -1,0 +1,22 @@
+//! Reproduces Figure 9: extra VCs versus switch count for D36_8 (36 cores,
+//! fan-out 8), resource ordering versus the deadlock-removal algorithm.
+
+use noc_bench::{sweeps, vc_overhead_sweep};
+use noc_topology::benchmarks::Benchmark;
+
+fn main() {
+    println!("# Figure 9 — D36_8: extra VCs vs. switch count");
+    println!(
+        "{:>12} {:>22} {:>22} {:>14}",
+        "switches", "resource_ordering_vc", "deadlock_removal_vc", "cycles_broken"
+    );
+    for point in vc_overhead_sweep(Benchmark::D36x8, sweeps::FIG9_SWITCH_COUNTS) {
+        println!(
+            "{:>12} {:>22} {:>22} {:>14}",
+            point.switch_count,
+            point.resource_ordering_vcs,
+            point.deadlock_removal_vcs,
+            point.cycles_broken
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! Reproduces the prose numbers of Section 5: average VC / area / power
+//! savings of the deadlock-removal algorithm versus resource ordering and its
+//! overhead versus the unmodified (deadlock-prone) designs.
+
+use noc_bench::{power_comparison, summary, sweeps, PowerComparison};
+use noc_topology::benchmarks::Benchmark;
+
+fn main() {
+    println!(
+        "# Section 5 summary — per-benchmark comparison at {} switches",
+        sweeps::FIG10_SWITCHES
+    );
+    println!(
+        "{:>12} {:>12} {:>12} {:>14} {:>14} {:>16} {:>16}",
+        "benchmark",
+        "removal_vc",
+        "ordering_vc",
+        "vc_saving",
+        "area_saving",
+        "power_saving",
+        "power_overhead"
+    );
+    let comparisons: Vec<PowerComparison> = Benchmark::ALL
+        .into_iter()
+        .map(|b| power_comparison(b, sweeps::FIG10_SWITCHES))
+        .collect();
+    for c in &comparisons {
+        println!(
+            "{:>12} {:>12} {:>12} {:>13.1}% {:>13.1}% {:>15.2}% {:>15.2}%",
+            c.benchmark,
+            c.removal_vcs,
+            c.ordering_vcs,
+            c.vc_saving_vs_ordering() * 100.0,
+            c.area_saving_vs_ordering() * 100.0,
+            c.power_saving_vs_ordering() * 100.0,
+            c.removal_power_overhead() * 100.0
+        );
+    }
+    let s = summary(&comparisons);
+    println!();
+    println!("# Aggregate (paper reports: 88% VC, 66% area, 8.6% power savings; <5% overhead)");
+    println!("mean VC saving vs. resource ordering:    {:>6.1}%", s.mean_vc_saving * 100.0);
+    println!("mean area saving vs. resource ordering:  {:>6.1}%", s.mean_area_saving * 100.0);
+    println!("mean power saving vs. resource ordering: {:>6.2}%", s.mean_power_saving * 100.0);
+    println!("mean power overhead vs. no removal:      {:>6.2}%", s.mean_power_overhead * 100.0);
+    println!("mean area overhead vs. no removal:       {:>6.2}%", s.mean_area_overhead * 100.0);
+}

@@ -1,0 +1,278 @@
+//! The Channel Dependency Graph (Definition 4).
+//!
+//! Vertices are channels (physical link + VC); there is an edge from channel
+//! `ci` to channel `cj` when at least one route uses `ci` immediately
+//! followed by `cj`.  A cycle in this graph is a necessary condition for a
+//! routing-level deadlock under wormhole flow control (Dally & Towles), so
+//! "deadlock-free" for this suite means "the CDG is acyclic".
+
+use noc_graph::{cycles, DiGraph, NodeId};
+use noc_routing::RouteSet;
+use noc_topology::{Channel, FlowId, Topology};
+use std::collections::HashMap;
+
+/// The channel dependency graph of a routed design.
+#[derive(Debug, Clone)]
+pub struct Cdg {
+    graph: DiGraph<Channel, Vec<FlowId>>,
+    index: HashMap<Channel, NodeId>,
+}
+
+impl Cdg {
+    /// Builds the CDG of `routes` over `topology` (Step 2 of Algorithm 1).
+    ///
+    /// Every channel of the topology becomes a vertex (channels never used by
+    /// any route are isolated vertices and can obviously not take part in a
+    /// cycle); every consecutive channel pair of every route contributes a
+    /// dependency edge annotated with the flows that create it.
+    pub fn build(topology: &Topology, routes: &RouteSet) -> Self {
+        let mut graph = DiGraph::with_capacity(topology.channel_count(), routes.flow_count() * 2);
+        let mut index = HashMap::with_capacity(topology.channel_count());
+        for channel in topology.channels() {
+            let node = graph.add_node(channel);
+            index.insert(channel, node);
+        }
+        let mut cdg = Cdg { graph, index };
+        for (flow, route) in routes.iter() {
+            let channels = route.channels();
+            for pair in channels.windows(2) {
+                cdg.add_dependency(pair[0], pair[1], flow);
+            }
+        }
+        cdg
+    }
+
+    fn node_of(&mut self, channel: Channel) -> NodeId {
+        if let Some(&node) = self.index.get(&channel) {
+            node
+        } else {
+            let node = self.graph.add_node(channel);
+            self.index.insert(channel, node);
+            node
+        }
+    }
+
+    /// Adds the dependency `from -> to` caused by `flow`, creating vertices
+    /// as needed and merging parallel dependencies into one edge.
+    pub fn add_dependency(&mut self, from: Channel, to: Channel, flow: FlowId) {
+        let from_node = self.node_of(from);
+        let to_node = self.node_of(to);
+        if let Some(edge) = self.graph.find_edge(from_node, to_node) {
+            let flows = self
+                .graph
+                .edge_weight_mut(edge)
+                .expect("edge found above is live");
+            if !flows.contains(&flow) {
+                flows.push(flow);
+            }
+        } else {
+            self.graph.add_edge(from_node, to_node, vec![flow]);
+        }
+    }
+
+    /// Number of channel vertices.
+    pub fn channel_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Number of dependency edges.
+    pub fn dependency_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// Returns `true` when the CDG has no directed cycle, i.e. the routed
+    /// design is deadlock-free.
+    pub fn is_acyclic(&self) -> bool {
+        cycles::is_acyclic(&self.graph)
+    }
+
+    /// Returns the smallest cycle as an ordered channel list
+    /// (`GetSmallestCycle` of Algorithm 1), or `None` when acyclic.
+    pub fn smallest_cycle(&self) -> Option<Vec<Channel>> {
+        cycles::smallest_cycle(&self.graph).map(|cycle| {
+            cycle
+                .into_iter()
+                .map(|n| *self.graph.node_weight(n).expect("cycle nodes are valid"))
+                .collect()
+        })
+    }
+
+    /// Returns all simple cycles up to `limit`, as channel lists (used by the
+    /// cycle-order ablation and diagnostics).
+    pub fn cycles(&self, limit: usize) -> Vec<Vec<Channel>> {
+        cycles::enumerate_cycles(&self.graph, limit)
+            .into_iter()
+            .map(|cycle| {
+                cycle
+                    .into_iter()
+                    .map(|n| *self.graph.node_weight(n).expect("cycle nodes are valid"))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// The flows responsible for the dependency `from -> to`, if that edge
+    /// exists.
+    pub fn dependency_flows(&self, from: Channel, to: Channel) -> Option<&[FlowId]> {
+        let from_node = *self.index.get(&from)?;
+        let to_node = *self.index.get(&to)?;
+        let edge = self.graph.find_edge(from_node, to_node)?;
+        self.graph.edge_weight(edge).map(Vec::as_slice)
+    }
+
+    /// Returns `true` if the CDG has a dependency edge `from -> to`.
+    pub fn has_dependency(&self, from: Channel, to: Channel) -> bool {
+        self.dependency_flows(from, to).is_some()
+    }
+
+    /// Iterates over all dependencies as `(from, to, flows)`.
+    pub fn dependencies(&self) -> impl Iterator<Item = (Channel, Channel, &[FlowId])> + '_ {
+        self.graph.edges().map(move |e| {
+            (
+                *self.graph.node_weight(e.source).expect("valid node"),
+                *self.graph.node_weight(e.target).expect("valid node"),
+                e.weight.as_slice(),
+            )
+        })
+    }
+
+    /// Borrow the underlying graph (e.g. for DOT export in diagnostics).
+    pub fn graph(&self) -> &DiGraph<Channel, Vec<FlowId>> {
+        &self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_routing::Route;
+    use noc_topology::{CommGraph, CoreMap, LinkId};
+
+    /// The paper's running example: 4-switch unidirectional ring (Figure 1)
+    /// with flows F1..F4 whose routes are R1 = {L1,L2,L3}, R2 = {L3,L4},
+    /// R3 = {L4,L1}, R4 = {L1,L2} (link indices shifted to 0-based).
+    fn figure_1_design() -> (Topology, RouteSet) {
+        let mut topo = Topology::new();
+        let sw: Vec<_> = (1..=4).map(|i| topo.add_switch(format!("SW{i}"))).collect();
+        let links: Vec<LinkId> = (0..4)
+            .map(|i| topo.add_link(sw[i], sw[(i + 1) % 4], 1.0))
+            .collect();
+        let mut routes = RouteSet::new(4);
+        routes.set_route(
+            FlowId::from_index(0),
+            Route::from_links([links[0], links[1], links[2]]),
+        );
+        routes.set_route(FlowId::from_index(1), Route::from_links([links[2], links[3]]));
+        routes.set_route(FlowId::from_index(2), Route::from_links([links[3], links[0]]));
+        routes.set_route(FlowId::from_index(3), Route::from_links([links[0], links[1]]));
+        (topo, routes)
+    }
+
+    #[test]
+    fn figure_2_cdg_shape() {
+        let (topo, routes) = figure_1_design();
+        let cdg = Cdg::build(&topo, &routes);
+        assert_eq!(cdg.channel_count(), 4);
+        // Dependencies: L0->L1 (F1,F4), L1->L2 (F1), L2->L3 (F2), L3->L0 (F3).
+        assert_eq!(cdg.dependency_count(), 4);
+        let l = |i| Channel::base(LinkId::from_index(i));
+        assert_eq!(
+            cdg.dependency_flows(l(0), l(1)).unwrap(),
+            &[FlowId::from_index(0), FlowId::from_index(3)]
+        );
+        assert!(cdg.has_dependency(l(1), l(2)));
+        assert!(cdg.has_dependency(l(2), l(3)));
+        assert!(cdg.has_dependency(l(3), l(0)));
+        assert!(!cdg.has_dependency(l(0), l(2)));
+    }
+
+    #[test]
+    fn figure_2_cdg_is_cyclic_with_a_4_cycle() {
+        let (topo, routes) = figure_1_design();
+        let cdg = Cdg::build(&topo, &routes);
+        assert!(!cdg.is_acyclic());
+        let cycle = cdg.smallest_cycle().unwrap();
+        assert_eq!(cycle.len(), 4);
+    }
+
+    #[test]
+    fn figure_3_rerouting_f3_onto_a_new_vc_breaks_the_cycle() {
+        // The paper's manual fix: add L1' (a new VC on link L1, our link 0)
+        // and re-route F3 = {L4, L1} onto {L4, L1'}.
+        let (mut topo, mut routes) = figure_1_design();
+        let l0 = LinkId::from_index(0);
+        let new_channel = topo.add_vc(l0).unwrap();
+        let f3 = FlowId::from_index(2);
+        routes.route_mut(f3).unwrap().channels_mut()[1] = new_channel;
+        let cdg = Cdg::build(&topo, &routes);
+        assert!(cdg.is_acyclic());
+        assert_eq!(cdg.channel_count(), 5);
+    }
+
+    #[test]
+    fn empty_routes_produce_an_acyclic_cdg() {
+        let (topo, _) = figure_1_design();
+        let routes = RouteSet::new(4);
+        let cdg = Cdg::build(&topo, &routes);
+        assert!(cdg.is_acyclic());
+        assert_eq!(cdg.dependency_count(), 0);
+        assert_eq!(cdg.channel_count(), 4);
+        assert!(cdg.smallest_cycle().is_none());
+    }
+
+    #[test]
+    fn parallel_flows_merge_into_one_dependency_edge() {
+        let (topo, routes) = figure_1_design();
+        let cdg = Cdg::build(&topo, &routes);
+        let l = |i| Channel::base(LinkId::from_index(i));
+        // Adding the same dependency again for an existing flow must not
+        // duplicate the flow entry.
+        let mut cdg2 = cdg.clone();
+        cdg2.add_dependency(l(0), l(1), FlowId::from_index(0));
+        assert_eq!(cdg2.dependency_flows(l(0), l(1)).unwrap().len(), 2);
+        assert_eq!(cdg2.dependency_count(), 4);
+    }
+
+    #[test]
+    fn cycle_enumeration_reports_the_ring_cycle_once() {
+        let (topo, routes) = figure_1_design();
+        let cdg = Cdg::build(&topo, &routes);
+        let cycles = cdg.cycles(16);
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].len(), 4);
+    }
+
+    #[test]
+    fn dependencies_iterator_matches_counts() {
+        let (topo, routes) = figure_1_design();
+        let cdg = Cdg::build(&topo, &routes);
+        assert_eq!(cdg.dependencies().count(), cdg.dependency_count());
+        let total_flow_refs: usize = cdg.dependencies().map(|(_, _, f)| f.len()).sum();
+        assert_eq!(total_flow_refs, 5); // F1 twice, F2, F3, F4 once each
+    }
+
+    #[test]
+    fn xy_routed_mesh_has_acyclic_cdg() {
+        // Classic result: dimension-order routing on a mesh is deadlock-free.
+        use noc_routing::xy::{route_all_xy, MeshCoords};
+        use noc_topology::generators;
+        let generated = generators::mesh2d(3, 3, 1.0);
+        let coords = MeshCoords::new(3, 3, generated.switches.clone());
+        let mut comm = CommGraph::new();
+        let cores: Vec<_> = (0..9).map(|i| comm.add_core(format!("c{i}"))).collect();
+        for i in 0..9 {
+            for j in 0..9 {
+                if i != j {
+                    comm.add_flow(cores[i], cores[j], 1.0);
+                }
+            }
+        }
+        let mut map = CoreMap::new(9);
+        for (i, &c) in cores.iter().enumerate() {
+            map.assign(c, generated.switches[i]).unwrap();
+        }
+        let routes = route_all_xy(&generated.topology, &comm, &map, &coords).unwrap();
+        let cdg = Cdg::build(&generated.topology, &routes);
+        assert!(cdg.is_acyclic());
+    }
+}

@@ -1,0 +1,461 @@
+//! Algorithm 1: the deadlock-removal loop.
+//!
+//! Repeatedly: find the smallest cycle of the CDG, compute the cheapest way
+//! to break it (forward or backward, Algorithm 2), duplicate the required
+//! channels by adding VCs to the topology, re-route the offending flows onto
+//! the new channels, and rebuild the CDG.  Terminates when the CDG is
+//! acyclic.
+
+use crate::cdg::Cdg;
+use crate::cost::{cost_table, CostTable, Direction};
+use crate::report::{BreakStep, RemovalReport};
+use noc_routing::RouteSet;
+use noc_topology::{Channel, Topology, TopologyError};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Which directions Algorithm 1 is allowed to consider.  The paper always
+/// checks both; the restricted variants exist for the ablation experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DirectionPolicy {
+    /// Check forward and backward and pick the cheaper (the paper's Step 7).
+    #[default]
+    Both,
+    /// Only ever break in the forward direction.
+    ForwardOnly,
+    /// Only ever break in the backward direction.
+    BackwardOnly,
+}
+
+/// Which cycle the loop attacks first.  The paper breaks the smallest cycle
+/// first; the other orders exist for the ablation experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CycleOrder {
+    /// Smallest cycle first (the paper's heuristic).
+    #[default]
+    SmallestFirst,
+    /// Largest simple cycle first (bounded enumeration).
+    LargestFirst,
+    /// Whatever cycle the enumeration finds first.
+    FirstFound,
+}
+
+/// Configuration of a removal run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemovalConfig {
+    /// Direction policy (ablation hook; default = both, as in the paper).
+    pub direction: DirectionPolicy,
+    /// Cycle selection order (ablation hook; default = smallest first).
+    pub cycle_order: CycleOrder,
+    /// Safety bound on the number of cycles broken before giving up.
+    pub max_iterations: usize,
+}
+
+impl Default for RemovalConfig {
+    fn default() -> Self {
+        RemovalConfig {
+            direction: DirectionPolicy::Both,
+            cycle_order: CycleOrder::SmallestFirst,
+            max_iterations: 100_000,
+        }
+    }
+}
+
+/// Errors reported by [`remove_deadlocks`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RemovalError {
+    /// A cycle was found but no flow creates any of its dependencies — the
+    /// route set and the CDG are inconsistent.
+    InconsistentCycle {
+        /// The cycle that could not be attributed to any flow.
+        cycle: Vec<Channel>,
+    },
+    /// The iteration bound was exceeded (indicates a bug or an adversarial
+    /// input, never observed on the benchmark suite).
+    IterationLimit {
+        /// The configured bound that was hit.
+        limit: usize,
+    },
+    /// Adding a VC failed because a cycle referenced an unknown link.
+    Topology(TopologyError),
+}
+
+impl fmt::Display for RemovalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RemovalError::InconsistentCycle { cycle } => {
+                write!(f, "cycle of length {} has no responsible flow", cycle.len())
+            }
+            RemovalError::IterationLimit { limit } => {
+                write!(f, "exceeded the iteration limit of {limit} cycle breaks")
+            }
+            RemovalError::Topology(e) => write!(f, "topology error: {e}"),
+        }
+    }
+}
+
+impl Error for RemovalError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RemovalError::Topology(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TopologyError> for RemovalError {
+    fn from(e: TopologyError) -> Self {
+        RemovalError::Topology(e)
+    }
+}
+
+/// Runs Algorithm 1 on the design, mutating `topology` (extra VCs) and
+/// `routes` (flows re-routed onto the new VCs) in place.
+///
+/// On success the CDG of `(topology, routes)` is acyclic and the returned
+/// [`RemovalReport`] describes what was added.  The routes keep using the
+/// same physical links, so bandwidth assignments and the core attachment are
+/// unaffected — only VC indices change, which is exactly the paper's claim
+/// that the method adds "minimal virtual or physical channels".
+///
+/// # Errors
+///
+/// See [`RemovalError`]; none of the error cases occur for route sets
+/// produced by `noc-routing` over a consistent topology.
+pub fn remove_deadlocks(
+    topology: &mut Topology,
+    routes: &mut RouteSet,
+    config: &RemovalConfig,
+) -> Result<RemovalReport, RemovalError> {
+    let mut report = RemovalReport::default();
+
+    // Step 2–3: build the CDG and look for an initial cycle.
+    let mut cdg = Cdg::build(topology, routes);
+    let mut cycle = select_cycle(&cdg, config.cycle_order);
+    if cycle.is_none() {
+        report.already_deadlock_free = true;
+        return Ok(report);
+    }
+
+    // Step 4–14: break cycles until none remain.
+    while let Some(current) = cycle {
+        if report.cycles_broken >= config.max_iterations {
+            return Err(RemovalError::IterationLimit {
+                limit: config.max_iterations,
+            });
+        }
+
+        // Steps 5–6: cost of breaking in each allowed direction.
+        let forward = matches!(
+            config.direction,
+            DirectionPolicy::Both | DirectionPolicy::ForwardOnly
+        )
+        .then(|| cost_table(&current, routes, Direction::Forward));
+        let backward = matches!(
+            config.direction,
+            DirectionPolicy::Both | DirectionPolicy::BackwardOnly
+        )
+        .then(|| cost_table(&current, routes, Direction::Backward));
+
+        let f_best = forward.as_ref().and_then(CostTable::best);
+        let b_best = backward.as_ref().and_then(CostTable::best);
+
+        // Step 7: pick the cheaper direction (ties favour forward).
+        let (cost, pos, direction) = match (f_best, b_best) {
+            (Some((fc, fp)), Some((bc, bp))) => {
+                if fc <= bc {
+                    (fc, fp, Direction::Forward)
+                } else {
+                    (bc, bp, Direction::Backward)
+                }
+            }
+            (Some((fc, fp)), None) => (fc, fp, Direction::Forward),
+            (None, Some((bc, bp))) => (bc, bp, Direction::Backward),
+            (None, None) => {
+                return Err(RemovalError::InconsistentCycle { cycle: current });
+            }
+        };
+
+        // Steps 8–10: break the cycle by duplicating channels and re-routing.
+        let flows_rerouted = break_cycle(topology, routes, &current, pos, cost, direction)?;
+
+        report.cycles_broken += 1;
+        report.added_vcs += cost;
+        report.steps.push(BreakStep {
+            cycle_len: current.len(),
+            direction,
+            vcs_added: cost,
+            flows_rerouted,
+        });
+
+        // Step 12–13: rebuild the CDG from the updated topology and routes,
+        // then search for the next cycle.
+        cdg = Cdg::build(topology, routes);
+        cycle = select_cycle(&cdg, config.cycle_order);
+    }
+
+    Ok(report)
+}
+
+/// Picks the next cycle to break according to the configured order.
+fn select_cycle(cdg: &Cdg, order: CycleOrder) -> Option<Vec<Channel>> {
+    match order {
+        CycleOrder::SmallestFirst => cdg.smallest_cycle(),
+        CycleOrder::LargestFirst => {
+            let mut all = cdg.cycles(256);
+            all.sort_by_key(|c| std::cmp::Reverse(c.len()));
+            all.into_iter().next().or_else(|| cdg.smallest_cycle())
+        }
+        CycleOrder::FirstFound => cdg
+            .cycles(1)
+            .into_iter()
+            .next()
+            .or_else(|| cdg.smallest_cycle()),
+    }
+}
+
+/// Breaks the dependency `pos` of `cycle` in the given direction
+/// (`BreakCycleForward` / `BreakCycleBackward`): adds `cost` VCs, re-routes
+/// every offending flow onto them and thereby removes the dependency edge.
+/// Returns the number of flows that were re-routed.
+fn break_cycle(
+    topology: &mut Topology,
+    routes: &mut RouteSet,
+    cycle: &[Channel],
+    pos: usize,
+    cost: usize,
+    direction: Direction,
+) -> Result<usize, RemovalError> {
+    let len = cycle.len();
+    let from = cycle[pos];
+    let to = cycle[(pos + 1) % len];
+
+    // Channels to duplicate, walking along the cycle away from the removed
+    // dependency: backwards from `from` for the forward direction, forwards
+    // from `to` for the backward direction.
+    let mut to_duplicate = Vec::with_capacity(cost);
+    for step in 0..cost {
+        let channel = match direction {
+            Direction::Forward => cycle[(pos + len - step) % len],
+            Direction::Backward => cycle[(pos + 1 + step) % len],
+        };
+        to_duplicate.push(channel);
+    }
+
+    // Add one new VC per duplicated channel.
+    let mut duplicates: HashMap<Channel, Channel> = HashMap::with_capacity(cost);
+    for &channel in &to_duplicate {
+        let new_channel = topology.add_vc(channel.link)?;
+        duplicates.insert(channel, new_channel);
+    }
+
+    // Re-route every flow that creates the removed dependency.
+    let offending = offending_flows(routes, from, to);
+    for &flow in &offending {
+        let route = routes
+            .route_mut(flow)
+            .expect("offending flows exist in the route set");
+        let channels = route.channels_mut();
+        // Position of the `from -> to` pair inside this flow's route.
+        let Some(p) = (0..channels.len().saturating_sub(1))
+            .find(|&i| channels[i] == from && channels[i + 1] == to)
+        else {
+            continue;
+        };
+        match direction {
+            Direction::Forward => {
+                // Replace `from` and the contiguous duplicated channels
+                // preceding it in this route.
+                let mut i = p as isize;
+                while i >= 0 {
+                    if let Some(&dup) = duplicates.get(&channels[i as usize]) {
+                        channels[i as usize] = dup;
+                        i -= 1;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            Direction::Backward => {
+                // Replace `to` and the contiguous duplicated channels
+                // following it in this route.
+                let mut i = p + 1;
+                while i < channels.len() {
+                    if let Some(&dup) = duplicates.get(&channels[i]) {
+                        channels[i] = dup;
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    Ok(offending.len())
+}
+
+/// The flows whose route contains the channel pair `from` immediately
+/// followed by `to`.
+fn offending_flows(
+    routes: &RouteSet,
+    from: Channel,
+    to: Channel,
+) -> Vec<noc_topology::FlowId> {
+    routes
+        .iter()
+        .filter(|(_, r)| {
+            r.channels()
+                .windows(2)
+                .any(|w| w[0] == from && w[1] == to)
+        })
+        .map(|(f, _)| f)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify;
+    use noc_routing::Route;
+    use noc_topology::{FlowId, LinkId};
+
+    /// The paper's Figure 1 example as a (topology, routes) pair.
+    fn figure_1_design() -> (Topology, RouteSet) {
+        let mut topo = Topology::new();
+        let sw: Vec<_> = (1..=4).map(|i| topo.add_switch(format!("SW{i}"))).collect();
+        let links: Vec<LinkId> = (0..4)
+            .map(|i| topo.add_link(sw[i], sw[(i + 1) % 4], 1.0))
+            .collect();
+        let mut routes = RouteSet::new(4);
+        routes.set_route(
+            FlowId::from_index(0),
+            Route::from_links([links[0], links[1], links[2]]),
+        );
+        routes.set_route(FlowId::from_index(1), Route::from_links([links[2], links[3]]));
+        routes.set_route(FlowId::from_index(2), Route::from_links([links[3], links[0]]));
+        routes.set_route(FlowId::from_index(3), Route::from_links([links[0], links[1]]));
+        (topo, routes)
+    }
+
+    #[test]
+    fn figure_1_is_fixed_with_exactly_one_extra_vc() {
+        let (mut topo, mut routes) = figure_1_design();
+        let report = remove_deadlocks(&mut topo, &mut routes, &RemovalConfig::default()).unwrap();
+        assert!(!report.already_deadlock_free);
+        assert_eq!(report.cycles_broken, 1);
+        assert_eq!(report.added_vcs, 1);
+        assert_eq!(topo.extra_vc_count(), 1);
+        assert!(verify::check_deadlock_free(&topo, &routes).is_ok());
+    }
+
+    #[test]
+    fn figure_4_rerouted_flows_keep_their_physical_links() {
+        let (mut topo, mut routes) = figure_1_design();
+        let before: Vec<Vec<LinkId>> = routes.iter().map(|(_, r)| r.links().collect()).collect();
+        remove_deadlocks(&mut topo, &mut routes, &RemovalConfig::default()).unwrap();
+        let after: Vec<Vec<LinkId>> = routes.iter().map(|(_, r)| r.links().collect()).collect();
+        assert_eq!(before, after, "removal must only change VC assignments");
+    }
+
+    #[test]
+    fn acyclic_input_is_reported_as_already_deadlock_free() {
+        let (mut topo, mut routes) = figure_1_design();
+        // Drop F3 (the flow closing the cycle): CDG becomes acyclic.
+        routes.set_route(FlowId::from_index(2), Route::empty());
+        let report = remove_deadlocks(&mut topo, &mut routes, &RemovalConfig::default()).unwrap();
+        assert!(report.already_deadlock_free);
+        assert_eq!(report.added_vcs, 0);
+        assert_eq!(topo.extra_vc_count(), 0);
+    }
+
+    #[test]
+    fn forward_only_and_backward_only_policies_also_terminate() {
+        for direction in [DirectionPolicy::ForwardOnly, DirectionPolicy::BackwardOnly] {
+            let (mut topo, mut routes) = figure_1_design();
+            let config = RemovalConfig {
+                direction,
+                ..RemovalConfig::default()
+            };
+            let report = remove_deadlocks(&mut topo, &mut routes, &config).unwrap();
+            assert!(report.added_vcs >= 1);
+            assert!(verify::check_deadlock_free(&topo, &routes).is_ok());
+        }
+    }
+
+    #[test]
+    fn alternative_cycle_orders_also_terminate() {
+        for order in [CycleOrder::LargestFirst, CycleOrder::FirstFound] {
+            let (mut topo, mut routes) = figure_1_design();
+            let config = RemovalConfig {
+                cycle_order: order,
+                ..RemovalConfig::default()
+            };
+            remove_deadlocks(&mut topo, &mut routes, &config).unwrap();
+            assert!(verify::check_deadlock_free(&topo, &routes).is_ok());
+        }
+    }
+
+    #[test]
+    fn iteration_limit_is_enforced() {
+        let (mut topo, mut routes) = figure_1_design();
+        let config = RemovalConfig {
+            max_iterations: 0,
+            ..RemovalConfig::default()
+        };
+        let err = remove_deadlocks(&mut topo, &mut routes, &config).unwrap_err();
+        assert_eq!(err, RemovalError::IterationLimit { limit: 0 });
+        assert!(err.to_string().contains("limit"));
+    }
+
+    #[test]
+    fn two_counter_rotating_rings_need_two_vcs() {
+        // Two disjoint cycles in the CDG: a clockwise ring of flows and a
+        // counter-clockwise ring on the opposite links.
+        let mut topo = Topology::new();
+        let sw: Vec<_> = (0..4).map(|i| topo.add_switch(format!("s{i}"))).collect();
+        let cw: Vec<LinkId> = (0..4)
+            .map(|i| topo.add_link(sw[i], sw[(i + 1) % 4], 1.0))
+            .collect();
+        let ccw: Vec<LinkId> = (0..4)
+            .map(|i| topo.add_link(sw[(i + 1) % 4], sw[i], 1.0))
+            .collect();
+        let mut routes = RouteSet::new(8);
+        for i in 0..4 {
+            routes.set_route(
+                FlowId::from_index(i),
+                Route::from_links([cw[i], cw[(i + 1) % 4]]),
+            );
+            routes.set_route(
+                FlowId::from_index(4 + i),
+                Route::from_links([ccw[i], ccw[(i + 1) % 4]]),
+            );
+        }
+        let mut report_topo = topo.clone();
+        let mut report_routes = routes.clone();
+        let report =
+            remove_deadlocks(&mut report_topo, &mut report_routes, &RemovalConfig::default())
+                .unwrap();
+        assert!(verify::check_deadlock_free(&report_topo, &report_routes).is_ok());
+        assert_eq!(report.cycles_broken, 2);
+        assert_eq!(report.added_vcs, 2);
+    }
+
+    #[test]
+    fn report_counts_flows_rerouted() {
+        let (mut topo, mut routes) = figure_1_design();
+        let report = remove_deadlocks(&mut topo, &mut routes, &RemovalConfig::default()).unwrap();
+        // Breaking D1 (L0 -> L1) re-routes the two flows that create it (F1, F4).
+        assert_eq!(report.steps.len(), 1);
+        assert_eq!(report.steps[0].flows_rerouted, 2);
+        assert_eq!(report.steps[0].cycle_len, 4);
+    }
+
+    #[test]
+    fn error_display_for_inconsistent_cycle() {
+        let err = RemovalError::InconsistentCycle {
+            cycle: vec![Channel::base(LinkId::from_index(0))],
+        };
+        assert!(err.to_string().contains("no responsible flow"));
+    }
+}

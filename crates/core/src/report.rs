@@ -1,0 +1,87 @@
+//! Summary of what a deadlock-removal run did.
+
+use crate::cost::Direction;
+
+/// One cycle-breaking step of Algorithm 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BreakStep {
+    /// Length (in channels) of the cycle that was broken.
+    pub cycle_len: usize,
+    /// Direction chosen by the cost comparison.
+    pub direction: Direction,
+    /// Number of VCs added by this step (the cost of the chosen plan).
+    pub vcs_added: usize,
+    /// Number of flows that were re-routed onto the new VCs.
+    pub flows_rerouted: usize,
+}
+
+/// Aggregate report returned by [`remove_deadlocks`](crate::removal::remove_deadlocks).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RemovalReport {
+    /// Total number of virtual channels added to the topology.
+    pub added_vcs: usize,
+    /// Number of cycles broken (iterations of the main loop).
+    pub cycles_broken: usize,
+    /// Per-step details, in the order the cycles were broken.
+    pub steps: Vec<BreakStep>,
+    /// `true` when the input CDG was already acyclic and nothing was done —
+    /// the common case the paper highlights for D26_media.
+    pub already_deadlock_free: bool,
+}
+
+impl RemovalReport {
+    /// Number of steps broken in the forward direction.
+    pub fn forward_breaks(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| s.direction == Direction::Forward)
+            .count()
+    }
+
+    /// Number of steps broken in the backward direction.
+    pub fn backward_breaks(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| s.direction == Direction::Backward)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direction_counters() {
+        let report = RemovalReport {
+            added_vcs: 3,
+            cycles_broken: 2,
+            steps: vec![
+                BreakStep {
+                    cycle_len: 4,
+                    direction: Direction::Forward,
+                    vcs_added: 1,
+                    flows_rerouted: 2,
+                },
+                BreakStep {
+                    cycle_len: 3,
+                    direction: Direction::Backward,
+                    vcs_added: 2,
+                    flows_rerouted: 1,
+                },
+            ],
+            already_deadlock_free: false,
+        };
+        assert_eq!(report.forward_breaks(), 1);
+        assert_eq!(report.backward_breaks(), 1);
+    }
+
+    #[test]
+    fn default_report_is_empty() {
+        let report = RemovalReport::default();
+        assert_eq!(report.added_vcs, 0);
+        assert_eq!(report.cycles_broken, 0);
+        assert!(!report.already_deadlock_free);
+        assert!(report.steps.is_empty());
+    }
+}

@@ -1,0 +1,126 @@
+//! Deadlock-freedom and integrity verification.
+
+use crate::cdg::Cdg;
+use noc_routing::RouteSet;
+use noc_topology::{Channel, Topology};
+use std::error::Error;
+use std::fmt;
+
+/// A CDG cycle found by [`check_deadlock_free`]: evidence that the design can
+/// deadlock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadlockCycle {
+    /// The channels forming the cyclic dependency, in order.
+    pub channels: Vec<Channel>,
+}
+
+impl fmt::Display for DeadlockCycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cyclic channel dependency of length {}: ", self.channels.len())?;
+        for (i, c) in self.channels.iter().enumerate() {
+            if i > 0 {
+                write!(f, " -> ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Error for DeadlockCycle {}
+
+/// Checks the necessary-and-sufficient condition for deadlock freedom with
+/// static routing [Dally & Towles]: the channel dependency graph must be
+/// acyclic.
+///
+/// # Errors
+///
+/// Returns the smallest cycle found as a [`DeadlockCycle`] when the design
+/// can deadlock.
+pub fn check_deadlock_free(topology: &Topology, routes: &RouteSet) -> Result<(), DeadlockCycle> {
+    let cdg = Cdg::build(topology, routes);
+    match cdg.smallest_cycle() {
+        None => Ok(()),
+        Some(channels) => Err(DeadlockCycle { channels }),
+    }
+}
+
+/// Checks that every channel referenced by `routes` exists in `topology`
+/// (link known, VC index within the link's VC count).  Returns the offending
+/// channels, empty when everything is consistent.
+pub fn missing_channels(topology: &Topology, routes: &RouteSet) -> Vec<Channel> {
+    let mut missing = Vec::new();
+    for (_, route) in routes.iter() {
+        for &channel in route.channels() {
+            match topology.link(channel.link) {
+                Some(link) if channel.vc < link.vcs => {}
+                _ => {
+                    if !missing.contains(&channel) {
+                        missing.push(channel);
+                    }
+                }
+            }
+        }
+    }
+    missing
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_routing::Route;
+    use noc_topology::{FlowId, LinkId};
+
+    fn ring_with_cycle() -> (Topology, RouteSet) {
+        let mut topo = Topology::new();
+        let sw: Vec<_> = (0..3).map(|i| topo.add_switch(format!("s{i}"))).collect();
+        let links: Vec<LinkId> = (0..3)
+            .map(|i| topo.add_link(sw[i], sw[(i + 1) % 3], 1.0))
+            .collect();
+        let mut routes = RouteSet::new(3);
+        for i in 0..3 {
+            routes.set_route(
+                FlowId::from_index(i),
+                Route::from_links([links[i], links[(i + 1) % 3]]),
+            );
+        }
+        (topo, routes)
+    }
+
+    #[test]
+    fn cyclic_design_is_rejected_with_evidence() {
+        let (topo, routes) = ring_with_cycle();
+        let err = check_deadlock_free(&topo, &routes).unwrap_err();
+        assert_eq!(err.channels.len(), 3);
+        assert!(err.to_string().contains("length 3"));
+        assert!(err.to_string().contains("->"));
+    }
+
+    #[test]
+    fn breaking_the_cycle_passes_verification() {
+        let (mut topo, mut routes) = ring_with_cycle();
+        // Manually re-route flow 2's second hop onto a new VC.
+        let new_vc = topo.add_vc(LinkId::from_index(0)).unwrap();
+        routes.route_mut(FlowId::from_index(2)).unwrap().channels_mut()[1] = new_vc;
+        assert!(check_deadlock_free(&topo, &routes).is_ok());
+    }
+
+    #[test]
+    fn missing_channels_detects_phantom_vcs_and_links() {
+        let (topo, mut routes) = ring_with_cycle();
+        routes.route_mut(FlowId::from_index(0)).unwrap().channels_mut()[0] =
+            Channel::new(LinkId::from_index(0), 7);
+        routes.route_mut(FlowId::from_index(1)).unwrap().channels_mut()[0] =
+            Channel::base(LinkId::from_index(42));
+        let missing = missing_channels(&topo, &routes);
+        assert_eq!(missing.len(), 2);
+        assert!(missing.contains(&Channel::new(LinkId::from_index(0), 7)));
+        assert!(missing.contains(&Channel::base(LinkId::from_index(42))));
+    }
+
+    #[test]
+    fn consistent_design_has_no_missing_channels() {
+        let (topo, routes) = ring_with_cycle();
+        assert!(missing_channels(&topo, &routes).is_empty());
+    }
+}

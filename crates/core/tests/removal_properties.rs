@@ -1,0 +1,143 @@
+//! Integration and property tests for the deadlock-removal algorithm over
+//! whole synthesized designs (benchmark suite + random designs).
+
+use noc_deadlock::removal::{remove_deadlocks, RemovalConfig};
+use noc_deadlock::resource_ordering::resource_ordering_overhead;
+use noc_deadlock::verify;
+use noc_routing::validate::validate_routes;
+use noc_routing::{Route, RouteSet};
+use noc_synth::{synthesize, SynthesisConfig};
+use noc_topology::benchmarks::Benchmark;
+use noc_topology::{LinkId, Topology};
+use proptest::prelude::*;
+
+/// Every benchmark, at several switch counts: the removal algorithm must
+/// leave a deadlock-free design with valid routes and must never cost more
+/// VCs than the resource-ordering baseline.
+#[test]
+fn removal_beats_or_matches_resource_ordering_on_all_benchmarks() {
+    for benchmark in Benchmark::ALL {
+        let comm = benchmark.comm_graph();
+        for switches in [5, 9, 14] {
+            let design = synthesize(&comm, &SynthesisConfig::with_switches(switches)).unwrap();
+
+            let baseline = resource_ordering_overhead(&design.topology, &design.routes);
+
+            let mut topo = design.topology.clone();
+            let mut routes = design.routes.clone();
+            let report = remove_deadlocks(&mut topo, &mut routes, &RemovalConfig::default())
+                .unwrap_or_else(|e| panic!("{benchmark}/{switches}: {e}"));
+
+            verify::check_deadlock_free(&topo, &routes)
+                .unwrap_or_else(|c| panic!("{benchmark}/{switches}: still cyclic: {c}"));
+            validate_routes(&topo, &comm, &design.core_map, &routes)
+                .unwrap_or_else(|e| panic!("{benchmark}/{switches}: invalid routes: {e}"));
+            assert!(verify::missing_channels(&topo, &routes).is_empty());
+
+            assert!(
+                report.added_vcs <= baseline,
+                "{benchmark}/{switches}: removal used {} VCs, resource ordering {}",
+                report.added_vcs,
+                baseline
+            );
+            assert_eq!(report.added_vcs, topo.extra_vc_count());
+        }
+    }
+}
+
+/// Ring-backbone topologies (more cycle-prone) are also always fixed.
+#[test]
+fn ring_backbone_designs_are_fixed() {
+    for benchmark in [Benchmark::D36x8, Benchmark::D26Media, Benchmark::D35Bott] {
+        let comm = benchmark.comm_graph();
+        for switches in [6, 10, 14] {
+            let design =
+                synthesize(&comm, &SynthesisConfig::with_switches_ring(switches)).unwrap();
+            let mut topo = design.topology.clone();
+            let mut routes = design.routes.clone();
+            let report =
+                remove_deadlocks(&mut topo, &mut routes, &RemovalConfig::default()).unwrap();
+            verify::check_deadlock_free(&topo, &routes).unwrap();
+            let baseline = resource_ordering_overhead(&design.topology, &design.routes);
+            assert!(report.added_vcs <= baseline);
+        }
+    }
+}
+
+/// Build a random unidirectional "ring with chords" topology and random
+/// multi-hop routes along it.
+fn random_design(
+    switches: usize,
+    chords: &[(usize, usize)],
+    flows: &[(usize, usize)],
+) -> (Topology, RouteSet) {
+    let mut topo = Topology::new();
+    let sw: Vec<_> = (0..switches)
+        .map(|i| topo.add_switch(format!("s{i}")))
+        .collect();
+    let mut ring_links: Vec<LinkId> = Vec::new();
+    for i in 0..switches {
+        ring_links.push(topo.add_link(sw[i], sw[(i + 1) % switches], 1.0));
+    }
+    for &(a, b) in chords {
+        if a != b {
+            topo.add_link(sw[a % switches], sw[b % switches], 1.0);
+        }
+    }
+    // Routes follow the ring from src forward `len` hops.
+    let mut routes = RouteSet::new(flows.len());
+    for (idx, &(src, len)) in flows.iter().enumerate() {
+        let src = src % switches;
+        let len = 1 + len % (switches - 1);
+        let links: Vec<LinkId> = (0..len).map(|k| ring_links[(src + k) % switches]).collect();
+        routes.set_route(noc_topology::FlowId::from_index(idx), Route::from_links(links));
+    }
+    (topo, routes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The algorithm always terminates with an acyclic CDG on random ring
+    /// designs, the added-VC count matches the topology delta, and it never
+    /// costs more than resource ordering.
+    #[test]
+    fn random_ring_designs_are_always_fixed(
+        switches in 3usize..10,
+        chords in proptest::collection::vec((0usize..10, 0usize..10), 0..6),
+        flows in proptest::collection::vec((0usize..10, 0usize..8), 1..24),
+    ) {
+        let (topo, routes) = random_design(switches, &chords, &flows);
+        let baseline = resource_ordering_overhead(&topo, &routes);
+
+        let mut fixed_topo = topo.clone();
+        let mut fixed_routes = routes.clone();
+        let report = remove_deadlocks(&mut fixed_topo, &mut fixed_routes, &RemovalConfig::default())
+            .expect("removal must not error on consistent designs");
+
+        prop_assert!(verify::check_deadlock_free(&fixed_topo, &fixed_routes).is_ok());
+        prop_assert!(verify::missing_channels(&fixed_topo, &fixed_routes).is_empty());
+        prop_assert_eq!(report.added_vcs, fixed_topo.extra_vc_count());
+        prop_assert!(report.added_vcs <= baseline);
+
+        // Physical link usage must be untouched.
+        for (flow, route) in routes.iter() {
+            let before: Vec<LinkId> = route.links().collect();
+            let after: Vec<LinkId> = fixed_routes.route(flow).unwrap().links().collect();
+            prop_assert_eq!(before, after);
+        }
+    }
+
+    /// Resource ordering always yields an acyclic CDG too (it is a correct,
+    /// just expensive, baseline).
+    #[test]
+    fn resource_ordering_is_always_deadlock_free(
+        switches in 3usize..8,
+        flows in proptest::collection::vec((0usize..8, 0usize..6), 1..16),
+    ) {
+        let (mut topo, mut routes) = random_design(switches, &[], &flows);
+        noc_deadlock::apply_resource_ordering(&mut topo, &mut routes).unwrap();
+        prop_assert!(verify::check_deadlock_free(&topo, &routes).is_ok());
+        prop_assert!(verify::missing_channels(&topo, &routes).is_empty());
+    }
+}

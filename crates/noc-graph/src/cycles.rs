@@ -1,0 +1,286 @@
+//! Cycle search in directed graphs.
+//!
+//! The deadlock-removal algorithm (Algorithm 1 of the paper) repeatedly asks
+//! for the *smallest* cycle of the channel dependency graph
+//! (`GetSmallestCycle`).  The paper finds cycles by running a breadth-first
+//! search from every vertex and checking whether the start vertex is
+//! reached again; [`smallest_cycle`] implements exactly that strategy,
+//! returning the shortest cycle over all start vertices.
+
+use crate::digraph::{DiGraph, NodeId};
+use crate::scc;
+use std::collections::VecDeque;
+
+/// Returns the shortest directed cycle through `start`, as the ordered list
+/// of nodes `[start, ..., last]` such that every consecutive pair is an edge
+/// and `last -> start` closes the cycle.  Returns `None` when no cycle passes
+/// through `start`.
+///
+/// Runs a BFS from `start` over successors; the first time `start` is seen
+/// again, the BFS tree gives a shortest closing path (this is the per-vertex
+/// search the paper describes).
+pub fn shortest_cycle_through<N, E>(graph: &DiGraph<N, E>, start: NodeId) -> Option<Vec<NodeId>> {
+    if !graph.contains_node(start) {
+        return None;
+    }
+    let n = graph.node_count();
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    let mut visited = vec![false; n];
+    let mut queue = VecDeque::new();
+    visited[start.index()] = true;
+    queue.push_back(start);
+    while let Some(node) = queue.pop_front() {
+        for succ in graph.successors(node) {
+            if succ == start {
+                // Reconstruct start -> ... -> node, the edge node -> start
+                // closes the cycle.
+                let mut path = vec![node];
+                let mut cur = node;
+                while let Some(p) = parent[cur.index()] {
+                    path.push(p);
+                    cur = p;
+                }
+                if cur != start {
+                    // node == start only if self-loop handled above; otherwise
+                    // the chain always terminates at start.
+                    path.push(start);
+                }
+                if *path.last().unwrap() != start {
+                    path.push(start);
+                }
+                path.reverse();
+                path.dedup();
+                return Some(path);
+            }
+            if !visited[succ.index()] {
+                visited[succ.index()] = true;
+                parent[succ.index()] = Some(node);
+                queue.push_back(succ);
+            }
+        }
+    }
+    None
+}
+
+/// Returns the smallest directed cycle of the graph (fewest nodes), or
+/// `None` if the graph is acyclic.
+///
+/// Ties are broken towards the cycle whose starting vertex has the smallest
+/// node id, which makes the result deterministic.
+///
+/// # Example
+///
+/// ```
+/// use noc_graph::{DiGraph, cycles};
+///
+/// let mut g: DiGraph<(), ()> = DiGraph::new();
+/// let n: Vec<_> = (0..5).map(|_| g.add_node(())).collect();
+/// // Big cycle 0-1-2-3-4 and a chord creating the small cycle 2-3.
+/// for i in 0..5 { g.add_edge(n[i], n[(i + 1) % 5], ()); }
+/// g.add_edge(n[3], n[2], ());
+/// let cycle = cycles::smallest_cycle(&g).unwrap();
+/// assert_eq!(cycle.len(), 2);
+/// ```
+pub fn smallest_cycle<N, E>(graph: &DiGraph<N, E>) -> Option<Vec<NodeId>> {
+    // Restrict the per-vertex BFS to nodes that sit inside a cyclic SCC;
+    // everything else cannot be on a cycle.
+    let comps = scc::cyclic_components(graph);
+    let mut best: Option<Vec<NodeId>> = None;
+    for comp in comps {
+        for &node in &comp {
+            if let Some(cycle) = shortest_cycle_through(graph, node) {
+                let better = match &best {
+                    None => true,
+                    Some(b) => {
+                        cycle.len() < b.len() || (cycle.len() == b.len() && cycle[0] < b[0])
+                    }
+                };
+                if better {
+                    best = Some(cycle);
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Returns `true` if the graph contains no directed cycle.
+pub fn is_acyclic<N, E>(graph: &DiGraph<N, E>) -> bool {
+    !scc::has_cycle(graph)
+}
+
+/// Enumerates simple cycles of the graph, up to `limit` cycles.
+///
+/// This is a bounded DFS-based enumeration (each cycle is reported once,
+/// rooted at its minimum node id).  It is used by ablation experiments and
+/// diagnostics; the removal algorithm itself only ever needs the smallest
+/// cycle.
+pub fn enumerate_cycles<N, E>(graph: &DiGraph<N, E>, limit: usize) -> Vec<Vec<NodeId>> {
+    let mut result = Vec::new();
+    if limit == 0 {
+        return result;
+    }
+    let n = graph.node_count();
+    for root in graph.node_ids() {
+        if result.len() >= limit {
+            break;
+        }
+        // DFS that only visits nodes with id >= root, so each cycle is
+        // discovered exactly once, rooted at its minimal node.
+        let mut stack: Vec<(NodeId, Vec<NodeId>)> = vec![(root, vec![root])];
+        let mut on_path = vec![false; n];
+        // Iterative DFS with explicit path tracking; for modest graph sizes
+        // (CDGs have at most a few thousand channels) this is sufficient.
+        while let Some((node, path)) = stack.pop() {
+            on_path.iter_mut().for_each(|v| *v = false);
+            for p in &path {
+                on_path[p.index()] = true;
+            }
+            for succ in graph.successors(node) {
+                if succ == root && path.len() >= 1 {
+                    // Found a cycle rooted at `root`.
+                    if path.len() > 1 || graph.has_edge(root, root) {
+                        result.push(path.clone());
+                        if result.len() >= limit {
+                            return result;
+                        }
+                    } else if path.len() == 1 && succ == root && node == root {
+                        // self-loop
+                        result.push(vec![root]);
+                        if result.len() >= limit {
+                            return result;
+                        }
+                    }
+                } else if succ > root && !on_path[succ.index()] {
+                    let mut next_path = path.clone();
+                    next_path.push(succ);
+                    stack.push((succ, next_path));
+                }
+            }
+        }
+    }
+    result
+}
+
+/// Returns the length (node count) of the smallest cycle, or `None` for an
+/// acyclic graph.  Convenience wrapper over [`smallest_cycle`].
+pub fn girth<N, E>(graph: &DiGraph<N, E>) -> Option<usize> {
+    smallest_cycle(graph).map(|c| c.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: usize) -> (DiGraph<usize, ()>, Vec<NodeId>) {
+        let mut g = DiGraph::new();
+        let nodes: Vec<_> = (0..n).map(|i| g.add_node(i)).collect();
+        for i in 0..n {
+            g.add_edge(nodes[i], nodes[(i + 1) % n], ());
+        }
+        (g, nodes)
+    }
+
+    #[test]
+    fn acyclic_graph_has_no_cycle() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, ());
+        assert!(smallest_cycle(&g).is_none());
+        assert!(is_acyclic(&g));
+        assert_eq!(girth(&g), None);
+    }
+
+    #[test]
+    fn ring_cycle_is_found_in_order() {
+        let (g, nodes) = ring(4);
+        let cycle = smallest_cycle(&g).unwrap();
+        assert_eq!(cycle.len(), 4);
+        // Consecutive elements must be connected, and last -> first closes it.
+        for w in cycle.windows(2) {
+            assert!(g.has_edge(w[0], w[1]));
+        }
+        assert!(g.has_edge(*cycle.last().unwrap(), cycle[0]));
+        assert!(cycle.contains(&nodes[0]));
+    }
+
+    #[test]
+    fn smallest_of_two_cycles_is_returned() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let n: Vec<_> = (0..6).map(|_| g.add_node(())).collect();
+        // 5-cycle over 0..5 and a 2-cycle between 4 and 5.
+        for i in 0..5 {
+            g.add_edge(n[i], n[(i + 1) % 5], ());
+        }
+        g.add_edge(n[4], n[5], ());
+        g.add_edge(n[5], n[4], ());
+        let cycle = smallest_cycle(&g).unwrap();
+        assert_eq!(cycle.len(), 2);
+        assert!(cycle.contains(&n[4]) && cycle.contains(&n[5]));
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle_of_length_one() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        g.add_edge(a, a, ());
+        let cycle = smallest_cycle(&g).unwrap();
+        assert_eq!(cycle, vec![a]);
+        assert_eq!(girth(&g), Some(1));
+    }
+
+    #[test]
+    fn shortest_cycle_through_specific_node() {
+        let (g, nodes) = ring(5);
+        for &n in &nodes {
+            let c = shortest_cycle_through(&g, n).unwrap();
+            assert_eq!(c.len(), 5);
+            assert_eq!(c[0], n, "cycle must start at the requested node");
+        }
+    }
+
+    #[test]
+    fn node_off_cycle_reports_none() {
+        let (mut g, nodes) = ring(3);
+        let extra = g.add_node(99);
+        g.add_edge(nodes[0], extra, ());
+        assert!(shortest_cycle_through(&g, extra).is_none());
+        assert!(shortest_cycle_through(&g, nodes[0]).is_some());
+    }
+
+    #[test]
+    fn enumerate_respects_limit() {
+        let (g, _) = ring(3);
+        assert_eq!(enumerate_cycles(&g, 0).len(), 0);
+        assert_eq!(enumerate_cycles(&g, 10).len(), 1);
+    }
+
+    #[test]
+    fn enumerate_finds_multiple_cycles() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let n: Vec<_> = (0..4).map(|_| g.add_node(())).collect();
+        g.add_edge(n[0], n[1], ());
+        g.add_edge(n[1], n[0], ());
+        g.add_edge(n[2], n[3], ());
+        g.add_edge(n[3], n[2], ());
+        let cycles = enumerate_cycles(&g, 10);
+        assert_eq!(cycles.len(), 2);
+    }
+
+    #[test]
+    fn removed_edge_breaks_the_cycle() {
+        let (mut g, nodes) = ring(4);
+        let e = g.find_edge(nodes[3], nodes[0]).unwrap();
+        g.remove_edge(e);
+        assert!(smallest_cycle(&g).is_none());
+    }
+
+    #[test]
+    fn girth_of_ring_equals_its_length() {
+        for n in 2..8 {
+            let (g, _) = ring(n);
+            assert_eq!(girth(&g), Some(n));
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Graphviz (DOT) export for debugging topologies and CDGs.
+
+use crate::digraph::{DiGraph, EdgeId, NodeId};
+use std::fmt::Display;
+use std::fmt::Write as _;
+
+/// Renders the graph in Graphviz DOT syntax using `Display` on the payloads
+/// for labels.
+///
+/// # Example
+///
+/// ```
+/// use noc_graph::{DiGraph, dot};
+///
+/// let mut g: DiGraph<&str, u32> = DiGraph::new();
+/// let a = g.add_node("SW1");
+/// let b = g.add_node("SW2");
+/// g.add_edge(a, b, 7);
+/// let text = dot::to_dot(&g, "topology");
+/// assert!(text.contains("digraph topology"));
+/// assert!(text.contains("SW1"));
+/// ```
+pub fn to_dot<N: Display, E: Display>(graph: &DiGraph<N, E>, name: &str) -> String {
+    to_dot_with(
+        graph,
+        name,
+        |_, w| w.to_string(),
+        |_, w| w.to_string(),
+    )
+}
+
+/// Renders the graph in DOT syntax with caller-provided label functions.
+pub fn to_dot_with<N, E>(
+    graph: &DiGraph<N, E>,
+    name: &str,
+    mut node_label: impl FnMut(NodeId, &N) -> String,
+    mut edge_label: impl FnMut(EdgeId, &E) -> String,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {name} {{");
+    for (id, weight) in graph.nodes() {
+        let label = escape(&node_label(id, weight));
+        let _ = writeln!(out, "    {} [label=\"{}\"];", id.index(), label);
+    }
+    for edge in graph.edges() {
+        let label = escape(&edge_label(edge.id, edge.weight));
+        let _ = writeln!(
+            out,
+            "    {} -> {} [label=\"{}\"];",
+            edge.source.index(),
+            edge.target.index(),
+            label
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let mut g: DiGraph<&str, u32> = DiGraph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        g.add_edge(a, b, 42);
+        let text = to_dot(&g, "g");
+        assert!(text.starts_with("digraph g {"));
+        assert!(text.contains("0 [label=\"a\"]"));
+        assert!(text.contains("1 [label=\"b\"]"));
+        assert!(text.contains("0 -> 1 [label=\"42\"]"));
+        assert!(text.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn removed_edges_are_not_exported() {
+        let mut g: DiGraph<&str, u32> = DiGraph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let e = g.add_edge(a, b, 1);
+        g.remove_edge(e);
+        let text = to_dot(&g, "g");
+        assert!(!text.contains("->"));
+    }
+
+    #[test]
+    fn quotes_are_escaped() {
+        let mut g: DiGraph<String, u32> = DiGraph::new();
+        g.add_node("say \"hi\"".to_string());
+        let text = to_dot(&g, "g");
+        assert!(text.contains("say \\\"hi\\\""));
+    }
+}

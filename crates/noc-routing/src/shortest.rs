@@ -1,0 +1,216 @@
+//! Deadlock-oblivious minimum-cost routing.
+//!
+//! This is how the paper's *input* routes are produced: each flow follows a
+//! minimum-cost path over the switch graph with no turn restrictions, so the
+//! resulting channel dependency graph may contain cycles.  The
+//! deadlock-removal algorithm (or a baseline) then has to make the design
+//! safe.
+
+use crate::route::{Route, RouteSet};
+use crate::validate::RouteError;
+use noc_graph::{shortest_path, NodeId};
+use noc_topology::{CommGraph, CoreMap, LinkId, Topology};
+
+/// Cost model for link selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LinkCost {
+    /// Every link costs 1: pure hop-count minimisation.
+    #[default]
+    Hops,
+    /// Link cost is inversely proportional to its bandwidth, so wide links
+    /// are preferred.
+    InverseBandwidth,
+}
+
+/// Routes every flow of `comm` over `topology` along a minimum-cost path.
+///
+/// All routes use VC 0 of each link; extra VCs only come into play when a
+/// deadlock-removal scheme assigns them.  Flows whose endpoints share a
+/// switch get an empty route.
+///
+/// # Errors
+///
+/// * [`RouteError::Unroutable`] if some flow has no path between its switches.
+/// * [`RouteError::Topology`] if a core is unmapped.
+pub fn route_all_shortest(
+    topology: &Topology,
+    comm: &CommGraph,
+    map: &CoreMap,
+) -> Result<RouteSet, RouteError> {
+    route_all_with_cost(topology, comm, map, LinkCost::Hops)
+}
+
+/// Same as [`route_all_shortest`] but with an explicit [`LinkCost`] model.
+pub fn route_all_with_cost(
+    topology: &Topology,
+    comm: &CommGraph,
+    map: &CoreMap,
+    cost: LinkCost,
+) -> Result<RouteSet, RouteError> {
+    let graph = topology.to_switch_graph();
+    let mut routes = RouteSet::new(comm.flow_count());
+
+    // Cache one Dijkstra run per distinct source switch.
+    let mut cache: Vec<Option<shortest_path::ShortestPaths>> =
+        vec![None; topology.switch_count()];
+
+    for (flow_id, flow) in comm.flows() {
+        let src = map.require(flow.source).map_err(RouteError::Topology)?;
+        let dst = map.require(flow.destination).map_err(RouteError::Topology)?;
+        if src == dst {
+            routes.set_route(flow_id, Route::empty());
+            continue;
+        }
+        let sp = cache[src.index()].get_or_insert_with(|| {
+            shortest_path::dijkstra(&graph, NodeId::from_index(src.index()), |e| {
+                let link = topology
+                    .link(*e.weight)
+                    .expect("switch graph edges reference valid links");
+                Some(match cost {
+                    LinkCost::Hops => 1,
+                    LinkCost::InverseBandwidth => {
+                        // Map bandwidth to an integer cost; wider links cost less.
+                        (1_000_000.0 / link.bandwidth.max(1e-6)).round() as u64
+                    }
+                })
+            })
+        });
+        let edge_path = sp
+            .edge_path_to(NodeId::from_index(dst.index()))
+            .ok_or(RouteError::Unroutable {
+                flow: flow_id,
+                from: src,
+                to: dst,
+            })?;
+        let links: Vec<LinkId> = edge_path
+            .iter()
+            .map(|&e| {
+                *graph
+                    .edge_weight(e)
+                    .expect("edge ids from the path are live")
+            })
+            .collect();
+        routes.set_route(flow_id, Route::from_links(links));
+    }
+    Ok(routes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_topology::{generators, CommGraph, CoreMap};
+
+    fn ring_design() -> (noc_topology::Topology, CommGraph, CoreMap, Vec<noc_topology::SwitchId>) {
+        let generated = generators::unidirectional_ring(4, 1.0);
+        let mut comm = CommGraph::new();
+        let cores: Vec<_> = (0..4).map(|i| comm.add_core(format!("c{i}"))).collect();
+        // Flows matching the paper's Figure 1/2 example.
+        comm.add_flow(cores[0], cores[3], 10.0); // R1 = L0 L1 L2
+        comm.add_flow(cores[2], cores[0], 10.0); // R2 = L2 L3
+        comm.add_flow(cores[3], cores[1], 10.0); // R3 = L3 L0
+        comm.add_flow(cores[0], cores[2], 10.0); // R4 = L0 L1
+        let mut map = CoreMap::new(4);
+        for (i, &c) in cores.iter().enumerate() {
+            map.assign(c, generated.switches[i]).unwrap();
+        }
+        (generated.topology, comm, map, generated.switches)
+    }
+
+    #[test]
+    fn ring_routes_follow_the_only_path() {
+        let (t, c, m, _) = ring_design();
+        let routes = route_all_shortest(&t, &c, &m).unwrap();
+        assert_eq!(routes.route(noc_topology::FlowId::from_index(0)).unwrap().hop_count(), 3);
+        assert_eq!(routes.route(noc_topology::FlowId::from_index(1)).unwrap().hop_count(), 2);
+        assert_eq!(routes.route(noc_topology::FlowId::from_index(2)).unwrap().hop_count(), 2);
+        assert_eq!(routes.route(noc_topology::FlowId::from_index(3)).unwrap().hop_count(), 2);
+    }
+
+    #[test]
+    fn same_switch_flow_gets_empty_route() {
+        let generated = generators::bidirectional_ring(3, 1.0);
+        let mut comm = CommGraph::new();
+        let a = comm.add_core("a");
+        let b = comm.add_core("b");
+        let f = comm.add_flow(a, b, 1.0);
+        let mut map = CoreMap::new(2);
+        map.assign(a, generated.switches[0]).unwrap();
+        map.assign(b, generated.switches[0]).unwrap();
+        let routes = route_all_shortest(&generated.topology, &comm, &map).unwrap();
+        assert!(routes.route(f).unwrap().is_empty());
+    }
+
+    #[test]
+    fn unroutable_flow_is_an_error() {
+        let mut t = noc_topology::Topology::new();
+        let s0 = t.add_switch("s0");
+        let s1 = t.add_switch("s1");
+        let mut comm = CommGraph::new();
+        let a = comm.add_core("a");
+        let b = comm.add_core("b");
+        let f = comm.add_flow(a, b, 1.0);
+        let mut map = CoreMap::new(2);
+        map.assign(a, s0).unwrap();
+        map.assign(b, s1).unwrap();
+        let err = route_all_shortest(&t, &comm, &map).unwrap_err();
+        match err {
+            RouteError::Unroutable { flow, from, to } => {
+                assert_eq!(flow, f);
+                assert_eq!(from, s0);
+                assert_eq!(to, s1);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unmapped_core_is_an_error() {
+        let (t, c, _, _) = ring_design();
+        let empty = CoreMap::new(c.core_count());
+        assert!(matches!(
+            route_all_shortest(&t, &c, &empty),
+            Err(RouteError::Topology(_))
+        ));
+    }
+
+    #[test]
+    fn inverse_bandwidth_prefers_wide_links() {
+        // Two parallel 2-hop paths; the wide one should win even though hops tie.
+        let mut t = noc_topology::Topology::new();
+        let s = [
+            t.add_switch("src"),
+            t.add_switch("narrow"),
+            t.add_switch("wide"),
+            t.add_switch("dst"),
+        ];
+        t.add_link(s[0], s[1], 1.0);
+        t.add_link(s[1], s[3], 1.0);
+        let wide_a = t.add_link(s[0], s[2], 100.0);
+        let wide_b = t.add_link(s[2], s[3], 100.0);
+        let mut comm = CommGraph::new();
+        let a = comm.add_core("a");
+        let b = comm.add_core("b");
+        let f = comm.add_flow(a, b, 1.0);
+        let mut map = CoreMap::new(2);
+        map.assign(a, s[0]).unwrap();
+        map.assign(b, s[3]).unwrap();
+        let routes =
+            route_all_with_cost(&t, &comm, &map, LinkCost::InverseBandwidth).unwrap();
+        let links: Vec<_> = routes.route(f).unwrap().links().collect();
+        assert_eq!(links, vec![wide_a, wide_b]);
+    }
+
+    #[test]
+    fn all_routes_are_contiguous_switch_paths() {
+        let (t, c, m, _) = ring_design();
+        let routes = route_all_shortest(&t, &c, &m).unwrap();
+        for (_, r) in routes.iter() {
+            let path = r.switch_path(&t).unwrap();
+            for (i, link) in r.links().enumerate() {
+                let l = t.link(link).unwrap();
+                assert_eq!(l.source, path[i]);
+                assert_eq!(l.target, path[i + 1]);
+            }
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Per-switch routing tables derived from a [`RouteSet`].
+//!
+//! Wormhole routers forward a packet hop by hop; with static (source-
+//! oblivious, flow-based) routing each switch needs to know, for every flow
+//! passing through it, which output channel to use next.  The simulator
+//! (`noc-sim`) consumes these tables.
+
+use crate::route::RouteSet;
+use noc_topology::{Channel, FlowId, SwitchId, Topology};
+use std::collections::HashMap;
+
+/// Routing tables for every switch of a topology: `(switch, flow) -> next
+/// output channel`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RoutingTables {
+    /// table[switch index] maps a flow to the channel it must take out of
+    /// that switch.
+    table: Vec<HashMap<FlowId, Channel>>,
+}
+
+impl RoutingTables {
+    /// Builds the routing tables for `routes` over `topology`.
+    ///
+    /// Every hop of every route contributes one entry: the entry lives at the
+    /// switch the hop's link leaves from.
+    pub fn from_routes(topology: &Topology, routes: &RouteSet) -> Self {
+        let mut table = vec![HashMap::new(); topology.switch_count()];
+        for (flow, route) in routes.iter() {
+            for channel in route.channels() {
+                if let Some(link) = topology.link(channel.link) {
+                    table[link.source.index()].insert(flow, *channel);
+                }
+            }
+        }
+        RoutingTables { table }
+    }
+
+    /// The output channel `flow` must take when it is at `switch`, or `None`
+    /// if the flow does not pass through (or terminates at) that switch.
+    pub fn next_channel(&self, switch: SwitchId, flow: FlowId) -> Option<Channel> {
+        self.table
+            .get(switch.index())
+            .and_then(|m| m.get(&flow))
+            .copied()
+    }
+
+    /// Number of table entries at `switch` (one per flow routed through it).
+    pub fn entries_at(&self, switch: SwitchId) -> usize {
+        self.table.get(switch.index()).map_or(0, HashMap::len)
+    }
+
+    /// Total number of entries across all switches (equals the total hop
+    /// count of all routes when every link id is valid).
+    pub fn total_entries(&self) -> usize {
+        self.table.iter().map(HashMap::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shortest::route_all_shortest;
+    use noc_topology::{generators, CommGraph, CoreMap};
+
+    fn design() -> (Topology, CommGraph, CoreMap, RouteSet, FlowId) {
+        let generated = generators::unidirectional_ring(4, 1.0);
+        let mut comm = CommGraph::new();
+        let a = comm.add_core("a");
+        let b = comm.add_core("b");
+        let f = comm.add_flow(a, b, 1.0);
+        let mut map = CoreMap::new(2);
+        map.assign(a, generated.switches[0]).unwrap();
+        map.assign(b, generated.switches[2]).unwrap();
+        let routes = route_all_shortest(&generated.topology, &comm, &map).unwrap();
+        (generated.topology, comm, map, routes, f)
+    }
+
+    #[test]
+    fn tables_follow_the_route_hop_by_hop() {
+        let (t, _, _, routes, f) = design();
+        let tables = RoutingTables::from_routes(&t, &routes);
+        let route = routes.route(f).unwrap();
+        let path = route.switch_path(&t).unwrap();
+        for (i, channel) in route.channels().iter().enumerate() {
+            assert_eq!(tables.next_channel(path[i], f), Some(*channel));
+        }
+        // The destination switch has no entry for the flow.
+        assert_eq!(tables.next_channel(*path.last().unwrap(), f), None);
+    }
+
+    #[test]
+    fn entry_counts_match_total_hops() {
+        let (t, _, _, routes, _) = design();
+        let tables = RoutingTables::from_routes(&t, &routes);
+        let hops: usize = routes.iter().map(|(_, r)| r.hop_count()).sum();
+        assert_eq!(tables.total_entries(), hops);
+    }
+
+    #[test]
+    fn switch_not_on_route_has_no_entries() {
+        let (t, _, _, routes, f) = design();
+        let tables = RoutingTables::from_routes(&t, &routes);
+        // Switch 3 is not on the 0 -> 2 route of the unidirectional ring.
+        assert_eq!(tables.next_channel(SwitchId::from_index(3), f), None);
+        assert_eq!(tables.entries_at(SwitchId::from_index(3)), 0);
+    }
+
+    #[test]
+    fn unknown_switch_is_none() {
+        let (t, _, _, routes, f) = design();
+        let tables = RoutingTables::from_routes(&t, &routes);
+        assert_eq!(tables.next_channel(SwitchId::from_index(99), f), None);
+    }
+}

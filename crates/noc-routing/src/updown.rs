@@ -1,0 +1,274 @@
+//! Up*/down* routing.
+//!
+//! A classic deadlock-free routing scheme for arbitrary topologies: a
+//! spanning tree is built from a root switch, every link is labelled *up*
+//! (towards the root) or *down* (away from it), and a legal route never
+//! traverses an *up* link after a *down* link.  Because the up→down order is
+//! a partial order on channels, the resulting CDG is acyclic.
+//!
+//! The suite uses it both as an alternative input-routing function (the
+//! paper's method accepts any routing function) and as a sanity check that
+//! the deadlock-removal algorithm adds zero VCs to already-safe routings.
+
+use crate::route::{Route, RouteSet};
+use crate::validate::RouteError;
+use noc_topology::{CommGraph, CoreMap, LinkId, SwitchId, Topology};
+use std::collections::VecDeque;
+
+/// The up/down labelling of a topology's links relative to a BFS spanning
+/// tree rooted at [`UpDownLabels::root`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpDownLabels {
+    root: SwitchId,
+    /// BFS level of every switch (root = 0).
+    level: Vec<Option<usize>>,
+}
+
+/// Direction of a link under the up*/down* labelling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkDirection {
+    /// Towards the root (to a strictly smaller level, or same level with a
+    /// smaller switch index).
+    Up,
+    /// Away from the root.
+    Down,
+}
+
+impl UpDownLabels {
+    /// Builds the labelling with a BFS spanning tree rooted at `root`.
+    ///
+    /// Switches unreachable from the root (ignoring direction) get no level;
+    /// routes touching them are rejected later.
+    pub fn new(topology: &Topology, root: SwitchId) -> Self {
+        let mut level = vec![None; topology.switch_count()];
+        if root.index() < topology.switch_count() {
+            level[root.index()] = Some(0);
+            let mut queue = VecDeque::from([root]);
+            while let Some(sw) = queue.pop_front() {
+                let here = level[sw.index()].expect("queued switches have levels");
+                let neighbors: Vec<SwitchId> = topology
+                    .links_from(sw)
+                    .map(|(_, l)| l.target)
+                    .chain(topology.links_to(sw).map(|(_, l)| l.source))
+                    .collect();
+                for n in neighbors {
+                    if level[n.index()].is_none() {
+                        level[n.index()] = Some(here + 1);
+                        queue.push_back(n);
+                    }
+                }
+            }
+        }
+        UpDownLabels { root, level }
+    }
+
+    /// The root switch of the spanning tree.
+    pub fn root(&self) -> SwitchId {
+        self.root
+    }
+
+    /// BFS level of a switch (0 for the root), or `None` if unreachable.
+    pub fn level(&self, switch: SwitchId) -> Option<usize> {
+        self.level.get(switch.index()).copied().flatten()
+    }
+
+    /// Direction of the link `source -> target`, or `None` if either switch
+    /// is unreachable from the root.
+    pub fn direction(&self, topology: &Topology, link: LinkId) -> Option<LinkDirection> {
+        let l = topology.link(link)?;
+        let ls = self.level(l.source)?;
+        let lt = self.level(l.target)?;
+        Some(if lt < ls || (lt == ls && l.target.index() < l.source.index()) {
+            LinkDirection::Up
+        } else {
+            LinkDirection::Down
+        })
+    }
+}
+
+/// Routes every flow with up*/down* routing relative to a BFS tree rooted at
+/// `root`.
+///
+/// The route search is a BFS over `(switch, phase)` states where the phase
+/// records whether a *down* link has already been taken; this finds a
+/// shortest route among the legal up*/down* routes.
+///
+/// # Errors
+///
+/// * [`RouteError::Topology`] if a core is unmapped.
+/// * [`RouteError::Unroutable`] if no legal up*/down* route exists (e.g. the
+///   topology is not physically connected, or is directed in a way that
+///   breaks tree reachability).
+pub fn route_all_updown(
+    topology: &Topology,
+    comm: &CommGraph,
+    map: &CoreMap,
+    root: SwitchId,
+) -> Result<RouteSet, RouteError> {
+    let labels = UpDownLabels::new(topology, root);
+    let mut routes = RouteSet::new(comm.flow_count());
+    for (flow_id, flow) in comm.flows() {
+        let src = map.require(flow.source)?;
+        let dst = map.require(flow.destination)?;
+        if src == dst {
+            routes.set_route(flow_id, Route::empty());
+            continue;
+        }
+        let links = updown_path(topology, &labels, src, dst).ok_or(RouteError::Unroutable {
+            flow: flow_id,
+            from: src,
+            to: dst,
+        })?;
+        routes.set_route(flow_id, Route::from_links(links));
+    }
+    Ok(routes)
+}
+
+/// BFS over `(switch, has_gone_down)` states respecting the up*/down* rule.
+fn updown_path(
+    topology: &Topology,
+    labels: &UpDownLabels,
+    src: SwitchId,
+    dst: SwitchId,
+) -> Option<Vec<LinkId>> {
+    let n = topology.switch_count();
+    // visited[switch][phase]; phase 0 = still allowed to go up, 1 = down only.
+    let mut visited = vec![[false; 2]; n];
+    let mut parent: Vec<[Option<(SwitchId, usize, LinkId)>; 2]> = vec![[None; 2]; n];
+    let mut queue = VecDeque::new();
+    visited[src.index()][0] = true;
+    queue.push_back((src, 0usize));
+    while let Some((sw, phase)) = queue.pop_front() {
+        if sw == dst {
+            // Reconstruct.
+            let mut links = Vec::new();
+            let (mut cur, mut ph) = (sw, phase);
+            while let Some((prev, prev_phase, link)) = parent[cur.index()][ph] {
+                links.push(link);
+                cur = prev;
+                ph = prev_phase;
+            }
+            links.reverse();
+            return Some(links);
+        }
+        for (link_id, link) in topology.links_from(sw) {
+            let Some(dir) = labels.direction(topology, link_id) else {
+                continue;
+            };
+            let next_phase = match (phase, dir) {
+                (0, LinkDirection::Up) => 0,
+                (_, LinkDirection::Down) => 1,
+                (1, LinkDirection::Up) => continue, // illegal down→up turn
+                _ => unreachable!(),
+            };
+            let next = link.target;
+            if !visited[next.index()][next_phase] {
+                visited[next.index()][next_phase] = true;
+                parent[next.index()][next_phase] = Some((sw, phase, link_id));
+                queue.push_back((next, next_phase));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate_routes;
+    use noc_topology::{generators, CommGraph, CoreMap, FlowId};
+
+    fn all_to_all_design(
+        generated: noc_topology::generators::Generated,
+    ) -> (Topology, CommGraph, CoreMap) {
+        let n = generated.switches.len();
+        let mut comm = CommGraph::new();
+        let cores: Vec<_> = (0..n).map(|i| comm.add_core(format!("c{i}"))).collect();
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    comm.add_flow(cores[i], cores[j], 5.0);
+                }
+            }
+        }
+        let mut map = CoreMap::new(n);
+        for (i, &c) in cores.iter().enumerate() {
+            map.assign(c, generated.switches[i]).unwrap();
+        }
+        (generated.topology, comm, map)
+    }
+
+    #[test]
+    fn updown_routes_a_mesh_completely_and_validly() {
+        let (t, c, m) = all_to_all_design(generators::mesh2d(3, 3, 1.0));
+        let routes = route_all_updown(&t, &c, &m, SwitchId::from_index(0)).unwrap();
+        validate_routes(&t, &c, &m, &routes).unwrap();
+        for (fid, _) in c.flows() {
+            assert!(!routes.route(fid).unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn no_route_ever_turns_from_down_to_up() {
+        let (t, c, m) = all_to_all_design(generators::bidirectional_ring(6, 1.0));
+        let root = SwitchId::from_index(0);
+        let labels = UpDownLabels::new(&t, root);
+        let routes = route_all_updown(&t, &c, &m, root).unwrap();
+        for (_, route) in routes.iter() {
+            let mut gone_down = false;
+            for link in route.links() {
+                match labels.direction(&t, link).unwrap() {
+                    LinkDirection::Down => gone_down = true,
+                    LinkDirection::Up => assert!(!gone_down, "illegal down→up turn"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn levels_follow_bfs_distance() {
+        let generated = generators::chain(4, 1.0);
+        let labels = UpDownLabels::new(&generated.topology, generated.switches[0]);
+        for (i, &sw) in generated.switches.iter().enumerate() {
+            assert_eq!(labels.level(sw), Some(i));
+        }
+        assert_eq!(labels.root(), generated.switches[0]);
+    }
+
+    #[test]
+    fn disconnected_switch_is_unroutable() {
+        let mut t = Topology::new();
+        let s0 = t.add_switch("s0");
+        let s1 = t.add_switch("s1");
+        let mut comm = CommGraph::new();
+        let a = comm.add_core("a");
+        let b = comm.add_core("b");
+        let f = comm.add_flow(a, b, 1.0);
+        let mut map = CoreMap::new(2);
+        map.assign(a, s0).unwrap();
+        map.assign(b, s1).unwrap();
+        let err = route_all_updown(&t, &comm, &map, s0).unwrap_err();
+        assert!(matches!(err, RouteError::Unroutable { flow, .. } if flow == f));
+    }
+
+    #[test]
+    fn updown_route_can_be_longer_than_shortest() {
+        // On a ring, up*/down* cannot use the link crossing the "top" of the
+        // tree in both directions, so some routes are non-minimal — but all
+        // flows must still be routable.
+        let (t, c, m) = all_to_all_design(generators::bidirectional_ring(8, 1.0));
+        let routes = route_all_updown(&t, &c, &m, SwitchId::from_index(0)).unwrap();
+        let shortest = crate::shortest::route_all_shortest(&t, &c, &m).unwrap();
+        let mut some_longer = false;
+        for (fid, _) in c.flows() {
+            let ud = routes.route(fid).unwrap().hop_count();
+            let sp = shortest.route(fid).unwrap().hop_count();
+            assert!(ud >= sp);
+            if ud > sp {
+                some_longer = true;
+            }
+        }
+        assert!(some_longer, "up*/down* on a ring should detour at least once");
+        let _ = FlowId::from_index(0);
+    }
+}

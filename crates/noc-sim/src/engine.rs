@@ -1,0 +1,551 @@
+//! The cycle-based wormhole simulation engine.
+
+use crate::packet::{Flit, FlitKind, Packet, PacketId};
+use crate::stats::SimStats;
+use crate::traffic::{generate_workload, TrafficConfig, Workload};
+use noc_routing::RouteSet;
+use noc_topology::{Channel, CommGraph, FlowId, Topology};
+use std::collections::{HashMap, VecDeque};
+
+/// Simulator parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Depth of every VC input buffer, in flits.
+    pub buffer_depth: usize,
+    /// Number of consecutive cycles without any flit movement (while flits
+    /// are in flight) after which the run is declared deadlocked.
+    pub deadlock_threshold: u64,
+    /// Hard cap on simulated cycles.
+    pub max_cycles: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            buffer_depth: 2,
+            deadlock_threshold: 1_000,
+            max_cycles: 2_000_000,
+        }
+    }
+}
+
+/// Result of a simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimOutcome {
+    /// Latency / throughput statistics.
+    pub stats: SimStats,
+    /// `true` if the run was declared deadlocked (no progress while flits
+    /// were in flight).
+    pub deadlocked: bool,
+    /// Packets still undelivered when the run ended.
+    pub stranded_packets: usize,
+}
+
+/// Per-packet bookkeeping.
+#[derive(Debug, Clone)]
+struct PacketState {
+    packet: Packet,
+    /// The packet's route (copied so the simulator owns its channel list).
+    route: Vec<Channel>,
+    /// Flits not yet injected, front first.
+    to_inject: VecDeque<Flit>,
+    /// Number of flits already ejected at the destination.
+    ejected: usize,
+}
+
+/// One decided flit movement, applied in the second phase of a cycle.
+#[derive(Debug, Clone, Copy)]
+enum Move {
+    /// Inject the next flit of a packet into its first channel.
+    Inject { packet: PacketId, into: usize },
+    /// Advance the head-of-line flit of channel `from` to channel `to`.
+    Advance { from: usize, to: usize },
+    /// Eject the head-of-line flit of channel `from` at the destination.
+    Eject { from: usize },
+}
+
+/// The wormhole simulator.  Borrows the design it simulates.
+#[derive(Debug)]
+pub struct Simulator<'a> {
+    comm: &'a CommGraph,
+    routes: &'a RouteSet,
+    config: SimConfig,
+    /// Dense channel indexing.
+    channels: Vec<Channel>,
+    channel_index: HashMap<Channel, usize>,
+    /// Input buffer of each channel (at the link's downstream switch).
+    buffers: Vec<VecDeque<Flit>>,
+    /// Which packet currently owns each channel (wormhole VC allocation).
+    owner: Vec<Option<PacketId>>,
+    packets: HashMap<PacketId, PacketState>,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator for the given design.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a route references a channel that does not exist in the
+    /// topology (run `noc_deadlock::verify::missing_channels` first if the
+    /// route set comes from an untrusted source).
+    pub fn new(
+        topology: &'a Topology,
+        comm: &'a CommGraph,
+        routes: &'a RouteSet,
+        config: &SimConfig,
+    ) -> Self {
+        let channels: Vec<Channel> = topology.channels().collect();
+        let channel_index: HashMap<Channel, usize> = channels
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (c, i))
+            .collect();
+        for (_, route) in routes.iter() {
+            for channel in route.channels() {
+                assert!(
+                    channel_index.contains_key(channel),
+                    "route references unknown channel {channel}"
+                );
+            }
+        }
+        let n = channels.len();
+        Simulator {
+            comm,
+            routes,
+            config: config.clone(),
+            channels,
+            channel_index,
+            buffers: vec![VecDeque::new(); n],
+            owner: vec![None; n],
+            packets: HashMap::new(),
+        }
+    }
+
+    /// Generates a workload from the design's communication graph and runs
+    /// it to completion, deadlock or the cycle cap.
+    pub fn run(&mut self, traffic: &TrafficConfig) -> SimOutcome {
+        let workload = generate_workload(self.comm, traffic);
+        self.run_workload(&workload)
+    }
+
+    /// Runs an explicit workload.
+    pub fn run_workload(&mut self, workload: &Workload) -> SimOutcome {
+        self.reset();
+        let mut stats = SimStats::default();
+        let mut pending: VecDeque<Packet> = workload.packets.iter().cloned().collect();
+        // Per-flow FIFO of packets waiting to start injection.
+        let mut flow_queues: HashMap<FlowId, VecDeque<PacketId>> = HashMap::new();
+        let mut idle_cycles = 0u64;
+        let mut deadlocked = false;
+
+        let mut cycle = 0u64;
+        while cycle < self.config.max_cycles {
+            // Admit newly created packets into their flow queue.
+            while pending
+                .front()
+                .map_or(false, |p| p.created_at <= cycle)
+            {
+                let packet = pending.pop_front().expect("checked non-empty");
+                stats.injected_packets += 1;
+                let route: Vec<Channel> = self
+                    .routes
+                    .route(packet.flow)
+                    .map(|r| r.channels().to_vec())
+                    .unwrap_or_default();
+                if route.is_empty() {
+                    // Same-switch flow: delivered immediately.
+                    stats.delivered_packets += 1;
+                    stats.delivered_flits += packet.length;
+                    let latency = cycle.saturating_sub(packet.created_at);
+                    stats.total_latency_cycles += latency;
+                    stats.max_latency_cycles = stats.max_latency_cycles.max(latency);
+                    continue;
+                }
+                let state = PacketState {
+                    to_inject: packet.flits().into(),
+                    route,
+                    ejected: 0,
+                    packet: packet.clone(),
+                };
+                flow_queues.entry(packet.flow).or_default().push_back(packet.id);
+                self.packets.insert(packet.id, state);
+            }
+
+            let moves = self.decide_moves(&flow_queues);
+            let progressed = !moves.is_empty();
+            let delivered = self.apply_moves(&moves, cycle, &mut stats, &mut flow_queues);
+            let _ = delivered;
+
+            let in_flight = self.packets.values().any(|p| {
+                p.ejected < p.packet.length
+            });
+            if !in_flight && pending.is_empty() {
+                cycle += 1;
+                break;
+            }
+            if progressed || !in_flight {
+                // Waiting for future packet arrivals is not a deadlock.
+                idle_cycles = 0;
+            } else {
+                idle_cycles += 1;
+                if idle_cycles >= self.config.deadlock_threshold {
+                    deadlocked = true;
+                    cycle += 1;
+                    break;
+                }
+            }
+            cycle += 1;
+        }
+
+        stats.cycles = cycle;
+        let stranded_packets = self
+            .packets
+            .values()
+            .filter(|p| p.ejected < p.packet.length)
+            .count()
+            + 0;
+        SimOutcome {
+            stats,
+            deadlocked,
+            stranded_packets,
+        }
+    }
+
+    fn reset(&mut self) {
+        for buffer in &mut self.buffers {
+            buffer.clear();
+        }
+        for owner in &mut self.owner {
+            *owner = None;
+        }
+        self.packets.clear();
+    }
+
+    /// Phase 1: decide all flit movements for this cycle based on the
+    /// start-of-cycle state.  At most one flit enters and one flit leaves
+    /// each channel per cycle.
+    fn decide_moves(&self, flow_queues: &HashMap<FlowId, VecDeque<PacketId>>) -> Vec<Move> {
+        let mut moves = Vec::new();
+        let mut entering = vec![false; self.channels.len()];
+        let mut leaving = vec![false; self.channels.len()];
+
+        // In-network flits first (drain before filling), iterating channels
+        // in reverse index order so downstream channels (added later during
+        // removal) are not starved; the order does not affect correctness.
+        for from in (0..self.channels.len()).rev() {
+            let Some(flit) = self.buffers[from].front() else {
+                continue;
+            };
+            let state = &self.packets[&flit.packet];
+            let pos = state
+                .route
+                .iter()
+                .position(|&c| self.channel_index[&c] == from)
+                .expect("flit sits on a channel of its route");
+            if pos + 1 == state.route.len() {
+                // Last hop: eject (destination always sinks flits).
+                moves.push(Move::Eject { from });
+                leaving[from] = true;
+                continue;
+            }
+            let to = self.channel_index[&state.route[pos + 1]];
+            if entering[to] {
+                continue;
+            }
+            let can_claim = match flit.kind {
+                FlitKind::Head | FlitKind::HeadTail => {
+                    self.owner[to].is_none() || self.owner[to] == Some(flit.packet)
+                }
+                _ => self.owner[to] == Some(flit.packet),
+            };
+            if can_claim && self.buffers[to].len() < self.config.buffer_depth {
+                moves.push(Move::Advance { from, to });
+                entering[to] = true;
+                leaving[from] = true;
+            }
+        }
+
+        // Injections: the packet at the front of each flow queue may push its
+        // next flit into the first channel of its route.
+        let mut flows: Vec<&FlowId> = flow_queues.keys().collect();
+        flows.sort();
+        for flow in flows {
+            let Some(&packet_id) = flow_queues[flow].front() else {
+                continue;
+            };
+            let state = &self.packets[&packet_id];
+            let Some(flit) = state.to_inject.front() else {
+                continue;
+            };
+            let into = self.channel_index[&state.route[0]];
+            if entering[into] {
+                continue;
+            }
+            let can_claim = match flit.kind {
+                FlitKind::Head | FlitKind::HeadTail => {
+                    self.owner[into].is_none() || self.owner[into] == Some(packet_id)
+                }
+                _ => self.owner[into] == Some(packet_id),
+            };
+            if can_claim && self.buffers[into].len() < self.config.buffer_depth {
+                moves.push(Move::Inject {
+                    packet: packet_id,
+                    into,
+                });
+                entering[into] = true;
+            }
+        }
+        let _ = leaving;
+        moves
+    }
+
+    /// Phase 2: apply the decided moves, updating ownership, ejections and
+    /// statistics.  Returns the number of packets fully delivered this cycle.
+    fn apply_moves(
+        &mut self,
+        moves: &[Move],
+        cycle: u64,
+        stats: &mut SimStats,
+        flow_queues: &mut HashMap<FlowId, VecDeque<PacketId>>,
+    ) -> usize {
+        let mut delivered = 0usize;
+        for &mv in moves {
+            match mv {
+                Move::Inject { packet, into } => {
+                    let state = self.packets.get_mut(&packet).expect("packet exists");
+                    let flit = state.to_inject.pop_front().expect("decided with a flit");
+                    if matches!(flit.kind, FlitKind::Head | FlitKind::HeadTail) {
+                        self.owner[into] = Some(packet);
+                    }
+                    self.buffers[into].push_back(flit);
+                    if state.to_inject.is_empty() {
+                        // The whole packet has left the source: the next
+                        // packet of this flow may start injecting.
+                        if let Some(queue) = flow_queues.get_mut(&state.packet.flow) {
+                            if queue.front() == Some(&packet) {
+                                queue.pop_front();
+                            }
+                        }
+                    }
+                }
+                Move::Advance { from, to } => {
+                    let flit = self.buffers[from].pop_front().expect("decided with a flit");
+                    if matches!(flit.kind, FlitKind::Head | FlitKind::HeadTail) {
+                        self.owner[to] = Some(flit.packet);
+                    }
+                    if matches!(flit.kind, FlitKind::Tail | FlitKind::HeadTail)
+                        && self.owner[from] == Some(flit.packet)
+                    {
+                        self.owner[from] = None;
+                    }
+                    self.buffers[to].push_back(flit);
+                }
+                Move::Eject { from } => {
+                    let flit = self.buffers[from].pop_front().expect("decided with a flit");
+                    if matches!(flit.kind, FlitKind::Tail | FlitKind::HeadTail)
+                        && self.owner[from] == Some(flit.packet)
+                    {
+                        self.owner[from] = None;
+                    }
+                    let state = self.packets.get_mut(&flit.packet).expect("packet exists");
+                    state.ejected += 1;
+                    stats.delivered_flits += 1;
+                    if state.ejected == state.packet.length {
+                        delivered += 1;
+                        stats.delivered_packets += 1;
+                        let latency = cycle.saturating_sub(state.packet.created_at) + 1;
+                        stats.total_latency_cycles += latency;
+                        stats.max_latency_cycles = stats.max_latency_cycles.max(latency);
+                    }
+                }
+            }
+        }
+        delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_routing::shortest::route_all_shortest;
+    use noc_routing::Route;
+    use noc_topology::{generators, CoreMap, LinkId};
+
+    fn line_design() -> (Topology, CommGraph, RouteSet) {
+        let generated = generators::chain(3, 1.0);
+        let mut comm = CommGraph::new();
+        let a = comm.add_core("a");
+        let b = comm.add_core("b");
+        comm.add_flow(a, b, 100.0);
+        let mut map = CoreMap::new(2);
+        map.assign(a, generated.switches[0]).unwrap();
+        map.assign(b, generated.switches[2]).unwrap();
+        let routes = route_all_shortest(&generated.topology, &comm, &map).unwrap();
+        (generated.topology, comm, routes)
+    }
+
+    #[test]
+    fn single_flow_delivers_all_packets() {
+        let (topo, comm, routes) = line_design();
+        let mut sim = Simulator::new(&topo, &comm, &routes, &SimConfig::default());
+        let outcome = sim.run(&TrafficConfig {
+            packets_per_flow: 10,
+            packet_length: 4,
+            ..TrafficConfig::default()
+        });
+        assert!(!outcome.deadlocked);
+        assert_eq!(outcome.stats.injected_packets, 10);
+        assert_eq!(outcome.stats.delivered_packets, 10);
+        assert_eq!(outcome.stats.delivered_flits, 40);
+        assert_eq!(outcome.stranded_packets, 0);
+        assert!(outcome.stats.mean_latency() >= 2.0, "2 hops minimum");
+        assert!(outcome.stats.delivery_ratio() == 1.0);
+    }
+
+    #[test]
+    fn same_switch_flow_is_delivered_instantly() {
+        let generated = generators::chain(2, 1.0);
+        let mut comm = CommGraph::new();
+        let a = comm.add_core("a");
+        let b = comm.add_core("b");
+        comm.add_flow(a, b, 10.0);
+        let mut map = CoreMap::new(2);
+        map.assign(a, generated.switches[0]).unwrap();
+        map.assign(b, generated.switches[0]).unwrap();
+        let routes = route_all_shortest(&generated.topology, &comm, &map).unwrap();
+        let mut sim = Simulator::new(&generated.topology, &comm, &routes, &SimConfig::default());
+        let outcome = sim.run(&TrafficConfig::default());
+        assert_eq!(outcome.stats.delivered_packets, outcome.stats.injected_packets);
+        assert!(!outcome.deadlocked);
+    }
+
+    #[test]
+    fn cyclic_ring_under_pressure_deadlocks() {
+        // The Figure 1 configuration: four flows chasing each other around a
+        // unidirectional ring with multi-flit packets and tiny buffers.
+        let generated = generators::unidirectional_ring(4, 1.0);
+        let topo = generated.topology;
+        let mut comm = CommGraph::new();
+        let cores: Vec<_> = (0..4).map(|i| comm.add_core(format!("c{i}"))).collect();
+        for i in 0..4 {
+            comm.add_flow(cores[i], cores[(i + 2) % 4], 100.0);
+        }
+        let links: Vec<LinkId> = (0..4).map(LinkId::from_index).collect();
+        let mut routes = RouteSet::new(4);
+        for i in 0..4 {
+            routes.set_route(
+                FlowId::from_index(i),
+                Route::from_links([links[i], links[(i + 1) % 4]]),
+            );
+        }
+        let config = SimConfig {
+            buffer_depth: 1,
+            deadlock_threshold: 200,
+            max_cycles: 100_000,
+        };
+        let mut sim = Simulator::new(&topo, &comm, &routes, &config);
+        let outcome = sim.run(&TrafficConfig {
+            packets_per_flow: 20,
+            packet_length: 6,
+            mean_gap_cycles: 0,
+            seed: 1,
+        });
+        assert!(outcome.deadlocked, "the cyclic CDG design must deadlock under pressure");
+        assert!(outcome.stranded_packets > 0);
+    }
+
+    #[test]
+    fn removal_fixed_ring_does_not_deadlock() {
+        // Same design, after the deadlock-removal algorithm.
+        let generated = generators::unidirectional_ring(4, 1.0);
+        let mut topo = generated.topology;
+        let mut comm = CommGraph::new();
+        let cores: Vec<_> = (0..4).map(|i| comm.add_core(format!("c{i}"))).collect();
+        for i in 0..4 {
+            comm.add_flow(cores[i], cores[(i + 2) % 4], 100.0);
+        }
+        let links: Vec<LinkId> = (0..4).map(LinkId::from_index).collect();
+        let mut routes = RouteSet::new(4);
+        for i in 0..4 {
+            routes.set_route(
+                FlowId::from_index(i),
+                Route::from_links([links[i], links[(i + 1) % 4]]),
+            );
+        }
+        noc_deadlock::removal::remove_deadlocks(
+            &mut topo,
+            &mut routes,
+            &noc_deadlock::removal::RemovalConfig::default(),
+        )
+        .unwrap();
+        let config = SimConfig {
+            buffer_depth: 1,
+            deadlock_threshold: 200,
+            max_cycles: 200_000,
+        };
+        let mut sim = Simulator::new(&topo, &comm, &routes, &config);
+        let outcome = sim.run(&TrafficConfig {
+            packets_per_flow: 20,
+            packet_length: 6,
+            mean_gap_cycles: 0,
+            seed: 1,
+        });
+        assert!(!outcome.deadlocked);
+        assert_eq!(outcome.stats.delivered_packets, outcome.stats.injected_packets);
+        assert_eq!(outcome.stranded_packets, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown channel")]
+    fn routes_with_unknown_channels_are_rejected() {
+        let (topo, comm, mut routes) = line_design();
+        routes
+            .route_mut(FlowId::from_index(0))
+            .unwrap()
+            .channels_mut()[0] = Channel::new(LinkId::from_index(0), 9);
+        let _ = Simulator::new(&topo, &comm, &routes, &SimConfig::default());
+    }
+
+    #[test]
+    fn larger_buffers_reduce_latency_under_contention() {
+        let generated = generators::chain(5, 1.0);
+        let mut comm = CommGraph::new();
+        let cores: Vec<_> = (0..5).map(|i| comm.add_core(format!("c{i}"))).collect();
+        // Several flows sharing the same chain links.
+        comm.add_flow(cores[0], cores[4], 100.0);
+        comm.add_flow(cores[1], cores[4], 100.0);
+        comm.add_flow(cores[0], cores[3], 100.0);
+        let mut map = CoreMap::new(5);
+        for (i, &c) in cores.iter().enumerate() {
+            map.assign(c, generated.switches[i]).unwrap();
+        }
+        let routes = route_all_shortest(&generated.topology, &comm, &map).unwrap();
+        let traffic = TrafficConfig {
+            packets_per_flow: 30,
+            packet_length: 4,
+            ..TrafficConfig::default()
+        };
+        let small = Simulator::new(
+            &generated.topology,
+            &comm,
+            &routes,
+            &SimConfig {
+                buffer_depth: 1,
+                ..SimConfig::default()
+            },
+        )
+        .run(&traffic);
+        let large = Simulator::new(
+            &generated.topology,
+            &comm,
+            &routes,
+            &SimConfig {
+                buffer_depth: 8,
+                ..SimConfig::default()
+            },
+        )
+        .run(&traffic);
+        assert!(!small.deadlocked && !large.deadlocked);
+        assert!(large.stats.cycles <= small.stats.cycles);
+    }
+}

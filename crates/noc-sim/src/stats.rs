@@ -1,0 +1,75 @@
+//! Simulation statistics.
+
+/// Latency / throughput statistics of a simulation run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SimStats {
+    /// Packets handed to source queues.
+    pub injected_packets: usize,
+    /// Packets fully delivered (tail flit ejected).
+    pub delivered_packets: usize,
+    /// Total flits delivered.
+    pub delivered_flits: usize,
+    /// Sum of per-packet latencies (delivery cycle − creation cycle).
+    pub total_latency_cycles: u64,
+    /// Worst per-packet latency observed.
+    pub max_latency_cycles: u64,
+    /// Number of cycles simulated.
+    pub cycles: u64,
+}
+
+impl SimStats {
+    /// Average packet latency in cycles (0 when nothing was delivered).
+    pub fn mean_latency(&self) -> f64 {
+        if self.delivered_packets == 0 {
+            0.0
+        } else {
+            self.total_latency_cycles as f64 / self.delivered_packets as f64
+        }
+    }
+
+    /// Delivered flits per simulated cycle.
+    pub fn throughput_flits_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.delivered_flits as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of injected packets that were delivered.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.injected_packets == 0 {
+            0.0
+        } else {
+            self.delivered_packets as f64 / self.injected_packets as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let stats = SimStats {
+            injected_packets: 10,
+            delivered_packets: 8,
+            delivered_flits: 32,
+            total_latency_cycles: 160,
+            max_latency_cycles: 40,
+            cycles: 64,
+        };
+        assert_eq!(stats.mean_latency(), 20.0);
+        assert_eq!(stats.throughput_flits_per_cycle(), 0.5);
+        assert_eq!(stats.delivery_ratio(), 0.8);
+    }
+
+    #[test]
+    fn empty_run_has_zero_metrics() {
+        let stats = SimStats::default();
+        assert_eq!(stats.mean_latency(), 0.0);
+        assert_eq!(stats.throughput_flits_per_cycle(), 0.0);
+        assert_eq!(stats.delivery_ratio(), 0.0);
+    }
+}

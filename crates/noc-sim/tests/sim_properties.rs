@@ -1,0 +1,143 @@
+//! Property-based tests for the wormhole simulator: conservation laws and
+//! the central deadlock-freedom claim (designs with acyclic CDGs always
+//! drain their workload).
+
+use noc_deadlock::removal::{remove_deadlocks, RemovalConfig};
+use noc_deadlock::verify;
+use noc_routing::shortest::route_all_shortest;
+use noc_routing::xy::{route_all_xy, MeshCoords};
+use noc_sim::{SimConfig, Simulator, TrafficConfig};
+use noc_synth::{synthesize, SynthesisConfig};
+use noc_topology::benchmarks::Benchmark;
+use noc_topology::{generators, CommGraph, CoreMap};
+use proptest::prelude::*;
+
+/// Builds an all-to-all communication graph and mapping over a generated
+/// topology, one core per switch.
+fn all_to_all(
+    generated: &generators::Generated,
+    bandwidth: f64,
+) -> (CommGraph, CoreMap) {
+    let n = generated.switches.len();
+    let mut comm = CommGraph::new();
+    let cores: Vec<_> = (0..n).map(|i| comm.add_core(format!("c{i}"))).collect();
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                comm.add_flow(cores[i], cores[j], bandwidth);
+            }
+        }
+    }
+    let mut map = CoreMap::new(n);
+    for (i, &c) in cores.iter().enumerate() {
+        map.assign(c, generated.switches[i]).unwrap();
+    }
+    (comm, map)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// XY-routed meshes (acyclic CDG by construction) always deliver every
+    /// packet, for any mesh size, packet length and buffer depth.
+    #[test]
+    fn xy_meshes_never_deadlock(
+        rows in 2usize..4,
+        cols in 2usize..4,
+        packet_length in 1usize..6,
+        buffer_depth in 1usize..4,
+        packets_per_flow in 1usize..4,
+    ) {
+        let generated = generators::mesh2d(rows, cols, 1000.0);
+        let coords = MeshCoords::new(rows, cols, generated.switches.clone());
+        let (comm, map) = all_to_all(&generated, 100.0);
+        let routes = route_all_xy(&generated.topology, &comm, &map, &coords).unwrap();
+        prop_assert!(verify::check_deadlock_free(&generated.topology, &routes).is_ok());
+
+        let outcome = Simulator::new(
+            &generated.topology,
+            &comm,
+            &routes,
+            &SimConfig { buffer_depth, deadlock_threshold: 2_000, max_cycles: 2_000_000 },
+        )
+        .run(&TrafficConfig {
+            packets_per_flow,
+            packet_length,
+            mean_gap_cycles: 0,
+            seed: 11,
+        });
+        prop_assert!(!outcome.deadlocked);
+        prop_assert_eq!(outcome.stats.delivered_packets, outcome.stats.injected_packets);
+        prop_assert_eq!(outcome.stranded_packets, 0);
+        // Flit conservation.
+        prop_assert_eq!(
+            outcome.stats.delivered_flits,
+            outcome.stats.delivered_packets * packet_length.max(1)
+        );
+    }
+
+    /// Repaired benchmark designs always drain the workload, whatever the
+    /// buffer depth and packet length.
+    #[test]
+    fn repaired_designs_always_drain(
+        switches in 4usize..12,
+        packet_length in 1usize..5,
+        buffer_depth in 1usize..3,
+    ) {
+        let comm = Benchmark::D36x6.comm_graph();
+        let design = synthesize(&comm, &SynthesisConfig::with_switches(switches)).unwrap();
+        let mut topology = design.topology.clone();
+        let mut routes = design.routes.clone();
+        remove_deadlocks(&mut topology, &mut routes, &RemovalConfig::default()).unwrap();
+        prop_assert!(verify::check_deadlock_free(&topology, &routes).is_ok());
+
+        let outcome = Simulator::new(
+            &topology,
+            &comm,
+            &routes,
+            &SimConfig { buffer_depth, deadlock_threshold: 2_000, max_cycles: 4_000_000 },
+        )
+        .run(&TrafficConfig {
+            packets_per_flow: 2,
+            packet_length,
+            mean_gap_cycles: 0,
+            seed: 3,
+        });
+        prop_assert!(!outcome.deadlocked);
+        prop_assert_eq!(outcome.stats.delivered_packets, outcome.stats.injected_packets);
+    }
+
+    /// Latency sanity: on a contention-free chain, packet latency is at
+    /// least the hop count and delivery is complete.
+    #[test]
+    fn chain_latency_is_at_least_hop_count(
+        length in 2usize..8,
+        packet_length in 1usize..6,
+    ) {
+        let generated = generators::chain(length, 1000.0);
+        let mut comm = CommGraph::new();
+        let a = comm.add_core("a");
+        let b = comm.add_core("b");
+        comm.add_flow(a, b, 100.0);
+        let mut map = CoreMap::new(2);
+        map.assign(a, generated.switches[0]).unwrap();
+        map.assign(b, generated.switches[length - 1]).unwrap();
+        let routes = route_all_shortest(&generated.topology, &comm, &map).unwrap();
+
+        let outcome = Simulator::new(
+            &generated.topology,
+            &comm,
+            &routes,
+            &SimConfig::default(),
+        )
+        .run(&TrafficConfig {
+            packets_per_flow: 3,
+            packet_length,
+            mean_gap_cycles: 0,
+            seed: 1,
+        });
+        prop_assert!(!outcome.deadlocked);
+        prop_assert_eq!(outcome.stats.delivered_packets, 3);
+        prop_assert!(outcome.stats.mean_latency() >= (length - 1) as f64);
+    }
+}

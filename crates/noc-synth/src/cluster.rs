@@ -1,0 +1,190 @@
+//! Core-to-switch clustering.
+//!
+//! Cores that exchange a lot of traffic should share a switch so their flows
+//! never enter the switch-to-switch network.  This module implements a
+//! greedy, balanced affinity clustering: cores are considered in decreasing
+//! order of total traffic and each is placed on the switch where it has the
+//! highest affinity to already-placed cores, subject to a per-switch
+//! capacity that keeps cluster sizes balanced.
+
+use noc_topology::{CommGraph, CoreId};
+
+/// A clustering of cores into `switch_count` groups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clustering {
+    /// `assignment[core.index()]` = switch index in `0..switch_count`.
+    pub assignment: Vec<usize>,
+    /// Number of clusters (= switches).
+    pub switch_count: usize,
+}
+
+impl Clustering {
+    /// The cluster (switch index) of `core`.
+    pub fn cluster_of(&self, core: CoreId) -> usize {
+        self.assignment[core.index()]
+    }
+
+    /// The cores assigned to `cluster`.
+    pub fn members(&self, cluster: usize) -> Vec<CoreId> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c == cluster)
+            .map(|(i, _)| CoreId::from_index(i))
+            .collect()
+    }
+
+    /// Size of the largest cluster.
+    pub fn max_cluster_size(&self) -> usize {
+        (0..self.switch_count)
+            .map(|c| self.assignment.iter().filter(|&&a| a == c).count())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total communication bandwidth that stays inside a cluster (higher is
+    /// better for the same switch count).
+    pub fn internal_bandwidth(&self, comm: &CommGraph) -> f64 {
+        comm.flows()
+            .filter(|(_, f)| {
+                self.assignment[f.source.index()] == self.assignment[f.destination.index()]
+            })
+            .map(|(_, f)| f.bandwidth)
+            .sum()
+    }
+}
+
+/// Greedy balanced affinity clustering of the cores of `comm` into
+/// `switch_count` clusters.
+///
+/// The per-switch capacity is `ceil(core_count / switch_count)`, so clusters
+/// stay within one core of each other in size — matching the area-balancing
+/// behaviour of floorplan-aware synthesis tools.
+///
+/// # Panics
+///
+/// Panics if `switch_count` is zero.
+pub fn cluster_cores(comm: &CommGraph, switch_count: usize) -> Clustering {
+    assert!(switch_count > 0, "need at least one switch");
+    let n = comm.core_count();
+    let capacity = n.div_ceil(switch_count);
+    let mut assignment = vec![usize::MAX; n];
+    let mut sizes = vec![0usize; switch_count];
+
+    // Order cores by total traffic (descending) so the heavy hitters anchor
+    // the clusters; ties break on index for determinism.
+    let mut order: Vec<CoreId> = comm.cores().map(|(id, _)| id).collect();
+    let traffic = |c: CoreId| -> f64 {
+        comm.flows_from(c).map(|(_, f)| f.bandwidth).sum::<f64>()
+            + comm.flows_to(c).map(|(_, f)| f.bandwidth).sum::<f64>()
+    };
+    order.sort_by(|&a, &b| {
+        traffic(b)
+            .partial_cmp(&traffic(a))
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.index().cmp(&b.index()))
+    });
+
+    for core in order {
+        // Affinity of this core to every cluster that still has room.
+        let mut best_cluster = usize::MAX;
+        let mut best_score = f64::NEG_INFINITY;
+        for cluster in 0..switch_count {
+            if sizes[cluster] >= capacity {
+                continue;
+            }
+            let score: f64 = comm
+                .cores()
+                .filter(|(other, _)| assignment[other.index()] == cluster)
+                .map(|(other, _)| comm.affinity(core, other))
+                .sum();
+            // Prefer higher affinity; among equal affinities prefer the
+            // emptier cluster (spreads isolated cores evenly).
+            let tie_break = -(sizes[cluster] as f64) * 1e-6;
+            if score + tie_break > best_score {
+                best_score = score + tie_break;
+                best_cluster = cluster;
+            }
+        }
+        debug_assert_ne!(best_cluster, usize::MAX, "capacity guarantees a free slot");
+        assignment[core.index()] = best_cluster;
+        sizes[best_cluster] += 1;
+    }
+
+    Clustering {
+        assignment,
+        switch_count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_topology::benchmarks::Benchmark;
+
+    fn pair_heavy_comm() -> CommGraph {
+        // Two tightly-coupled pairs and two loners.
+        let mut g = CommGraph::new();
+        let c: Vec<_> = (0..6).map(|i| g.add_core(format!("c{i}"))).collect();
+        g.add_flow(c[0], c[1], 1000.0);
+        g.add_flow(c[1], c[0], 1000.0);
+        g.add_flow(c[2], c[3], 1000.0);
+        g.add_flow(c[3], c[2], 1000.0);
+        g.add_flow(c[4], c[5], 1.0);
+        g
+    }
+
+    #[test]
+    fn heavy_pairs_share_a_cluster() {
+        let comm = pair_heavy_comm();
+        let clustering = cluster_cores(&comm, 3);
+        assert_eq!(
+            clustering.cluster_of(CoreId::from_index(0)),
+            clustering.cluster_of(CoreId::from_index(1))
+        );
+        assert_eq!(
+            clustering.cluster_of(CoreId::from_index(2)),
+            clustering.cluster_of(CoreId::from_index(3))
+        );
+    }
+
+    #[test]
+    fn clusters_are_balanced() {
+        let comm = Benchmark::D26Media.comm_graph();
+        for switches in [2, 5, 8, 13, 26] {
+            let clustering = cluster_cores(&comm, switches);
+            let capacity = comm.core_count().div_ceil(switches);
+            assert!(clustering.max_cluster_size() <= capacity, "{switches} switches");
+            // Every core is assigned.
+            assert!(clustering.assignment.iter().all(|&a| a < switches));
+        }
+    }
+
+    #[test]
+    fn more_switches_never_increase_internal_bandwidth() {
+        let comm = Benchmark::D36x8.comm_graph();
+        let few = cluster_cores(&comm, 4).internal_bandwidth(&comm);
+        let many = cluster_cores(&comm, 18).internal_bandwidth(&comm);
+        assert!(few >= many);
+    }
+
+    #[test]
+    fn one_switch_keeps_everything_internal() {
+        let comm = pair_heavy_comm();
+        let clustering = cluster_cores(&comm, 1);
+        assert_eq!(clustering.internal_bandwidth(&comm), comm.total_bandwidth());
+        assert_eq!(clustering.members(0).len(), comm.core_count());
+    }
+
+    #[test]
+    fn clustering_is_deterministic() {
+        let comm = Benchmark::D35Bott.comm_graph();
+        assert_eq!(cluster_cores(&comm, 7), cluster_cores(&comm, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one switch")]
+    fn zero_switches_panics() {
+        cluster_cores(&pair_heavy_comm(), 0);
+    }
+}

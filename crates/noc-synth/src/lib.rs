@@ -1,0 +1,43 @@
+//! Application-specific NoC topology synthesis.
+//!
+//! The paper generates its input topologies with the floorplan-aware
+//! synthesis tool of its reference [9], which is not publicly available.
+//! This crate provides a functional substitute with the same interface
+//! contract: given a communication graph and a target switch count it
+//! produces an application-specific (usually irregular) topology, a core
+//! attachment and deadlock-oblivious routes — exactly the triple the
+//! deadlock-removal algorithm and the resource-ordering baseline take as
+//! input.
+//!
+//! The synthesis pipeline is:
+//!
+//! 1. [`cluster`] — partition cores onto switches, greedily maximising the
+//!    communication affinity kept inside a switch while keeping cluster
+//!    sizes balanced,
+//! 2. [`connect`] — build the switch-to-switch link set: a traffic-weighted
+//!    backbone that guarantees connectivity plus demand-driven shortcut
+//!    links, subject to a maximum switch degree (mirroring the technology
+//!    constraints on link count discussed in the paper),
+//! 3. routing via `noc-routing`'s shortest-path router.
+//!
+//! # Example
+//!
+//! ```
+//! use noc_topology::benchmarks::Benchmark;
+//! use noc_synth::{SynthesisConfig, synthesize};
+//!
+//! let comm = Benchmark::D26Media.comm_graph();
+//! let design = synthesize(&comm, &SynthesisConfig::with_switches(8))?;
+//! assert_eq!(design.topology.switch_count(), 8);
+//! assert_eq!(design.routes.flow_count(), comm.flow_count());
+//! # Ok::<(), noc_synth::SynthesisError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod connect;
+pub mod synthesizer;
+
+pub use synthesizer::{synthesize, SynthesisConfig, SynthesisError, SynthesizedDesign};

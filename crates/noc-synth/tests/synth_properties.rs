@@ -1,0 +1,78 @@
+//! Property-based tests for the topology synthesizer on random
+//! communication graphs.
+
+use noc_routing::validate::validate_routes;
+use noc_synth::cluster::cluster_cores;
+use noc_synth::{synthesize, SynthesisConfig};
+use noc_topology::validate::validate_design;
+use noc_topology::CommGraph;
+use proptest::prelude::*;
+
+/// Builds a communication graph with `cores` cores and the given flow list.
+fn build_comm(cores: usize, flows: &[(usize, usize, u32)]) -> CommGraph {
+    let mut comm = CommGraph::new();
+    let ids: Vec<_> = (0..cores).map(|i| comm.add_core(format!("c{i}"))).collect();
+    for &(a, b, bw) in flows {
+        let (a, b) = (a % cores, b % cores);
+        if a != b {
+            comm.add_flow(ids[a], ids[b], 1.0 + bw as f64);
+        }
+    }
+    comm
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Synthesis always yields a consistent design: complete core mapping,
+    /// connected routes, valid route structure — for any random traffic and
+    /// any feasible switch count.
+    #[test]
+    fn synthesis_is_always_consistent(
+        cores in 4usize..24,
+        switches in 1usize..12,
+        flows in proptest::collection::vec((0usize..24, 0usize..24, 1u32..500), 1..60),
+    ) {
+        prop_assume!(switches <= cores);
+        let comm = build_comm(cores, &flows);
+        let design = synthesize(&comm, &SynthesisConfig::with_switches(switches)).unwrap();
+        prop_assert_eq!(design.topology.switch_count(), switches);
+        validate_design(&design.topology, &comm, &design.core_map).unwrap();
+        validate_routes(&design.topology, &comm, &design.core_map, &design.routes).unwrap();
+        // Every link opened by the synthesizer starts with a single VC.
+        prop_assert_eq!(design.topology.extra_vc_count(), 0);
+    }
+
+    /// Clustering is a balanced partition: every core assigned, cluster sizes
+    /// within one of each other (ceil capacity), determinism.
+    #[test]
+    fn clustering_is_a_balanced_partition(
+        cores in 2usize..30,
+        switches in 1usize..15,
+        flows in proptest::collection::vec((0usize..30, 0usize..30, 1u32..100), 0..40),
+    ) {
+        prop_assume!(switches <= cores);
+        let comm = build_comm(cores, &flows);
+        let clustering = cluster_cores(&comm, switches);
+        prop_assert_eq!(clustering.assignment.len(), cores);
+        prop_assert!(clustering.assignment.iter().all(|&c| c < switches));
+        let capacity = cores.div_ceil(switches);
+        for cluster in 0..switches {
+            prop_assert!(clustering.members(cluster).len() <= capacity);
+        }
+        prop_assert_eq!(clustering, cluster_cores(&comm, switches));
+    }
+
+    /// The ring backbone variant is also always routable.
+    #[test]
+    fn ring_backbone_synthesis_is_consistent(
+        cores in 4usize..20,
+        switches in 2usize..10,
+        flows in proptest::collection::vec((0usize..20, 0usize..20, 1u32..200), 1..40),
+    ) {
+        prop_assume!(switches <= cores);
+        let comm = build_comm(cores, &flows);
+        let design = synthesize(&comm, &SynthesisConfig::with_switches_ring(switches)).unwrap();
+        validate_routes(&design.topology, &comm, &design.core_map, &design.routes).unwrap();
+    }
+}

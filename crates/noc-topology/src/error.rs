@@ -1,0 +1,69 @@
+//! Error type shared by the topology-model crate.
+
+use crate::ids::{CoreId, LinkId, SwitchId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported when constructing or validating topologies, communication
+/// graphs and core attachments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// A switch id does not belong to the topology.
+    UnknownSwitch(SwitchId),
+    /// A link id does not belong to the topology.
+    UnknownLink(LinkId),
+    /// A core id does not belong to the communication graph.
+    UnknownCore(CoreId),
+    /// A core has no switch attachment.
+    UnmappedCore(CoreId),
+    /// Two switches are not connected by any path, but a flow needs them to be.
+    Disconnected {
+        /// Switch the path must start from.
+        from: SwitchId,
+        /// Switch the path must reach.
+        to: SwitchId,
+    },
+    /// A parameter was outside its valid range (e.g. zero switches).
+    InvalidParameter(String),
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::UnknownSwitch(s) => write!(f, "unknown switch {s}"),
+            TopologyError::UnknownLink(l) => write!(f, "unknown link {l}"),
+            TopologyError::UnknownCore(c) => write!(f, "unknown core {c}"),
+            TopologyError::UnmappedCore(c) => write!(f, "core {c} is not mapped to any switch"),
+            TopologyError::Disconnected { from, to } => {
+                write!(f, "no path from {from} to {to} in the topology")
+            }
+            TopologyError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl Error for TopologyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = TopologyError::UnknownSwitch(SwitchId::from_index(3));
+        assert_eq!(e.to_string(), "unknown switch SW3");
+        let e = TopologyError::Disconnected {
+            from: SwitchId::from_index(0),
+            to: SwitchId::from_index(1),
+        };
+        assert!(e.to_string().contains("no path"));
+        let e = TopologyError::InvalidParameter("zero switches".into());
+        assert!(e.to_string().contains("zero switches"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<T: Error + Send + Sync>() {}
+        assert_error::<TopologyError>();
+    }
+}

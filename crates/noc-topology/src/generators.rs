@@ -1,0 +1,233 @@
+//! Generators for regular NoC topologies.
+//!
+//! The paper's method applies to arbitrary topologies; these generators
+//! provide the regular shapes (rings, meshes, tori, stars, trees) that are
+//! used in tests, in examples and as sanity baselines next to the
+//! application-specific topologies produced by `noc-synth`.
+
+use crate::ids::SwitchId;
+use crate::topology::Topology;
+
+/// A generated topology together with its switch handles, in generation
+/// order (row-major for meshes/tori).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Generated {
+    /// The generated topology.
+    pub topology: Topology,
+    /// All switches in generation order.
+    pub switches: Vec<SwitchId>,
+}
+
+/// Unidirectional ring of `n` switches (the shape of Figure 1 of the paper).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn unidirectional_ring(n: usize, bandwidth: f64) -> Generated {
+    assert!(n > 0, "a ring needs at least one switch");
+    let mut topology = Topology::new();
+    let switches: Vec<_> = (0..n)
+        .map(|i| topology.add_switch(format!("ring{i}")))
+        .collect();
+    for i in 0..n {
+        topology.add_link(switches[i], switches[(i + 1) % n], bandwidth);
+    }
+    Generated { topology, switches }
+}
+
+/// Bidirectional ring of `n` switches.
+pub fn bidirectional_ring(n: usize, bandwidth: f64) -> Generated {
+    assert!(n > 0, "a ring needs at least one switch");
+    let mut topology = Topology::new();
+    let switches: Vec<_> = (0..n)
+        .map(|i| topology.add_switch(format!("ring{i}")))
+        .collect();
+    for i in 0..n {
+        let next = (i + 1) % n;
+        if n > 1 {
+            topology.add_bidirectional_link(switches[i], switches[next], bandwidth);
+        }
+    }
+    Generated { topology, switches }
+}
+
+/// Open chain (line) of `n` switches with bidirectional links.
+pub fn chain(n: usize, bandwidth: f64) -> Generated {
+    assert!(n > 0, "a chain needs at least one switch");
+    let mut topology = Topology::new();
+    let switches: Vec<_> = (0..n)
+        .map(|i| topology.add_switch(format!("chain{i}")))
+        .collect();
+    for i in 0..n.saturating_sub(1) {
+        topology.add_bidirectional_link(switches[i], switches[i + 1], bandwidth);
+    }
+    Generated { topology, switches }
+}
+
+/// 2-D mesh of `rows × cols` switches with bidirectional links, row-major
+/// switch order.
+pub fn mesh2d(rows: usize, cols: usize, bandwidth: f64) -> Generated {
+    assert!(rows > 0 && cols > 0, "mesh dimensions must be positive");
+    let mut topology = Topology::new();
+    let switches: Vec<_> = (0..rows * cols)
+        .map(|i| topology.add_switch(format!("mesh{}_{}", i / cols, i % cols)))
+        .collect();
+    let at = |r: usize, c: usize| switches[r * cols + c];
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                topology.add_bidirectional_link(at(r, c), at(r, c + 1), bandwidth);
+            }
+            if r + 1 < rows {
+                topology.add_bidirectional_link(at(r, c), at(r + 1, c), bandwidth);
+            }
+        }
+    }
+    Generated { topology, switches }
+}
+
+/// 2-D torus of `rows × cols` switches (mesh plus wraparound links).
+pub fn torus2d(rows: usize, cols: usize, bandwidth: f64) -> Generated {
+    assert!(rows > 1 && cols > 1, "torus dimensions must be at least 2");
+    let mut topology = Topology::new();
+    let switches: Vec<_> = (0..rows * cols)
+        .map(|i| topology.add_switch(format!("torus{}_{}", i / cols, i % cols)))
+        .collect();
+    let at = |r: usize, c: usize| switches[r * cols + c];
+    for r in 0..rows {
+        for c in 0..cols {
+            topology.add_bidirectional_link(at(r, c), at(r, (c + 1) % cols), bandwidth);
+            topology.add_bidirectional_link(at(r, c), at((r + 1) % rows, c), bandwidth);
+        }
+    }
+    Generated { topology, switches }
+}
+
+/// Star: switch 0 is the hub, every other switch connects to it with a
+/// bidirectional link.
+pub fn star(n: usize, bandwidth: f64) -> Generated {
+    assert!(n > 0, "a star needs at least one switch");
+    let mut topology = Topology::new();
+    let switches: Vec<_> = (0..n)
+        .map(|i| topology.add_switch(format!("star{i}")))
+        .collect();
+    for i in 1..n {
+        topology.add_bidirectional_link(switches[0], switches[i], bandwidth);
+    }
+    Generated { topology, switches }
+}
+
+/// Fully connected topology: a bidirectional link between every switch pair.
+pub fn fully_connected(n: usize, bandwidth: f64) -> Generated {
+    assert!(n > 0, "need at least one switch");
+    let mut topology = Topology::new();
+    let switches: Vec<_> = (0..n)
+        .map(|i| topology.add_switch(format!("full{i}")))
+        .collect();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            topology.add_bidirectional_link(switches[i], switches[j], bandwidth);
+        }
+    }
+    Generated { topology, switches }
+}
+
+/// Balanced binary-tree topology with `n` switches (heap indexing: switch
+/// `i` connects to `2i+1` and `2i+2`), bidirectional links.
+pub fn binary_tree(n: usize, bandwidth: f64) -> Generated {
+    assert!(n > 0, "a tree needs at least one switch");
+    let mut topology = Topology::new();
+    let switches: Vec<_> = (0..n)
+        .map(|i| topology.add_switch(format!("tree{i}")))
+        .collect();
+    for i in 0..n {
+        for child in [2 * i + 1, 2 * i + 2] {
+            if child < n {
+                topology.add_bidirectional_link(switches[i], switches[child], bandwidth);
+            }
+        }
+    }
+    Generated { topology, switches }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_graph::{scc, traversal};
+
+    #[test]
+    fn unidirectional_ring_matches_figure_1() {
+        let g = unidirectional_ring(4, 1.0);
+        assert_eq!(g.topology.switch_count(), 4);
+        assert_eq!(g.topology.link_count(), 4);
+        // Every switch has exactly one outgoing and one incoming link.
+        for &sw in &g.switches {
+            assert_eq!(g.topology.links_from(sw).count(), 1);
+            assert_eq!(g.topology.links_to(sw).count(), 1);
+        }
+        assert!(scc::has_cycle(&g.topology.to_switch_graph()));
+    }
+
+    #[test]
+    fn bidirectional_ring_has_twice_the_links() {
+        let g = bidirectional_ring(5, 1.0);
+        assert_eq!(g.topology.link_count(), 10);
+    }
+
+    #[test]
+    fn chain_is_connected_and_acyclic_in_one_direction() {
+        let g = chain(6, 1.0);
+        assert_eq!(g.topology.link_count(), 10);
+        assert!(traversal::is_weakly_connected(&g.topology.to_switch_graph()));
+    }
+
+    #[test]
+    fn mesh_link_count_is_correct() {
+        let g = mesh2d(3, 4, 1.0);
+        assert_eq!(g.topology.switch_count(), 12);
+        // Horizontal: 3 rows * 3 = 9 pairs, vertical: 2 * 4 = 8 pairs, times 2 directions.
+        assert_eq!(g.topology.link_count(), 2 * (9 + 8));
+        assert!(traversal::is_weakly_connected(&g.topology.to_switch_graph()));
+    }
+
+    #[test]
+    fn torus_has_wraparound() {
+        let g = torus2d(3, 3, 1.0);
+        assert_eq!(g.topology.switch_count(), 9);
+        // Every node has 4 outgoing links (right, left via neighbour's wrap, down, up).
+        for &sw in &g.switches {
+            assert_eq!(g.topology.links_from(sw).count(), 4);
+        }
+    }
+
+    #[test]
+    fn star_and_tree_are_connected() {
+        for generated in [star(7, 1.0), binary_tree(7, 1.0)] {
+            assert!(traversal::is_weakly_connected(
+                &generated.topology.to_switch_graph()
+            ));
+        }
+        assert_eq!(star(7, 1.0).topology.link_count(), 12);
+        assert_eq!(binary_tree(7, 1.0).topology.link_count(), 12);
+    }
+
+    #[test]
+    fn fully_connected_has_n_choose_2_pairs() {
+        let g = fully_connected(6, 1.0);
+        assert_eq!(g.topology.link_count(), 6 * 5);
+    }
+
+    #[test]
+    fn single_switch_edge_cases() {
+        assert_eq!(unidirectional_ring(1, 1.0).topology.link_count(), 1); // self loop link
+        assert_eq!(bidirectional_ring(1, 1.0).topology.link_count(), 0);
+        assert_eq!(chain(1, 1.0).topology.link_count(), 0);
+        assert_eq!(star(1, 1.0).topology.link_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least")]
+    fn zero_size_panics() {
+        chain(0, 1.0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Strongly-typed identifiers for switches, links, channels, cores and flows.
+//!
+//! Newtypes keep the many `usize` indices used across the suite from being
+//! mixed up (a `SwitchId` can never be passed where a `CoreId` is expected).
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(usize);
+
+        impl $name {
+            /// Creates an id from a raw dense index.
+            pub fn from_index(index: usize) -> Self {
+                Self(index)
+            }
+
+            /// Returns the dense index backing this id.
+            pub fn index(self) -> usize {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a switch in a [`Topology`](crate::Topology).
+    SwitchId,
+    "SW"
+);
+id_type!(
+    /// Identifier of a directed physical link in a [`Topology`](crate::Topology).
+    LinkId,
+    "L"
+);
+id_type!(
+    /// Identifier of a core (IP block) in a [`CommGraph`](crate::CommGraph).
+    CoreId,
+    "C"
+);
+id_type!(
+    /// Identifier of a communication flow in a [`CommGraph`](crate::CommGraph).
+    FlowId,
+    "F"
+);
+
+/// A *channel* in the sense of the paper: one virtual channel of one physical
+/// link.  Routes are ordered lists of channels, and the channel dependency
+/// graph has one vertex per channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Channel {
+    /// The physical link the channel belongs to.
+    pub link: LinkId,
+    /// The virtual-channel index on that link (0-based; every link has at
+    /// least VC 0).
+    pub vc: usize,
+}
+
+impl Channel {
+    /// Creates a channel from a link and a VC index.
+    pub fn new(link: LinkId, vc: usize) -> Self {
+        Channel { link, vc }
+    }
+
+    /// The base channel (VC 0) of a link.
+    pub fn base(link: LinkId) -> Self {
+        Channel { link, vc: 0 }
+    }
+}
+
+impl fmt::Display for Channel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.vc == 0 {
+            write!(f, "{}", self.link)
+        } else {
+            write!(f, "{}'{}", self.link, self.vc)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_indices() {
+        assert_eq!(SwitchId::from_index(3).index(), 3);
+        assert_eq!(LinkId::from_index(7).index(), 7);
+        assert_eq!(CoreId::from_index(0).index(), 0);
+        assert_eq!(FlowId::from_index(12).index(), 12);
+    }
+
+    #[test]
+    fn display_uses_paper_style_prefixes() {
+        assert_eq!(SwitchId::from_index(1).to_string(), "SW1");
+        assert_eq!(LinkId::from_index(2).to_string(), "L2");
+        assert_eq!(CoreId::from_index(3).to_string(), "C3");
+        assert_eq!(FlowId::from_index(4).to_string(), "F4");
+    }
+
+    #[test]
+    fn channel_display_marks_extra_vcs() {
+        let l = LinkId::from_index(1);
+        assert_eq!(Channel::base(l).to_string(), "L1");
+        assert_eq!(Channel::new(l, 1).to_string(), "L1'1");
+    }
+
+    #[test]
+    fn channel_ordering_is_by_link_then_vc() {
+        let l0 = LinkId::from_index(0);
+        let l1 = LinkId::from_index(1);
+        assert!(Channel::new(l0, 1) < Channel::new(l1, 0));
+        assert!(Channel::new(l0, 0) < Channel::new(l0, 1));
+    }
+
+    #[test]
+    fn ids_are_usable_as_map_keys() {
+        use std::collections::HashMap;
+        let mut m = HashMap::new();
+        m.insert(Channel::new(LinkId::from_index(0), 0), "a");
+        m.insert(Channel::new(LinkId::from_index(0), 1), "b");
+        assert_eq!(m.len(), 2);
+    }
+}

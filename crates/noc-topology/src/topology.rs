@@ -1,0 +1,314 @@
+//! The topology graph `TG(S, L)`: switches, directed physical links and the
+//! virtual channels carried by each link.
+
+use crate::error::TopologyError;
+use crate::ids::{Channel, LinkId, SwitchId};
+use noc_graph::{DiGraph, NodeId};
+
+/// A switch (router) of the NoC.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Switch {
+    /// Human-readable name, e.g. `"SW3"` or `"sw_media_0"`.
+    pub name: String,
+}
+
+/// A directed physical link between two switches.
+///
+/// Every link starts with a single virtual channel (VC 0).  The
+/// deadlock-removal algorithm and the resource-ordering baseline add VCs by
+/// calling [`Topology::add_vc`]; the number of *extra* VCs
+/// ([`Topology::extra_vc_count`]) is the headline cost metric of the paper
+/// (Figures 8 and 9).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Link {
+    /// Switch the link leaves from.
+    pub source: SwitchId,
+    /// Switch the link arrives at.
+    pub target: SwitchId,
+    /// Number of virtual channels multiplexed on the link (≥ 1).
+    pub vcs: usize,
+    /// Usable bandwidth of the link in abstract MB/s units; only relative
+    /// magnitudes matter (used by synthesis and the power model).
+    pub bandwidth: f64,
+}
+
+/// The topology graph `TG(S, L)` of Definition 1.
+///
+/// # Example
+///
+/// ```
+/// use noc_topology::Topology;
+///
+/// let mut topo = Topology::new();
+/// let a = topo.add_switch("a");
+/// let b = topo.add_switch("b");
+/// let l = topo.add_link(a, b, 1.0);
+/// assert_eq!(topo.link(l).unwrap().vcs, 1);
+/// let extra = topo.add_vc(l).unwrap();
+/// assert_eq!(extra.vc, 1);
+/// assert_eq!(topo.extra_vc_count(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Topology {
+    switches: Vec<Switch>,
+    links: Vec<Link>,
+}
+
+impl Topology {
+    /// Creates an empty topology.
+    pub fn new() -> Self {
+        Topology::default()
+    }
+
+    /// Adds a switch and returns its id.
+    pub fn add_switch(&mut self, name: impl Into<String>) -> SwitchId {
+        let id = SwitchId::from_index(self.switches.len());
+        self.switches.push(Switch { name: name.into() });
+        id
+    }
+
+    /// Adds a directed physical link with a single VC and the given bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint switch does not exist.
+    pub fn add_link(&mut self, source: SwitchId, target: SwitchId, bandwidth: f64) -> LinkId {
+        assert!(
+            source.index() < self.switches.len(),
+            "source switch out of bounds"
+        );
+        assert!(
+            target.index() < self.switches.len(),
+            "target switch out of bounds"
+        );
+        let id = LinkId::from_index(self.links.len());
+        self.links.push(Link {
+            source,
+            target,
+            vcs: 1,
+            bandwidth,
+        });
+        id
+    }
+
+    /// Adds a pair of opposite links between `a` and `b` and returns them as
+    /// `(a_to_b, b_to_a)`.
+    pub fn add_bidirectional_link(
+        &mut self,
+        a: SwitchId,
+        b: SwitchId,
+        bandwidth: f64,
+    ) -> (LinkId, LinkId) {
+        let ab = self.add_link(a, b, bandwidth);
+        let ba = self.add_link(b, a, bandwidth);
+        (ab, ba)
+    }
+
+    /// Adds one virtual channel to `link` and returns the new [`Channel`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::UnknownLink`] if the link does not exist.
+    pub fn add_vc(&mut self, link: LinkId) -> Result<Channel, TopologyError> {
+        let data = self
+            .links
+            .get_mut(link.index())
+            .ok_or(TopologyError::UnknownLink(link))?;
+        let vc = data.vcs;
+        data.vcs += 1;
+        Ok(Channel::new(link, vc))
+    }
+
+    /// Number of switches.
+    pub fn switch_count(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// Number of directed physical links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Total number of channels (sum of VCs over all links).
+    pub fn channel_count(&self) -> usize {
+        self.links.iter().map(|l| l.vcs).sum()
+    }
+
+    /// Number of *extra* VCs beyond the first on every link.  This is the
+    /// quantity plotted on the y-axis of Figures 8 and 9 of the paper.
+    pub fn extra_vc_count(&self) -> usize {
+        self.links.iter().map(|l| l.vcs - 1).sum()
+    }
+
+    /// Returns the switch payload, if the id is valid.
+    pub fn switch(&self, id: SwitchId) -> Option<&Switch> {
+        self.switches.get(id.index())
+    }
+
+    /// Returns the link payload, if the id is valid.
+    pub fn link(&self, id: LinkId) -> Option<&Link> {
+        self.links.get(id.index())
+    }
+
+    /// Iterates over `(SwitchId, &Switch)`.
+    pub fn switches(&self) -> impl Iterator<Item = (SwitchId, &Switch)> + '_ {
+        self.switches
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (SwitchId::from_index(i), s))
+    }
+
+    /// Iterates over `(LinkId, &Link)`.
+    pub fn links(&self) -> impl Iterator<Item = (LinkId, &Link)> + '_ {
+        self.links
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (LinkId::from_index(i), l))
+    }
+
+    /// Iterates over every channel of the topology in `(link, vc)` order.
+    pub fn channels(&self) -> impl Iterator<Item = Channel> + '_ {
+        self.links().flat_map(|(id, link)| {
+            (0..link.vcs).map(move |vc| Channel::new(id, vc))
+        })
+    }
+
+    /// Iterates over the links leaving `switch`.
+    pub fn links_from(&self, switch: SwitchId) -> impl Iterator<Item = (LinkId, &Link)> + '_ {
+        self.links().filter(move |(_, l)| l.source == switch)
+    }
+
+    /// Iterates over the links arriving at `switch`.
+    pub fn links_to(&self, switch: SwitchId) -> impl Iterator<Item = (LinkId, &Link)> + '_ {
+        self.links().filter(move |(_, l)| l.target == switch)
+    }
+
+    /// Returns the first link `source -> target`, if one exists.
+    pub fn find_link(&self, source: SwitchId, target: SwitchId) -> Option<LinkId> {
+        self.links()
+            .find(|(_, l)| l.source == source && l.target == target)
+            .map(|(id, _)| id)
+    }
+
+    /// In-degree + out-degree of a switch in physical links, plus the extra
+    /// VC channels.  This approximates the router port/buffer count used by
+    /// the power and area models.
+    pub fn switch_degree(&self, switch: SwitchId) -> usize {
+        self.links_from(switch).count() + self.links_to(switch).count()
+    }
+
+    /// Number of input buffers the switch needs: one per VC of every
+    /// incoming link.
+    pub fn switch_input_buffers(&self, switch: SwitchId) -> usize {
+        self.links_to(switch).map(|(_, l)| l.vcs).sum()
+    }
+
+    /// Builds the switch-level connectivity graph (one node per switch, one
+    /// edge per physical link, edge payload = [`LinkId`]), used by routing
+    /// and synthesis.
+    pub fn to_switch_graph(&self) -> DiGraph<SwitchId, LinkId> {
+        let mut g = DiGraph::with_capacity(self.switch_count(), self.link_count());
+        for (id, _) in self.switches() {
+            let node = g.add_node(id);
+            debug_assert_eq!(node.index(), id.index());
+        }
+        for (id, link) in self.links() {
+            g.add_edge(
+                NodeId::from_index(link.source.index()),
+                NodeId::from_index(link.target.index()),
+                id,
+            );
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring4() -> (Topology, Vec<SwitchId>, Vec<LinkId>) {
+        let mut t = Topology::new();
+        let sw: Vec<_> = (1..=4).map(|i| t.add_switch(format!("SW{i}"))).collect();
+        let links: Vec<_> = (0..4)
+            .map(|i| t.add_link(sw[i], sw[(i + 1) % 4], 1.0))
+            .collect();
+        (t, sw, links)
+    }
+
+    #[test]
+    fn counts_for_the_paper_ring() {
+        let (t, _, _) = ring4();
+        assert_eq!(t.switch_count(), 4);
+        assert_eq!(t.link_count(), 4);
+        assert_eq!(t.channel_count(), 4);
+        assert_eq!(t.extra_vc_count(), 0);
+    }
+
+    #[test]
+    fn adding_a_vc_creates_the_paper_l1_prime_channel() {
+        let (mut t, _, links) = ring4();
+        let c = t.add_vc(links[0]).unwrap();
+        assert_eq!(c, Channel::new(links[0], 1));
+        assert_eq!(c.to_string(), "L0'1");
+        assert_eq!(t.channel_count(), 5);
+        assert_eq!(t.extra_vc_count(), 1);
+        assert_eq!(t.link(links[0]).unwrap().vcs, 2);
+    }
+
+    #[test]
+    fn add_vc_on_unknown_link_errors() {
+        let (mut t, _, _) = ring4();
+        let err = t.add_vc(LinkId::from_index(99)).unwrap_err();
+        assert_eq!(err, TopologyError::UnknownLink(LinkId::from_index(99)));
+    }
+
+    #[test]
+    fn link_lookup_and_iteration() {
+        let (t, sw, links) = ring4();
+        assert_eq!(t.find_link(sw[0], sw[1]), Some(links[0]));
+        assert_eq!(t.find_link(sw[1], sw[0]), None);
+        assert_eq!(t.links_from(sw[0]).count(), 1);
+        assert_eq!(t.links_to(sw[0]).count(), 1);
+        assert_eq!(t.switch_degree(sw[0]), 2);
+        assert_eq!(t.channels().count(), 4);
+        assert_eq!(t.switches().count(), 4);
+    }
+
+    #[test]
+    fn bidirectional_links_create_both_directions() {
+        let mut t = Topology::new();
+        let a = t.add_switch("a");
+        let b = t.add_switch("b");
+        let (ab, ba) = t.add_bidirectional_link(a, b, 2.0);
+        assert_eq!(t.link(ab).unwrap().source, a);
+        assert_eq!(t.link(ba).unwrap().source, b);
+        assert_eq!(t.link_count(), 2);
+    }
+
+    #[test]
+    fn switch_graph_mirrors_topology() {
+        let (t, _, _) = ring4();
+        let g = t.to_switch_graph();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        // The ring in the switch graph is a cycle.
+        assert!(noc_graph::scc::has_cycle(&g));
+    }
+
+    #[test]
+    fn input_buffers_count_vcs() {
+        let (mut t, sw, links) = ring4();
+        assert_eq!(t.switch_input_buffers(sw[1]), 1);
+        t.add_vc(links[0]).unwrap(); // link 0 enters switch 1
+        assert_eq!(t.switch_input_buffers(sw[1]), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn add_link_with_unknown_switch_panics() {
+        let mut t = Topology::new();
+        let a = t.add_switch("a");
+        t.add_link(a, SwitchId::from_index(3), 1.0);
+    }
+}

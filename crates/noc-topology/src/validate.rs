@@ -1,0 +1,122 @@
+//! Consistency checks across topology, communication graph and core mapping.
+
+use crate::comm::{CommGraph, CoreMap};
+use crate::error::TopologyError;
+use crate::topology::Topology;
+use noc_graph::{shortest_path, NodeId};
+
+/// Checks that the design triple (topology, communication graph, core map)
+/// is internally consistent:
+///
+/// 1. every core is mapped to an existing switch,
+/// 2. for every flow there exists at least one directed switch-level path
+///    from the source core's switch to the destination core's switch.
+///
+/// # Errors
+///
+/// Returns the first violation found as a [`TopologyError`].
+pub fn validate_design(
+    topology: &Topology,
+    comm: &CommGraph,
+    map: &CoreMap,
+) -> Result<(), TopologyError> {
+    // 1. Mapping completeness and validity.
+    for (core, _) in comm.cores() {
+        let switch = map.require(core)?;
+        if topology.switch(switch).is_none() {
+            return Err(TopologyError::UnknownSwitch(switch));
+        }
+    }
+    // 2. Reachability per flow.
+    let graph = topology.to_switch_graph();
+    for (_, flow) in comm.flows() {
+        let from = map.require(flow.source)?;
+        let to = map.require(flow.destination)?;
+        if from == to {
+            continue; // same switch: traffic never enters the network
+        }
+        let sp = shortest_path::hop_distances(&graph, NodeId::from_index(from.index()));
+        if sp.distance(NodeId::from_index(to.index())).is_none() {
+            return Err(TopologyError::Disconnected { from, to });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::ids::{CoreId, SwitchId};
+
+    fn simple_design() -> (Topology, CommGraph, CoreMap) {
+        let generated = generators::bidirectional_ring(4, 1.0);
+        let mut comm = CommGraph::new();
+        let a = comm.add_core("a");
+        let b = comm.add_core("b");
+        comm.add_flow(a, b, 10.0);
+        let mut map = CoreMap::new(comm.core_count());
+        map.assign(a, generated.switches[0]).unwrap();
+        map.assign(b, generated.switches[2]).unwrap();
+        (generated.topology, comm, map)
+    }
+
+    #[test]
+    fn valid_design_passes() {
+        let (t, c, m) = simple_design();
+        assert!(validate_design(&t, &c, &m).is_ok());
+    }
+
+    #[test]
+    fn unmapped_core_is_reported() {
+        let (t, c, _) = simple_design();
+        let empty = CoreMap::new(c.core_count());
+        assert_eq!(
+            validate_design(&t, &c, &empty),
+            Err(TopologyError::UnmappedCore(CoreId::from_index(0)))
+        );
+    }
+
+    #[test]
+    fn mapping_to_missing_switch_is_reported() {
+        let (t, c, mut m) = simple_design();
+        m.assign(CoreId::from_index(0), SwitchId::from_index(99)).unwrap();
+        assert_eq!(
+            validate_design(&t, &c, &m),
+            Err(TopologyError::UnknownSwitch(SwitchId::from_index(99)))
+        );
+    }
+
+    #[test]
+    fn disconnected_flow_is_reported() {
+        // Two isolated switches.
+        let mut t = Topology::new();
+        let s0 = t.add_switch("s0");
+        let s1 = t.add_switch("s1");
+        let mut c = CommGraph::new();
+        let a = c.add_core("a");
+        let b = c.add_core("b");
+        c.add_flow(a, b, 1.0);
+        let mut m = CoreMap::new(2);
+        m.assign(a, s0).unwrap();
+        m.assign(b, s1).unwrap();
+        assert_eq!(
+            validate_design(&t, &c, &m),
+            Err(TopologyError::Disconnected { from: s0, to: s1 })
+        );
+    }
+
+    #[test]
+    fn same_switch_flow_needs_no_path() {
+        let mut t = Topology::new();
+        let s0 = t.add_switch("s0");
+        let mut c = CommGraph::new();
+        let a = c.add_core("a");
+        let b = c.add_core("b");
+        c.add_flow(a, b, 1.0);
+        let mut m = CoreMap::new(2);
+        m.assign(a, s0).unwrap();
+        m.assign(b, s0).unwrap();
+        assert!(validate_design(&t, &c, &m).is_ok());
+    }
+}

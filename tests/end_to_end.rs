@@ -1,0 +1,96 @@
+//! Repository-level integration tests: exercise the whole stack
+//! (benchmark → synthesis → routing → deadlock removal → power → simulation)
+//! through the umbrella crate, the way the examples and the experiment
+//! harness do.
+
+use noc_suite::deadlock::removal::{remove_deadlocks, RemovalConfig};
+use noc_suite::deadlock::resource_ordering::resource_ordering_overhead;
+use noc_suite::deadlock::verify;
+use noc_suite::power::{NetworkPowerModel, TechParams};
+use noc_suite::routing::validate::validate_routes;
+use noc_suite::sim::{SimConfig, Simulator, TrafficConfig};
+use noc_suite::synth::{synthesize, SynthesisConfig};
+use noc_suite::topology::benchmarks::Benchmark;
+use noc_suite::topology::validate::validate_design;
+
+/// The full Figure-8-style pipeline for one benchmark and one switch count.
+fn pipeline(benchmark: Benchmark, switches: usize) {
+    let comm = benchmark.comm_graph();
+    let design = synthesize(&comm, &SynthesisConfig::with_switches(switches)).unwrap();
+    validate_design(&design.topology, &comm, &design.core_map).unwrap();
+    validate_routes(&design.topology, &comm, &design.core_map, &design.routes).unwrap();
+
+    let baseline = resource_ordering_overhead(&design.topology, &design.routes);
+
+    let mut topology = design.topology.clone();
+    let mut routes = design.routes.clone();
+    let report = remove_deadlocks(&mut topology, &mut routes, &RemovalConfig::default()).unwrap();
+
+    // Deadlock-free, valid, and never worse than the baseline.
+    verify::check_deadlock_free(&topology, &routes).unwrap();
+    validate_routes(&topology, &comm, &design.core_map, &routes).unwrap();
+    assert!(report.added_vcs <= baseline);
+
+    // The power model sees the extra buffers of the baseline.
+    let model = NetworkPowerModel::new(TechParams::default());
+    let removal_power = model.estimate(&topology, &comm, &routes).total_power_mw;
+    let mut ro_topology = design.topology.clone();
+    let mut ro_routes = design.routes.clone();
+    noc_suite::deadlock::apply_resource_ordering(&mut ro_topology, &mut ro_routes).unwrap();
+    let ordering_power = model.estimate(&ro_topology, &comm, &ro_routes).total_power_mw;
+    assert!(ordering_power >= removal_power);
+}
+
+#[test]
+fn d26_media_full_pipeline() {
+    pipeline(Benchmark::D26Media, 12);
+}
+
+#[test]
+fn d36_8_full_pipeline() {
+    pipeline(Benchmark::D36x8, 14);
+}
+
+#[test]
+fn d35_bott_full_pipeline() {
+    pipeline(Benchmark::D35Bott, 9);
+}
+
+#[test]
+fn repaired_designs_complete_a_simulated_workload() {
+    let comm = Benchmark::D36x6.comm_graph();
+    let design = synthesize(&comm, &SynthesisConfig::with_switches(10)).unwrap();
+    let mut topology = design.topology.clone();
+    let mut routes = design.routes.clone();
+    remove_deadlocks(&mut topology, &mut routes, &RemovalConfig::default()).unwrap();
+
+    let outcome = Simulator::new(
+        &topology,
+        &comm,
+        &routes,
+        &SimConfig {
+            buffer_depth: 2,
+            deadlock_threshold: 1_000,
+            max_cycles: 500_000,
+        },
+    )
+    .run(&TrafficConfig {
+        packets_per_flow: 3,
+        packet_length: 4,
+        mean_gap_cycles: 4,
+        seed: 5,
+    });
+    assert!(!outcome.deadlocked);
+    assert_eq!(outcome.stats.delivered_packets, outcome.stats.injected_packets);
+}
+
+#[test]
+fn umbrella_reexports_are_usable() {
+    // Smoke-test that every re-exported module is reachable through the
+    // umbrella crate (what the examples rely on).
+    let g: noc_suite::graph::DiGraph<(), ()> = noc_suite::graph::DiGraph::new();
+    assert_eq!(g.node_count(), 0);
+    assert_eq!(Benchmark::ALL.len(), 6);
+    let params = TechParams::default();
+    assert!(params.buffer_bits() > 0);
+}
