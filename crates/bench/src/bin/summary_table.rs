@@ -39,9 +39,24 @@ fn main() {
     let s = summary(&comparisons);
     println!();
     println!("# Aggregate (paper reports: 88% VC, 66% area, 8.6% power savings; <5% overhead)");
-    println!("mean VC saving vs. resource ordering:    {:>6.1}%", s.mean_vc_saving * 100.0);
-    println!("mean area saving vs. resource ordering:  {:>6.1}%", s.mean_area_saving * 100.0);
-    println!("mean power saving vs. resource ordering: {:>6.2}%", s.mean_power_saving * 100.0);
-    println!("mean power overhead vs. no removal:      {:>6.2}%", s.mean_power_overhead * 100.0);
-    println!("mean area overhead vs. no removal:       {:>6.2}%", s.mean_area_overhead * 100.0);
+    println!(
+        "mean VC saving vs. resource ordering:    {:>6.1}%",
+        s.mean_vc_saving * 100.0
+    );
+    println!(
+        "mean area saving vs. resource ordering:  {:>6.1}%",
+        s.mean_area_saving * 100.0
+    );
+    println!(
+        "mean power saving vs. resource ordering: {:>6.2}%",
+        s.mean_power_saving * 100.0
+    );
+    println!(
+        "mean power overhead vs. no removal:      {:>6.2}%",
+        s.mean_power_overhead * 100.0
+    );
+    println!(
+        "mean area overhead vs. no removal:       {:>6.2}%",
+        s.mean_area_overhead * 100.0
+    );
 }

@@ -1,10 +1,10 @@
 //! Experiment harness reproducing the evaluation of the DATE 2010 paper.
 //!
 //! Each public function regenerates the data behind one figure or one prose
-//! claim of the paper's Section 5; the binaries in `src/bin/` print the
-//! corresponding rows/series and the Criterion benches in `benches/` measure
-//! the algorithm's runtime (the paper's "runs within minutes" claim) and the
-//! ablations.
+//! claim of the paper's Section 5 by driving the [`noc_flow`] pipeline API;
+//! the binaries in `src/bin/` print the corresponding rows/series and the
+//! Criterion benches in `benches/` measure the algorithm's runtime (the
+//! paper's "runs within minutes" claim) and the ablations.
 //!
 //! | Paper artefact | Function | Binary |
 //! |---|---|---|
@@ -17,18 +17,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use noc_deadlock::removal::{remove_deadlocks, RemovalConfig};
+use noc_deadlock::removal::RemovalConfig;
 use noc_deadlock::report::RemovalReport;
-use noc_deadlock::resource_ordering::apply_resource_ordering;
-use noc_deadlock::verify;
-use noc_power::{NetworkPowerModel, TechParams};
-use noc_sim::{SimConfig, Simulator, TrafficConfig};
+use noc_flow::{
+    CycleBreaking, DeadlockStrategy, DesignFlow, FlowSweep, ResourceOrdering, RoutedStage,
+};
+use noc_sim::{SimConfig, TrafficConfig};
 use noc_synth::{synthesize, SynthesisConfig, SynthesisError, SynthesizedDesign};
 use noc_topology::benchmarks::Benchmark;
-use serde::Serialize;
 
 /// One point of the Figure 8 / Figure 9 sweep.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VcSweepPoint {
     /// Switch count of the synthesized topology.
     pub switch_count: usize,
@@ -53,6 +52,9 @@ pub fn synthesize_benchmark(
 /// Regenerates the data of Figures 8 and 9: for each switch count, the VC
 /// overhead of resource ordering versus the deadlock-removal algorithm.
 ///
+/// Infeasible switch counts (zero, or more switches than cores) are skipped,
+/// like the paper's figures only plot feasible topologies.
+///
 /// # Panics
 ///
 /// Panics if synthesis or removal fails, which does not happen for the
@@ -61,41 +63,32 @@ pub fn vc_overhead_sweep(
     benchmark: Benchmark,
     switch_counts: impl IntoIterator<Item = usize>,
 ) -> Vec<VcSweepPoint> {
-    let mut points = Vec::new();
-    for switch_count in switch_counts {
-        if switch_count == 0 || switch_count > benchmark.core_count() {
-            continue;
-        }
-        let design = synthesize_benchmark(benchmark, switch_count)
-            .unwrap_or_else(|e| panic!("synthesis failed for {benchmark}/{switch_count}: {e}"));
-
-        // Baseline: resource ordering on a copy of the design.
-        let mut ro_topology = design.topology.clone();
-        let mut ro_routes = design.routes.clone();
-        let ro = apply_resource_ordering(&mut ro_topology, &mut ro_routes)
-            .expect("routes reference valid links");
-
-        // The paper's algorithm on another copy.
-        let mut dr_topology = design.topology.clone();
-        let mut dr_routes = design.routes.clone();
-        let report = remove_deadlocks(&mut dr_topology, &mut dr_routes, &RemovalConfig::default())
-            .unwrap_or_else(|e| panic!("removal failed for {benchmark}/{switch_count}: {e}"));
-        verify::check_deadlock_free(&dr_topology, &dr_routes)
-            .expect("removal output must be deadlock-free");
-
-        points.push(VcSweepPoint {
-            switch_count,
-            resource_ordering_vcs: ro.added_vcs,
-            deadlock_removal_vcs: report.added_vcs,
-            cycles_broken: report.cycles_broken,
-        });
-    }
+    let removal = CycleBreaking::default();
+    let ordering = ResourceOrdering;
+    let points = FlowSweep::new()
+        .benchmark(benchmark)
+        .switch_counts(switch_counts)
+        .power_estimates(false) // Figures 8/9 only plot VC counts
+        .run(&[&removal, &ordering])
+        .unwrap_or_else(|e| panic!("sweep failed for {benchmark}: {e}"));
     points
+        .into_iter()
+        .map(|p| {
+            let removal = p.outcome(removal.name()).expect("strategy ran");
+            let ordering = p.outcome(ordering.name()).expect("strategy ran");
+            VcSweepPoint {
+                switch_count: p.switch_count,
+                resource_ordering_vcs: ordering.added_vcs,
+                deadlock_removal_vcs: removal.added_vcs,
+                cycles_broken: removal.cycles_broken,
+            }
+        })
+        .collect()
 }
 
 /// One bar group of Figure 10 plus the area/overhead numbers quoted in the
 /// paper's prose.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PowerComparison {
     /// Benchmark name as used in the paper.
     pub benchmark: String,
@@ -164,42 +157,42 @@ impl PowerComparison {
 /// Regenerates one bar group of Figure 10 (default: 14-switch topologies, as
 /// in the paper).
 pub fn power_comparison(benchmark: Benchmark, switch_count: usize) -> PowerComparison {
-    let comm = benchmark.comm_graph();
-    let design = synthesize_benchmark(benchmark, switch_count)
-        .unwrap_or_else(|e| panic!("synthesis failed for {benchmark}/{switch_count}: {e}"));
-    let model = NetworkPowerModel::new(TechParams::default());
+    let removal_strategy = CycleBreaking::default();
+    let ordering_strategy = ResourceOrdering;
+    let points = FlowSweep::new()
+        .benchmark(benchmark)
+        .switch_counts([switch_count])
+        .run(&[&removal_strategy, &ordering_strategy])
+        .unwrap_or_else(|e| panic!("flow failed for {benchmark}/{switch_count}: {e}"));
+    let point = points
+        .into_iter()
+        .next()
+        .unwrap_or_else(|| panic!("switch count {switch_count} infeasible for {benchmark}"));
+    let removal = point
+        .outcome(removal_strategy.name())
+        .expect("strategy ran");
+    let ordering = point
+        .outcome(ordering_strategy.name())
+        .expect("strategy ran");
 
-    let original = model.estimate(&design.topology, &comm, &design.routes);
-
-    let mut dr_topology = design.topology.clone();
-    let mut dr_routes = design.routes.clone();
-    let report = remove_deadlocks(&mut dr_topology, &mut dr_routes, &RemovalConfig::default())
-        .expect("removal succeeds on the benchmark suite");
-    let removal = model.estimate(&dr_topology, &comm, &dr_routes);
-
-    let mut ro_topology = design.topology.clone();
-    let mut ro_routes = design.routes.clone();
-    let ro = apply_resource_ordering(&mut ro_topology, &mut ro_routes)
-        .expect("routes reference valid links");
-    let ordering = model.estimate(&ro_topology, &comm, &ro_routes);
-
+    let enabled = "power estimates are on by default";
     PowerComparison {
         benchmark: benchmark.name().to_string(),
-        original_power_mw: original.total_power_mw,
-        removal_power_mw: removal.total_power_mw,
-        ordering_power_mw: ordering.total_power_mw,
-        original_area_um2: original.total_area_um2,
-        removal_area_um2: removal.total_area_um2,
-        ordering_area_um2: ordering.total_area_um2,
-        removal_vcs: report.added_vcs,
-        ordering_vcs: ro.added_vcs,
+        original_power_mw: point.original_power_mw.expect(enabled),
+        removal_power_mw: removal.power_mw.expect(enabled),
+        ordering_power_mw: ordering.power_mw.expect(enabled),
+        original_area_um2: point.original_area_um2.expect(enabled),
+        removal_area_um2: removal.area_um2.expect(enabled),
+        ordering_area_um2: ordering.area_um2.expect(enabled),
+        removal_vcs: removal.added_vcs,
+        ordering_vcs: ordering.added_vcs,
     }
 }
 
 /// Aggregate savings over a set of comparisons — the numbers quoted in the
 /// paper's abstract and Section 5 prose (88 % fewer VCs, 66 % less area,
 /// 8.6 % less power, < 5 % overhead versus no removal).
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Summary {
     /// Mean VC saving of the removal algorithm versus resource ordering.
     pub mean_vc_saving: f64,
@@ -219,13 +212,14 @@ pub fn summary(comparisons: &[PowerComparison]) -> Summary {
     // Benchmarks where neither scheme adds anything are excluded from the
     // saving averages (0/0), matching how the paper reports averages over
     // benchmarks that need deadlock handling.
-    let saving_set: Vec<&PowerComparison> = comparisons
-        .iter()
-        .filter(|c| c.ordering_vcs > 0)
-        .collect();
+    let saving_set: Vec<&PowerComparison> =
+        comparisons.iter().filter(|c| c.ordering_vcs > 0).collect();
     let saving_n = saving_set.len().max(1) as f64;
     Summary {
-        mean_vc_saving: saving_set.iter().map(|c| c.vc_saving_vs_ordering()).sum::<f64>()
+        mean_vc_saving: saving_set
+            .iter()
+            .map(|c| c.vc_saving_vs_ordering())
+            .sum::<f64>()
             / saving_n,
         mean_area_saving: saving_set
             .iter()
@@ -251,7 +245,7 @@ pub fn summary(comparisons: &[PowerComparison]) -> Summary {
 }
 
 /// Outcome of the dynamic (simulation) validation of one design.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimValidation {
     /// Benchmark name.
     pub benchmark: String,
@@ -272,9 +266,7 @@ pub struct SimValidation {
 /// high-pressure workload (the experiment behind the `sim_validation`
 /// binary; the paper argues this analytically, we also check it dynamically).
 pub fn simulate_before_after(benchmark: Benchmark, switch_count: usize) -> SimValidation {
-    let comm = benchmark.comm_graph();
-    let design = synthesize_benchmark(benchmark, switch_count)
-        .unwrap_or_else(|e| panic!("synthesis failed for {benchmark}/{switch_count}: {e}"));
+    let routed = routed_benchmark(benchmark, switch_count);
     let sim_config = SimConfig {
         buffer_depth: 1,
         deadlock_threshold: 500,
@@ -287,16 +279,15 @@ pub fn simulate_before_after(benchmark: Benchmark, switch_count: usize) -> SimVa
         seed: 7,
     };
 
-    let original_cdg_cyclic =
-        verify::check_deadlock_free(&design.topology, &design.routes).is_err();
-    let original = Simulator::new(&design.topology, &comm, &design.routes, &sim_config)
-        .run(&traffic);
+    let original_cdg_cyclic = !routed.is_deadlock_free();
+    let original = routed.simulate_with(&sim_config, &traffic);
 
-    let mut fixed_topology = design.topology.clone();
-    let mut fixed_routes = design.routes.clone();
-    remove_deadlocks(&mut fixed_topology, &mut fixed_routes, &RemovalConfig::default())
-        .expect("removal succeeds on the benchmark suite");
-    let fixed = Simulator::new(&fixed_topology, &comm, &fixed_routes, &sim_config).run(&traffic);
+    let fixed = routed
+        .resolve_deadlocks(&CycleBreaking::default())
+        .expect("removal succeeds on the benchmark suite")
+        .simulate_with(&sim_config, &traffic)
+        .expect("repaired design is consistent")
+        .into_outcome();
 
     SimValidation {
         benchmark: benchmark.name().to_string(),
@@ -308,16 +299,23 @@ pub fn simulate_before_after(benchmark: Benchmark, switch_count: usize) -> SimVa
     }
 }
 
-/// Runs the removal algorithm once and returns its report (used by the
-/// runtime Criterion bench and the ablation harness).
-pub fn run_removal(
-    design: &SynthesizedDesign,
-    config: &RemovalConfig,
-) -> RemovalReport {
-    let mut topology = design.topology.clone();
-    let mut routes = design.routes.clone();
-    remove_deadlocks(&mut topology, &mut routes, config)
-        .expect("removal succeeds on the benchmark suite")
+/// Synthesizes and routes a benchmark through the flow API (shared entry
+/// point of the harness functions above).
+fn routed_benchmark(benchmark: Benchmark, switch_count: usize) -> RoutedStage {
+    DesignFlow::from_benchmark(benchmark)
+        .synthesize(SynthesisConfig::with_switches(switch_count))
+        .unwrap_or_else(|e| panic!("synthesis failed for {benchmark}/{switch_count}: {e}"))
+        .route_default()
+        .expect("synthesized designs carry default routes")
+}
+
+/// Runs the removal algorithm once on a copy of the design and returns its
+/// report (used by the runtime Criterion bench and the ablation harness).
+pub fn run_removal(design: &SynthesizedDesign, config: &RemovalConfig) -> RemovalReport {
+    let (_, _, resolution) = CycleBreaking::with_config(config.clone())
+        .resolve_cloned(&design.topology, &design.routes)
+        .expect("removal succeeds on the benchmark suite");
+    resolution.removal.expect("cycle breaking reports removal")
 }
 
 /// The switch-count ranges used by the paper for its two sweep figures.
@@ -344,8 +342,21 @@ mod tests {
         for p in &points {
             assert!(p.deadlock_removal_vcs <= p.resource_ordering_vcs);
         }
-        let zero_overhead = points.iter().filter(|p| p.deadlock_removal_vcs == 0).count();
-        assert!(zero_overhead >= 2, "most D26_media topologies are already safe");
+        let zero_overhead = points
+            .iter()
+            .filter(|p| p.deadlock_removal_vcs == 0)
+            .count();
+        assert!(
+            zero_overhead >= 2,
+            "most D26_media topologies are already safe"
+        );
+    }
+
+    #[test]
+    fn infeasible_switch_counts_are_skipped() {
+        let points = vc_overhead_sweep(Benchmark::D26Media, [0, 10, 100]);
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].switch_count, 10);
     }
 
     #[test]
@@ -376,5 +387,15 @@ mod tests {
         let v = simulate_before_after(Benchmark::D38Tvopd, 10);
         assert!(!v.fixed_deadlocked);
         assert!(v.fixed_delivered > 0);
+    }
+
+    #[test]
+    fn run_removal_matches_a_direct_flow() {
+        let design = synthesize_benchmark(Benchmark::D36x8, 10).unwrap();
+        let report = run_removal(&design, &RemovalConfig::default());
+        let fixed = routed_benchmark(Benchmark::D36x8, 10)
+            .resolve_deadlocks(&CycleBreaking::default())
+            .unwrap();
+        assert_eq!(report.added_vcs, fixed.resolution().added_vcs);
     }
 }

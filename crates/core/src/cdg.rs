@@ -162,9 +162,18 @@ mod tests {
             FlowId::from_index(0),
             Route::from_links([links[0], links[1], links[2]]),
         );
-        routes.set_route(FlowId::from_index(1), Route::from_links([links[2], links[3]]));
-        routes.set_route(FlowId::from_index(2), Route::from_links([links[3], links[0]]));
-        routes.set_route(FlowId::from_index(3), Route::from_links([links[0], links[1]]));
+        routes.set_route(
+            FlowId::from_index(1),
+            Route::from_links([links[2], links[3]]),
+        );
+        routes.set_route(
+            FlowId::from_index(2),
+            Route::from_links([links[3], links[0]]),
+        );
+        routes.set_route(
+            FlowId::from_index(3),
+            Route::from_links([links[0], links[1]]),
+        );
         (topo, routes)
     }
 

@@ -45,6 +45,26 @@
 //! assert_eq!(report.added_vcs, 1);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! # As a pipeline stage
+//!
+//! Most callers do not drive this crate directly: the `noc-flow` crate wraps
+//! it as the [`CycleBreaking`](https://docs.rs/noc-flow) strategy of its
+//! staged `DesignFlow` API, where the same ring repair is a chain with the
+//! verification built into every stage transition:
+//!
+//! ```
+//! use noc_flow::{CycleBreaking, DesignFlow, ShortestPathRouter};
+//! use noc_synth::SynthesisConfig;
+//! use noc_topology::benchmarks::Benchmark;
+//!
+//! let fixed = DesignFlow::from_benchmark(Benchmark::D36x8)
+//!     .synthesize(SynthesisConfig::with_switches(10))?
+//!     .route(&ShortestPathRouter::default())?
+//!     .resolve_deadlocks(&CycleBreaking::default())?; // Algorithm 1 + re-verify
+//! assert!(fixed.resolution().removal.is_some());
+//! # Ok::<(), noc_flow::FlowError>(())
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

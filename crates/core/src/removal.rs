@@ -297,18 +297,10 @@ fn break_cycle(
 
 /// The flows whose route contains the channel pair `from` immediately
 /// followed by `to`.
-fn offending_flows(
-    routes: &RouteSet,
-    from: Channel,
-    to: Channel,
-) -> Vec<noc_topology::FlowId> {
+fn offending_flows(routes: &RouteSet, from: Channel, to: Channel) -> Vec<noc_topology::FlowId> {
     routes
         .iter()
-        .filter(|(_, r)| {
-            r.channels()
-                .windows(2)
-                .any(|w| w[0] == from && w[1] == to)
-        })
+        .filter(|(_, r)| r.channels().windows(2).any(|w| w[0] == from && w[1] == to))
         .map(|(f, _)| f)
         .collect()
 }
@@ -332,9 +324,18 @@ mod tests {
             FlowId::from_index(0),
             Route::from_links([links[0], links[1], links[2]]),
         );
-        routes.set_route(FlowId::from_index(1), Route::from_links([links[2], links[3]]));
-        routes.set_route(FlowId::from_index(2), Route::from_links([links[3], links[0]]));
-        routes.set_route(FlowId::from_index(3), Route::from_links([links[0], links[1]]));
+        routes.set_route(
+            FlowId::from_index(1),
+            Route::from_links([links[2], links[3]]),
+        );
+        routes.set_route(
+            FlowId::from_index(2),
+            Route::from_links([links[3], links[0]]),
+        );
+        routes.set_route(
+            FlowId::from_index(3),
+            Route::from_links([links[0], links[1]]),
+        );
         (topo, routes)
     }
 
@@ -433,9 +434,12 @@ mod tests {
         }
         let mut report_topo = topo.clone();
         let mut report_routes = routes.clone();
-        let report =
-            remove_deadlocks(&mut report_topo, &mut report_routes, &RemovalConfig::default())
-                .unwrap();
+        let report = remove_deadlocks(
+            &mut report_topo,
+            &mut report_routes,
+            &RemovalConfig::default(),
+        )
+        .unwrap();
         assert!(verify::check_deadlock_free(&report_topo, &report_routes).is_ok());
         assert_eq!(report.cycles_broken, 2);
         assert_eq!(report.added_vcs, 2);

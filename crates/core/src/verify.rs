@@ -16,7 +16,11 @@ pub struct DeadlockCycle {
 
 impl fmt::Display for DeadlockCycle {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "cyclic channel dependency of length {}: ", self.channels.len())?;
+        write!(
+            f,
+            "cyclic channel dependency of length {}: ",
+            self.channels.len()
+        )?;
         for (i, c) in self.channels.iter().enumerate() {
             if i > 0 {
                 write!(f, " -> ")?;
@@ -101,17 +105,24 @@ mod tests {
         let (mut topo, mut routes) = ring_with_cycle();
         // Manually re-route flow 2's second hop onto a new VC.
         let new_vc = topo.add_vc(LinkId::from_index(0)).unwrap();
-        routes.route_mut(FlowId::from_index(2)).unwrap().channels_mut()[1] = new_vc;
+        routes
+            .route_mut(FlowId::from_index(2))
+            .unwrap()
+            .channels_mut()[1] = new_vc;
         assert!(check_deadlock_free(&topo, &routes).is_ok());
     }
 
     #[test]
     fn missing_channels_detects_phantom_vcs_and_links() {
         let (topo, mut routes) = ring_with_cycle();
-        routes.route_mut(FlowId::from_index(0)).unwrap().channels_mut()[0] =
-            Channel::new(LinkId::from_index(0), 7);
-        routes.route_mut(FlowId::from_index(1)).unwrap().channels_mut()[0] =
-            Channel::base(LinkId::from_index(42));
+        routes
+            .route_mut(FlowId::from_index(0))
+            .unwrap()
+            .channels_mut()[0] = Channel::new(LinkId::from_index(0), 7);
+        routes
+            .route_mut(FlowId::from_index(1))
+            .unwrap()
+            .channels_mut()[0] = Channel::base(LinkId::from_index(42));
         let missing = missing_channels(&topo, &routes);
         assert_eq!(missing.len(), 2);
         assert!(missing.contains(&Channel::new(LinkId::from_index(0), 7)));

@@ -1,15 +1,19 @@
-//! Integration and property tests for the deadlock-removal algorithm over
-//! whole synthesized designs (benchmark suite + random designs).
+//! Integration and property-style tests for the deadlock-removal algorithm
+//! over whole synthesized designs (benchmark suite + random designs).
+//!
+//! The crates.io `proptest` crate is unavailable in the offline build
+//! environment, so the random-design properties are checked over a seeded
+//! stream of inputs from `noc-rng` — same properties, deterministic cases.
 
 use noc_deadlock::removal::{remove_deadlocks, RemovalConfig};
 use noc_deadlock::resource_ordering::resource_ordering_overhead;
 use noc_deadlock::verify;
+use noc_rng::SmallRng;
 use noc_routing::validate::validate_routes;
 use noc_routing::{Route, RouteSet};
 use noc_synth::{synthesize, SynthesisConfig};
 use noc_topology::benchmarks::Benchmark;
 use noc_topology::{LinkId, Topology};
-use proptest::prelude::*;
 
 /// Every benchmark, at several switch counts: the removal algorithm must
 /// leave a deadlock-free design with valid routes and must never cost more
@@ -51,8 +55,7 @@ fn ring_backbone_designs_are_fixed() {
     for benchmark in [Benchmark::D36x8, Benchmark::D26Media, Benchmark::D35Bott] {
         let comm = benchmark.comm_graph();
         for switches in [6, 10, 14] {
-            let design =
-                synthesize(&comm, &SynthesisConfig::with_switches_ring(switches)).unwrap();
+            let design = synthesize(&comm, &SynthesisConfig::with_switches_ring(switches)).unwrap();
             let mut topo = design.topology.clone();
             let mut routes = design.routes.clone();
             let report =
@@ -90,54 +93,84 @@ fn random_design(
         let src = src % switches;
         let len = 1 + len % (switches - 1);
         let links: Vec<LinkId> = (0..len).map(|k| ring_links[(src + k) % switches]).collect();
-        routes.set_route(noc_topology::FlowId::from_index(idx), Route::from_links(links));
+        routes.set_route(
+            noc_topology::FlowId::from_index(idx),
+            Route::from_links(links),
+        );
     }
     (topo, routes)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Draws the parameters the proptest strategies used to generate.
+fn draw_design(rng: &mut SmallRng) -> (Topology, RouteSet) {
+    let switches = rng.gen_range(3usize..10);
+    let chords: Vec<(usize, usize)> = (0..rng.gen_range(0usize..6))
+        .map(|_| (rng.gen_range(0usize..10), rng.gen_range(0usize..10)))
+        .collect();
+    let flows: Vec<(usize, usize)> = (0..rng.gen_range(1usize..24))
+        .map(|_| (rng.gen_range(0usize..10), rng.gen_range(0usize..8)))
+        .collect();
+    random_design(switches, &chords, &flows)
+}
 
-    /// The algorithm always terminates with an acyclic CDG on random ring
-    /// designs, the added-VC count matches the topology delta, and it never
-    /// costs more than resource ordering.
-    #[test]
-    fn random_ring_designs_are_always_fixed(
-        switches in 3usize..10,
-        chords in proptest::collection::vec((0usize..10, 0usize..10), 0..6),
-        flows in proptest::collection::vec((0usize..10, 0usize..8), 1..24),
-    ) {
-        let (topo, routes) = random_design(switches, &chords, &flows);
+/// The algorithm always terminates with an acyclic CDG on random ring
+/// designs, the added-VC count matches the topology delta, and it never
+/// costs more than resource ordering.
+#[test]
+fn random_ring_designs_are_always_fixed() {
+    let mut rng = SmallRng::seed_from_u64(0x5EED_0001);
+    for case in 0..48 {
+        let (topo, routes) = draw_design(&mut rng);
         let baseline = resource_ordering_overhead(&topo, &routes);
 
         let mut fixed_topo = topo.clone();
         let mut fixed_routes = routes.clone();
-        let report = remove_deadlocks(&mut fixed_topo, &mut fixed_routes, &RemovalConfig::default())
-            .expect("removal must not error on consistent designs");
+        let report = remove_deadlocks(
+            &mut fixed_topo,
+            &mut fixed_routes,
+            &RemovalConfig::default(),
+        )
+        .unwrap_or_else(|e| panic!("case {case}: removal errored: {e}"));
 
-        prop_assert!(verify::check_deadlock_free(&fixed_topo, &fixed_routes).is_ok());
-        prop_assert!(verify::missing_channels(&fixed_topo, &fixed_routes).is_empty());
-        prop_assert_eq!(report.added_vcs, fixed_topo.extra_vc_count());
-        prop_assert!(report.added_vcs <= baseline);
+        assert!(
+            verify::check_deadlock_free(&fixed_topo, &fixed_routes).is_ok(),
+            "case {case}"
+        );
+        assert!(
+            verify::missing_channels(&fixed_topo, &fixed_routes).is_empty(),
+            "case {case}"
+        );
+        assert_eq!(report.added_vcs, fixed_topo.extra_vc_count(), "case {case}");
+        assert!(report.added_vcs <= baseline, "case {case}");
 
         // Physical link usage must be untouched.
         for (flow, route) in routes.iter() {
             let before: Vec<LinkId> = route.links().collect();
             let after: Vec<LinkId> = fixed_routes.route(flow).unwrap().links().collect();
-            prop_assert_eq!(before, after);
+            assert_eq!(before, after, "case {case}");
         }
     }
+}
 
-    /// Resource ordering always yields an acyclic CDG too (it is a correct,
-    /// just expensive, baseline).
-    #[test]
-    fn resource_ordering_is_always_deadlock_free(
-        switches in 3usize..8,
-        flows in proptest::collection::vec((0usize..8, 0usize..6), 1..16),
-    ) {
+/// Resource ordering always yields an acyclic CDG too (it is a correct,
+/// just expensive, baseline).
+#[test]
+fn resource_ordering_is_always_deadlock_free() {
+    let mut rng = SmallRng::seed_from_u64(0x5EED_0002);
+    for case in 0..48 {
+        let switches = rng.gen_range(3usize..8);
+        let flows: Vec<(usize, usize)> = (0..rng.gen_range(1usize..16))
+            .map(|_| (rng.gen_range(0usize..8), rng.gen_range(0usize..6)))
+            .collect();
         let (mut topo, mut routes) = random_design(switches, &[], &flows);
         noc_deadlock::apply_resource_ordering(&mut topo, &mut routes).unwrap();
-        prop_assert!(verify::check_deadlock_free(&topo, &routes).is_ok());
-        prop_assert!(verify::missing_channels(&topo, &routes).is_empty());
+        assert!(
+            verify::check_deadlock_free(&topo, &routes).is_ok(),
+            "case {case}"
+        );
+        assert!(
+            verify::missing_channels(&topo, &routes).is_empty(),
+            "case {case}"
+        );
     }
 }

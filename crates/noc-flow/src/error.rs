@@ -1,0 +1,105 @@
+//! The unified error type of the pipeline API.
+
+use noc_deadlock::removal::RemovalError;
+use noc_deadlock::verify::DeadlockCycle;
+use noc_routing::RouteError;
+use noc_synth::SynthesisError;
+use noc_topology::TopologyError;
+use std::error::Error;
+use std::fmt;
+
+/// Any failure a [`DesignFlow`](crate::DesignFlow) stage can report.
+///
+/// Every stage boundary validates its output (the `validate_*`/`verify`
+/// checks the longhand pipelines used to call by hand), so the variants here
+/// cover both the underlying algorithm errors and the stage contracts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlowError {
+    /// Topology synthesis failed.
+    Synthesis(SynthesisError),
+    /// Routing failed or produced invalid routes.
+    Routing(RouteError),
+    /// The deadlock-removal algorithm failed.
+    Removal(RemovalError),
+    /// An underlying topology-model error.
+    Topology(TopologyError),
+    /// A stage that must produce a deadlock-free design left a CDG cycle —
+    /// evidence that a [`DeadlockStrategy`](crate::DeadlockStrategy)
+    /// implementation is broken.
+    StillCyclic(DeadlockCycle),
+    /// [`route_default`](crate::SynthesizedStage::route_default) was called
+    /// on a design that was imported rather than synthesized, so no default
+    /// routes exist; call [`route`](crate::SynthesizedStage::route) with an
+    /// explicit [`Router`](crate::Router) instead.
+    NoDefaultRoutes,
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Synthesis(e) => write!(f, "synthesis stage failed: {e}"),
+            FlowError::Routing(e) => write!(f, "routing stage failed: {e}"),
+            FlowError::Removal(e) => write!(f, "deadlock-removal stage failed: {e}"),
+            FlowError::Topology(e) => write!(f, "topology error: {e}"),
+            FlowError::StillCyclic(c) => {
+                write!(f, "deadlock strategy left a cyclic CDG: {c}")
+            }
+            FlowError::NoDefaultRoutes => write!(
+                f,
+                "design was imported, not synthesized: no default routes; use route() with an explicit Router"
+            ),
+        }
+    }
+}
+
+impl Error for FlowError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FlowError::Synthesis(e) => Some(e),
+            FlowError::Routing(e) => Some(e),
+            FlowError::Removal(e) => Some(e),
+            FlowError::Topology(e) => Some(e),
+            FlowError::StillCyclic(c) => Some(c),
+            FlowError::NoDefaultRoutes => None,
+        }
+    }
+}
+
+impl From<SynthesisError> for FlowError {
+    fn from(e: SynthesisError) -> Self {
+        FlowError::Synthesis(e)
+    }
+}
+
+impl From<RouteError> for FlowError {
+    fn from(e: RouteError) -> Self {
+        FlowError::Routing(e)
+    }
+}
+
+impl From<RemovalError> for FlowError {
+    fn from(e: RemovalError) -> Self {
+        FlowError::Removal(e)
+    }
+}
+
+impl From<TopologyError> for FlowError {
+    fn from(e: TopologyError) -> Self {
+        FlowError::Topology(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_topology::LinkId;
+
+    #[test]
+    fn display_and_source_cover_wrapped_errors() {
+        let e: FlowError = TopologyError::UnknownLink(LinkId::from_index(3)).into();
+        assert!(e.to_string().contains("L3"));
+        assert!(e.source().is_some());
+        assert!(FlowError::NoDefaultRoutes.source().is_none());
+        assert!(FlowError::NoDefaultRoutes.to_string().contains("Router"));
+    }
+}

@@ -1,0 +1,53 @@
+//! Unified staged pipeline API for the deadlock-removal suite.
+//!
+//! The DATE 2010 paper's whole evaluation is one pipeline — benchmark →
+//! topology synthesis → routing → deadlock removal → power/simulation — and
+//! before this crate every test, example and experiment binary re-implemented
+//! it longhand with its own clone/verify boilerplate.  `noc-flow` makes the
+//! pipeline a first-class object:
+//!
+//! * [`DesignFlow`] is a staged builder whose stages
+//!   ([`SynthesizedStage`], [`RoutedStage`], [`DeadlockFreeStage`],
+//!   [`SimulatedStage`]) each own their topology/routes and auto-run the
+//!   matching `validate_*`/`verify` check on entry,
+//! * [`Router`] is the pluggable routing seam
+//!   ([`ShortestPathRouter`], [`XyRouter`], [`UpDownRouter`]),
+//! * [`DeadlockStrategy`] is the pluggable deadlock-handling seam
+//!   ([`CycleBreaking`] — the paper's Algorithm 1 — and
+//!   [`ResourceOrdering`] — its baseline), so swapping schemes is a
+//!   one-line change,
+//! * [`FlowSweep`] drives (benchmark × switch-count × strategy) grids, the
+//!   shape of the paper's Figures 8–10.
+//!
+//! # Quick start
+//!
+//! ```
+//! use noc_flow::{CycleBreaking, DesignFlow, ResourceOrdering, ShortestPathRouter};
+//! use noc_synth::SynthesisConfig;
+//! use noc_topology::benchmarks::Benchmark;
+//!
+//! let routed = DesignFlow::from_benchmark(Benchmark::D36x8)
+//!     .synthesize(SynthesisConfig::with_switches(10))?
+//!     .route(&ShortestPathRouter::default())?;
+//!
+//! // The same routed design under both schemes — no hand-cloning.
+//! let removal = routed.resolve_deadlocks(&CycleBreaking::default())?;
+//! let ordering = routed.resolve_deadlocks(&ResourceOrdering)?;
+//! assert!(removal.resolution().added_vcs <= ordering.resolution().added_vcs);
+//! # Ok::<(), noc_flow::FlowError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod router;
+pub mod stage;
+pub mod strategy;
+pub mod sweep;
+
+pub use error::FlowError;
+pub use router::{Router, ShortestPathRouter, UpDownRouter, XyRouter};
+pub use stage::{DeadlockFreeStage, DesignFlow, RoutedStage, SimulatedStage, SynthesizedStage};
+pub use strategy::{CycleBreaking, DeadlockResolution, DeadlockStrategy, ResourceOrdering};
+pub use sweep::{FlowSweep, StrategyOutcome, SweepPoint};

@@ -1,0 +1,429 @@
+//! The staged `DesignFlow` builder.
+//!
+//! One type per pipeline stage, each owning the artifacts it produced, each
+//! transition re-running the matching `validate_*`/`verify` check:
+//!
+//! ```text
+//! DesignFlow ──synthesize──▶ SynthesizedStage ──route──▶ RoutedStage
+//!     ──resolve_deadlocks──▶ DeadlockFreeStage ──simulate──▶ SimulatedStage
+//! ```
+//!
+//! Branching is free: `route` and `resolve_deadlocks` take `&self` and copy
+//! internally, so comparing two routers or two deadlock strategies on the
+//! same synthesized design needs no hand-cloning at the call site.
+
+use crate::error::FlowError;
+use crate::router::{Router, ShortestPathRouter};
+use crate::strategy::{DeadlockResolution, DeadlockStrategy};
+use noc_deadlock::verify::{check_deadlock_free, DeadlockCycle};
+use noc_power::{NetworkEstimate, NetworkPowerModel, TechParams};
+use noc_routing::validate::validate_routes;
+use noc_routing::RouteSet;
+use noc_sim::{SimConfig, SimOutcome, Simulator, TrafficConfig};
+use noc_synth::{synthesize, SynthesisConfig};
+use noc_topology::benchmarks::Benchmark;
+use noc_topology::validate::validate_design;
+use noc_topology::{CommGraph, CoreMap, Topology};
+
+/// Entry point of the pipeline: a communication specification waiting for a
+/// topology.
+///
+/// # Example
+///
+/// The full Figure-8-style pipeline in one chain:
+///
+/// ```
+/// use noc_flow::{CycleBreaking, DesignFlow, ShortestPathRouter};
+/// use noc_power::TechParams;
+/// use noc_sim::TrafficConfig;
+/// use noc_synth::SynthesisConfig;
+/// use noc_topology::benchmarks::Benchmark;
+///
+/// let simulated = DesignFlow::from_benchmark(Benchmark::D26Media)
+///     .synthesize(SynthesisConfig::with_switches(12))?
+///     .route(&ShortestPathRouter::default())?
+///     .resolve_deadlocks(&CycleBreaking::default())?
+///     .simulate(&TrafficConfig::default())?;
+/// assert!(!simulated.outcome().deadlocked);
+/// let estimate = simulated.power(TechParams::default());
+/// assert!(estimate.total_power_mw > 0.0);
+/// # Ok::<(), noc_flow::FlowError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DesignFlow {
+    comm: CommGraph,
+    label: String,
+}
+
+impl DesignFlow {
+    /// Starts a flow from one of the paper's six SoC benchmarks.
+    pub fn from_benchmark(benchmark: Benchmark) -> Self {
+        DesignFlow {
+            comm: benchmark.comm_graph(),
+            label: benchmark.name().to_string(),
+        }
+    }
+
+    /// Starts a flow from an arbitrary communication graph.
+    pub fn from_comm(comm: CommGraph) -> Self {
+        DesignFlow {
+            comm,
+            label: "custom".to_string(),
+        }
+    }
+
+    /// Overrides the label used in diagnostics and sweep output.
+    pub fn labelled(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// The communication graph this flow will design for.
+    pub fn comm(&self) -> &CommGraph {
+        &self.comm
+    }
+
+    /// The flow's label (benchmark name, or `"custom"`).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Synthesizes an application-specific topology, attachment and default
+    /// shortest-path routes, then validates the design triple and the routes
+    /// (the checks `tests/end_to_end.rs` used to run by hand).
+    pub fn synthesize(self, config: SynthesisConfig) -> Result<SynthesizedStage, FlowError> {
+        // The synthesizer routes with a shortest-path router under the
+        // configured cost model; remember which one so route_default() can
+        // report the scheme accurately.
+        let default_router = ShortestPathRouter::with_cost(config.link_cost)
+            .name()
+            .to_string();
+        let design = synthesize(&self.comm, &config)?;
+        validate_design(&design.topology, &self.comm, &design.core_map)?;
+        validate_routes(
+            &design.topology,
+            &self.comm,
+            &design.core_map,
+            &design.routes,
+        )?;
+        Ok(SynthesizedStage {
+            label: self.label,
+            comm: self.comm,
+            topology: design.topology,
+            core_map: design.core_map,
+            default_routes: Some((default_router, design.routes)),
+        })
+    }
+
+    /// Imports a hand-built topology and core attachment instead of
+    /// synthesizing one (validated like a synthesized design).  The
+    /// resulting stage has no default routes; route it with an explicit
+    /// [`Router`].
+    pub fn with_design(
+        self,
+        topology: Topology,
+        core_map: CoreMap,
+    ) -> Result<SynthesizedStage, FlowError> {
+        validate_design(&topology, &self.comm, &core_map)?;
+        Ok(SynthesizedStage {
+            label: self.label,
+            comm: self.comm,
+            topology,
+            core_map,
+            default_routes: None,
+        })
+    }
+}
+
+/// A validated design triple (topology, communication graph, attachment),
+/// ready to be routed.
+#[derive(Debug, Clone)]
+pub struct SynthesizedStage {
+    label: String,
+    comm: CommGraph,
+    topology: Topology,
+    core_map: CoreMap,
+    /// `(router name, routes)` the synthesizer produced, when synthesized.
+    default_routes: Option<(String, RouteSet)>,
+}
+
+impl SynthesizedStage {
+    /// The synthesized (or imported) topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The core-to-switch attachment.
+    pub fn core_map(&self) -> &CoreMap {
+        &self.core_map
+    }
+
+    /// The communication graph.
+    pub fn comm(&self) -> &CommGraph {
+        &self.comm
+    }
+
+    /// The flow's label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Routes every flow with the given scheme and validates the result.
+    ///
+    /// Takes `&self` so several routers can be compared on one synthesized
+    /// design without caller-side cloning.
+    pub fn route(&self, router: &dyn Router) -> Result<RoutedStage, FlowError> {
+        let routes = router.route(&self.topology, &self.comm, &self.core_map)?;
+        validate_routes(&self.topology, &self.comm, &self.core_map, &routes)?;
+        Ok(RoutedStage {
+            label: self.label.clone(),
+            router: router.name().to_string(),
+            comm: self.comm.clone(),
+            topology: self.topology.clone(),
+            core_map: self.core_map.clone(),
+            routes,
+        })
+    }
+
+    /// Adopts the deadlock-oblivious shortest-path routes the synthesizer
+    /// already computed (the paper's input routing) without re-routing.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::NoDefaultRoutes`] if the design was imported via
+    /// [`DesignFlow::with_design`] rather than synthesized.
+    pub fn route_default(&self) -> Result<RoutedStage, FlowError> {
+        let (router, routes) = self
+            .default_routes
+            .clone()
+            .ok_or(FlowError::NoDefaultRoutes)?;
+        Ok(RoutedStage {
+            label: self.label.clone(),
+            router,
+            comm: self.comm.clone(),
+            topology: self.topology.clone(),
+            core_map: self.core_map.clone(),
+            routes,
+        })
+    }
+}
+
+/// A fully routed design — the exact triple the deadlock analysis consumes.
+#[derive(Debug, Clone)]
+pub struct RoutedStage {
+    label: String,
+    router: String,
+    comm: CommGraph,
+    topology: Topology,
+    core_map: CoreMap,
+    routes: RouteSet,
+}
+
+impl RoutedStage {
+    /// The routed topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The route set, one route per flow.
+    pub fn routes(&self) -> &RouteSet {
+        &self.routes
+    }
+
+    /// The communication graph.
+    pub fn comm(&self) -> &CommGraph {
+        &self.comm
+    }
+
+    /// The core-to-switch attachment.
+    pub fn core_map(&self) -> &CoreMap {
+        &self.core_map
+    }
+
+    /// The flow's label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Name of the router that produced the routes.
+    pub fn router_name(&self) -> &str {
+        &self.router
+    }
+
+    /// `true` when the CDG of the routed design is already acyclic.
+    pub fn is_deadlock_free(&self) -> bool {
+        check_deadlock_free(&self.topology, &self.routes).is_ok()
+    }
+
+    /// The smallest CDG cycle of the design, if any — evidence that the
+    /// design can deadlock.
+    pub fn deadlock_evidence(&self) -> Option<DeadlockCycle> {
+        check_deadlock_free(&self.topology, &self.routes).err()
+    }
+
+    /// VC overhead resource ordering *would* cost on this design, without
+    /// modifying anything (the dry-run baseline of Figures 8 and 9).
+    pub fn resource_ordering_overhead(&self) -> usize {
+        noc_deadlock::resource_ordering::resource_ordering_overhead(&self.topology, &self.routes)
+    }
+
+    /// Number of flows that actually enter the switch network.
+    pub fn active_flow_count(&self) -> usize {
+        self.routes.active_flow_count()
+    }
+
+    /// Makes the design deadlock-free with the given strategy, then
+    /// re-verifies the CDG is acyclic and the routes still valid.
+    ///
+    /// Takes `&self` and copies internally, so the paper's central
+    /// comparison — the same routed design under
+    /// [`CycleBreaking`](crate::CycleBreaking) versus
+    /// [`ResourceOrdering`](crate::ResourceOrdering) — is two calls on one
+    /// stage, and swapping strategies is a one-line change.
+    pub fn resolve_deadlocks(
+        &self,
+        strategy: &dyn DeadlockStrategy,
+    ) -> Result<DeadlockFreeStage, FlowError> {
+        let (topology, routes, resolution) =
+            strategy.resolve_cloned(&self.topology, &self.routes)?;
+        check_deadlock_free(&topology, &routes).map_err(FlowError::StillCyclic)?;
+        validate_routes(&topology, &self.comm, &self.core_map, &routes)?;
+        Ok(DeadlockFreeStage {
+            label: self.label.clone(),
+            router: self.router.clone(),
+            comm: self.comm.clone(),
+            topology,
+            core_map: self.core_map.clone(),
+            routes,
+            resolution,
+        })
+    }
+
+    /// Simulates the routed design as-is — useful for demonstrating that a
+    /// deadlock-prone design really does deadlock at runtime.  Diagnostic,
+    /// not a stage transition: deadlock-prone designs stay on this stage.
+    pub fn simulate(&self, traffic: &TrafficConfig) -> SimOutcome {
+        self.simulate_with(&SimConfig::default(), traffic)
+    }
+
+    /// Same as [`simulate`](Self::simulate) with an explicit [`SimConfig`].
+    pub fn simulate_with(&self, sim: &SimConfig, traffic: &TrafficConfig) -> SimOutcome {
+        Simulator::new(&self.topology, &self.comm, &self.routes, sim).run(traffic)
+    }
+
+    /// Area/power estimate of the design as routed (the "original" bars of
+    /// Figure 10).
+    pub fn power(&self, params: TechParams) -> NetworkEstimate {
+        NetworkPowerModel::new(params).estimate(&self.topology, &self.comm, &self.routes)
+    }
+}
+
+/// A design whose CDG has been verified acyclic: it cannot deadlock.
+#[derive(Debug, Clone)]
+pub struct DeadlockFreeStage {
+    label: String,
+    router: String,
+    comm: CommGraph,
+    topology: Topology,
+    core_map: CoreMap,
+    routes: RouteSet,
+    resolution: DeadlockResolution,
+}
+
+impl DeadlockFreeStage {
+    /// The repaired topology (with any extra VCs).
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The repaired route set.
+    pub fn routes(&self) -> &RouteSet {
+        &self.routes
+    }
+
+    /// The communication graph.
+    pub fn comm(&self) -> &CommGraph {
+        &self.comm
+    }
+
+    /// The core-to-switch attachment.
+    pub fn core_map(&self) -> &CoreMap {
+        &self.core_map
+    }
+
+    /// The flow's label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Name of the router that produced the input routes.
+    pub fn router_name(&self) -> &str {
+        &self.router
+    }
+
+    /// What the deadlock strategy did (VCs added, cycles broken, reports).
+    pub fn resolution(&self) -> &DeadlockResolution {
+        &self.resolution
+    }
+
+    /// Simulates the repaired design under the given workload, after
+    /// re-validating route/topology consistency (the stage's defensive
+    /// contract check; it cannot fail for stages built by
+    /// [`RoutedStage::resolve_deadlocks`], which already validated).
+    ///
+    /// The run's outcome (including the `deadlocked` flag, which must stay
+    /// `false` for a correctly repaired design) is data on the returned
+    /// stage, not an error.
+    pub fn simulate(&self, traffic: &TrafficConfig) -> Result<SimulatedStage, FlowError> {
+        self.simulate_with(&SimConfig::default(), traffic)
+    }
+
+    /// Same as [`simulate`](Self::simulate) with an explicit [`SimConfig`].
+    pub fn simulate_with(
+        &self,
+        sim: &SimConfig,
+        traffic: &TrafficConfig,
+    ) -> Result<SimulatedStage, FlowError> {
+        validate_routes(&self.topology, &self.comm, &self.core_map, &self.routes)?;
+        let outcome = Simulator::new(&self.topology, &self.comm, &self.routes, sim).run(traffic);
+        Ok(SimulatedStage {
+            stage: self.clone(),
+            outcome,
+        })
+    }
+
+    /// Area/power estimate of the repaired design (the "removal" /
+    /// "ordering" bars of Figure 10, depending on the strategy used).
+    pub fn power(&self, params: TechParams) -> NetworkEstimate {
+        NetworkPowerModel::new(params).estimate(&self.topology, &self.comm, &self.routes)
+    }
+}
+
+/// A deadlock-free design plus the outcome of simulating it.
+#[derive(Debug, Clone)]
+pub struct SimulatedStage {
+    stage: DeadlockFreeStage,
+    outcome: SimOutcome,
+}
+
+impl SimulatedStage {
+    /// The simulation outcome (stats, deadlock flag, stranded packets).
+    pub fn outcome(&self) -> &SimOutcome {
+        &self.outcome
+    }
+
+    /// The design that was simulated.
+    pub fn design(&self) -> &DeadlockFreeStage {
+        &self.stage
+    }
+
+    /// Consumes the stage, yielding the bare outcome.
+    pub fn into_outcome(self) -> SimOutcome {
+        self.outcome
+    }
+
+    /// Area/power estimate of the simulated design.
+    pub fn power(&self, params: TechParams) -> NetworkEstimate {
+        self.stage.power(params)
+    }
+}

@@ -1,0 +1,127 @@
+//! The pluggable deadlock-handling seam of the pipeline.
+//!
+//! The paper's evaluation is a comparison between two ways of making the
+//! same routed design deadlock-free: its cycle-breaking algorithm
+//! (Algorithm 1) and the resource-ordering baseline.  [`DeadlockStrategy`]
+//! captures that seam so the two schemes — and any future one, e.g. the
+//! recovery-based reconfiguration of arXiv:1211.5747 — are interchangeable
+//! one-line swaps in a flow.
+
+use crate::FlowError;
+use noc_deadlock::removal::{remove_deadlocks, RemovalConfig};
+use noc_deadlock::report::RemovalReport;
+use noc_deadlock::resource_ordering::{apply_resource_ordering, ResourceOrderingResult};
+use noc_routing::RouteSet;
+use noc_topology::Topology;
+
+/// What a [`DeadlockStrategy`] did to a design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeadlockResolution {
+    /// Name of the strategy that produced this resolution.
+    pub strategy: String,
+    /// Total VCs added on top of the single VC every link starts with.
+    pub added_vcs: usize,
+    /// CDG cycles broken (0 for schemes that restructure wholesale, like
+    /// resource ordering).
+    pub cycles_broken: usize,
+    /// Detailed report when the strategy was the paper's removal algorithm.
+    pub removal: Option<RemovalReport>,
+    /// Detailed result when the strategy was resource ordering.
+    pub ordering: Option<ResourceOrderingResult>,
+}
+
+/// A scheme that mutates a routed design until its CDG is acyclic.
+///
+/// The [`resolve_deadlocks`](crate::RoutedStage::resolve_deadlocks) stage
+/// re-verifies deadlock freedom after every call, so implementations that
+/// fail to deliver an acyclic CDG are rejected with
+/// [`FlowError::StillCyclic`] instead of leaking unsafe designs downstream.
+pub trait DeadlockStrategy {
+    /// Human-readable scheme name (used in sweep output and diagnostics).
+    fn name(&self) -> &str;
+
+    /// Makes the design deadlock-free in place (extra VCs, re-routed flows).
+    fn resolve(
+        &self,
+        topology: &mut Topology,
+        routes: &mut RouteSet,
+    ) -> Result<DeadlockResolution, FlowError>;
+
+    /// Convenience for harnesses that need the repaired design *and* the
+    /// pristine input: resolves on an internal copy, leaving the caller's
+    /// borrow untouched.
+    fn resolve_cloned(
+        &self,
+        topology: &Topology,
+        routes: &RouteSet,
+    ) -> Result<(Topology, RouteSet, DeadlockResolution), FlowError> {
+        let mut topology = topology.clone();
+        let mut routes = routes.clone();
+        let resolution = self.resolve(&mut topology, &mut routes)?;
+        Ok((topology, routes, resolution))
+    }
+}
+
+/// The paper's contribution: smallest-cycle-first CDG cycle breaking
+/// (Algorithm 1) with forward/backward cost tables (Algorithm 2).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CycleBreaking {
+    /// Algorithm configuration (direction policy, cycle order, iteration
+    /// bound).
+    pub config: RemovalConfig,
+}
+
+impl CycleBreaking {
+    /// Cycle breaking with an explicit [`RemovalConfig`] (used by the
+    /// ablation experiments).
+    pub fn with_config(config: RemovalConfig) -> Self {
+        CycleBreaking { config }
+    }
+}
+
+impl DeadlockStrategy for CycleBreaking {
+    fn name(&self) -> &str {
+        "cycle-breaking"
+    }
+
+    fn resolve(
+        &self,
+        topology: &mut Topology,
+        routes: &mut RouteSet,
+    ) -> Result<DeadlockResolution, FlowError> {
+        let report = remove_deadlocks(topology, routes, &self.config)?;
+        Ok(DeadlockResolution {
+            strategy: self.name().to_string(),
+            added_vcs: report.added_vcs,
+            cycles_broken: report.cycles_broken,
+            removal: Some(report),
+            ordering: None,
+        })
+    }
+}
+
+/// The baseline the paper compares against: ascending channel classes along
+/// every route (Dally & Towles resource ordering).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResourceOrdering;
+
+impl DeadlockStrategy for ResourceOrdering {
+    fn name(&self) -> &str {
+        "resource-ordering"
+    }
+
+    fn resolve(
+        &self,
+        topology: &mut Topology,
+        routes: &mut RouteSet,
+    ) -> Result<DeadlockResolution, FlowError> {
+        let result = apply_resource_ordering(topology, routes)?;
+        Ok(DeadlockResolution {
+            strategy: self.name().to_string(),
+            added_vcs: result.added_vcs,
+            cycles_broken: 0,
+            removal: None,
+            ordering: Some(result),
+        })
+    }
+}

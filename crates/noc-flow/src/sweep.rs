@@ -1,0 +1,223 @@
+//! Batch driver for (benchmark × switch-count × strategy) grids.
+//!
+//! Replaces the old `noc_synth::sweep_switch_counts` helper and the
+//! hand-rolled loops behind Figures 8, 9 and 10: one sweep description, any
+//! number of deadlock strategies, one pass that synthesizes each design once
+//! and charges every strategy against the same routed input.
+
+use crate::error::FlowError;
+use crate::router::Router;
+use crate::stage::DesignFlow;
+use crate::strategy::DeadlockStrategy;
+use noc_power::TechParams;
+use noc_synth::SynthesisConfig;
+use noc_topology::benchmarks::Benchmark;
+
+/// What one strategy did to one design of the sweep grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StrategyOutcome {
+    /// Strategy name ([`DeadlockStrategy::name`]).
+    pub strategy: String,
+    /// VCs the strategy added.
+    pub added_vcs: usize,
+    /// CDG cycles it broke.
+    pub cycles_broken: usize,
+    /// Total power of the repaired design in mW
+    /// (`None` when [`FlowSweep::power_estimates`] is disabled).
+    pub power_mw: Option<f64>,
+    /// Total switch area of the repaired design in µm²
+    /// (`None` when [`FlowSweep::power_estimates`] is disabled).
+    pub area_um2: Option<f64>,
+}
+
+/// One grid point of a [`FlowSweep`]: a synthesized design plus the outcome
+/// of every strategy on it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// The benchmark the design was synthesized for.
+    pub benchmark: Benchmark,
+    /// Switch count of the synthesized topology.
+    pub switch_count: usize,
+    /// Flows that actually enter the switch network.
+    pub active_flows: usize,
+    /// Mean hop count over those active flows.
+    pub mean_hops: f64,
+    /// Power of the unmodified (possibly deadlock-prone) design in mW
+    /// (`None` when [`FlowSweep::power_estimates`] is disabled).
+    pub original_power_mw: Option<f64>,
+    /// Area of the unmodified design in µm²
+    /// (`None` when [`FlowSweep::power_estimates`] is disabled).
+    pub original_area_um2: Option<f64>,
+    /// Per-strategy outcomes, in the order the strategies were passed.
+    pub outcomes: Vec<StrategyOutcome>,
+}
+
+impl SweepPoint {
+    /// The outcome of the strategy with the given name, if it was part of
+    /// the sweep.
+    pub fn outcome(&self, strategy: &str) -> Option<&StrategyOutcome> {
+        self.outcomes.iter().find(|o| o.strategy == strategy)
+    }
+}
+
+/// A declarative sweep over (benchmark × switch-count) with any set of
+/// deadlock strategies — the driver behind the Figure 8/9 VC-overhead
+/// series and the Figure 10 power bars.
+///
+/// Switch counts that are infeasible for a benchmark (zero, or more
+/// switches than cores) are skipped, exactly like the paper's sweeps only
+/// plot feasible topologies.
+///
+/// # Example
+///
+/// ```
+/// use noc_flow::{CycleBreaking, FlowSweep, ResourceOrdering};
+/// use noc_topology::benchmarks::Benchmark;
+///
+/// let points = FlowSweep::new()
+///     .benchmark(Benchmark::D26Media)
+///     .switch_counts([6, 10, 14])
+///     .run(&[&CycleBreaking::default(), &ResourceOrdering])?;
+/// assert_eq!(points.len(), 3);
+/// for p in &points {
+///     let removal = p.outcome("cycle-breaking").unwrap();
+///     let ordering = p.outcome("resource-ordering").unwrap();
+///     assert!(removal.added_vcs <= ordering.added_vcs);
+/// }
+/// # Ok::<(), noc_flow::FlowError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlowSweep {
+    benchmarks: Vec<Benchmark>,
+    switch_counts: Vec<usize>,
+    template: SynthesisConfig,
+    tech: TechParams,
+    estimate_power: bool,
+}
+
+impl Default for FlowSweep {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FlowSweep {
+    /// An empty sweep with the default synthesis template and technology
+    /// parameters.
+    pub fn new() -> Self {
+        FlowSweep {
+            benchmarks: Vec::new(),
+            switch_counts: Vec::new(),
+            template: SynthesisConfig::with_switches(1),
+            tech: TechParams::default(),
+            estimate_power: true,
+        }
+    }
+
+    /// Adds one benchmark to the grid.
+    pub fn benchmark(mut self, benchmark: Benchmark) -> Self {
+        self.benchmarks.push(benchmark);
+        self
+    }
+
+    /// Adds several benchmarks to the grid.
+    pub fn benchmarks(mut self, benchmarks: impl IntoIterator<Item = Benchmark>) -> Self {
+        self.benchmarks.extend(benchmarks);
+        self
+    }
+
+    /// Sets the switch counts to sweep.
+    pub fn switch_counts(mut self, counts: impl IntoIterator<Item = usize>) -> Self {
+        self.switch_counts.extend(counts);
+        self
+    }
+
+    /// Overrides the synthesis configuration template (its `switch_count`
+    /// field is replaced per grid point).
+    pub fn synthesis_template(mut self, template: SynthesisConfig) -> Self {
+        self.template = template;
+        self
+    }
+
+    /// Overrides the technology parameters used for the power estimates.
+    pub fn tech_params(mut self, tech: TechParams) -> Self {
+        self.tech = tech;
+        self
+    }
+
+    /// Enables or disables per-point power/area estimation (on by default).
+    /// VC-only sweeps like Figures 8 and 9 turn it off to skip three
+    /// whole-network power-model passes per grid point.
+    pub fn power_estimates(mut self, enabled: bool) -> Self {
+        self.estimate_power = enabled;
+        self
+    }
+
+    /// Runs the grid: synthesizes each feasible (benchmark, switch-count)
+    /// design once — keeping the routes the synthesizer computed under the
+    /// template's `link_cost`, the paper's input routing — then charges
+    /// every strategy against that same routed design.
+    pub fn run(&self, strategies: &[&dyn DeadlockStrategy]) -> Result<Vec<SweepPoint>, FlowError> {
+        self.run_inner(None, strategies)
+    }
+
+    /// Same as [`run`](Self::run), but re-routes every synthesized design
+    /// with an explicit input [`Router`] instead of the synthesizer's
+    /// default routes.
+    pub fn run_with_router(
+        &self,
+        router: &dyn Router,
+        strategies: &[&dyn DeadlockStrategy],
+    ) -> Result<Vec<SweepPoint>, FlowError> {
+        self.run_inner(Some(router), strategies)
+    }
+
+    fn run_inner(
+        &self,
+        router: Option<&dyn Router>,
+        strategies: &[&dyn DeadlockStrategy],
+    ) -> Result<Vec<SweepPoint>, FlowError> {
+        let mut points = Vec::new();
+        for &benchmark in &self.benchmarks {
+            for &switch_count in &self.switch_counts {
+                if switch_count == 0 || switch_count > benchmark.core_count() {
+                    continue;
+                }
+                let config = SynthesisConfig {
+                    switch_count,
+                    ..self.template.clone()
+                };
+                let stage = DesignFlow::from_benchmark(benchmark).synthesize(config)?;
+                let routed = match router {
+                    Some(router) => stage.route(router)?,
+                    None => stage.route_default()?,
+                };
+                let original = self.estimate_power.then(|| routed.power(self.tech.clone()));
+
+                let mut outcomes = Vec::with_capacity(strategies.len());
+                for &strategy in strategies {
+                    let fixed = routed.resolve_deadlocks(strategy)?;
+                    let estimate = self.estimate_power.then(|| fixed.power(self.tech.clone()));
+                    let resolution = fixed.resolution();
+                    outcomes.push(StrategyOutcome {
+                        strategy: resolution.strategy.clone(),
+                        added_vcs: resolution.added_vcs,
+                        cycles_broken: resolution.cycles_broken,
+                        power_mw: estimate.as_ref().map(|e| e.total_power_mw),
+                        area_um2: estimate.as_ref().map(|e| e.total_area_um2),
+                    });
+                }
+                points.push(SweepPoint {
+                    benchmark,
+                    switch_count,
+                    active_flows: routed.active_flow_count(),
+                    mean_hops: routed.routes().mean_hops(),
+                    original_power_mw: original.as_ref().map(|e| e.total_power_mw),
+                    original_area_um2: original.as_ref().map(|e| e.total_area_um2),
+                    outcomes,
+                });
+            }
+        }
+        Ok(points)
+    }
+}

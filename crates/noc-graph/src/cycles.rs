@@ -91,9 +91,7 @@ pub fn smallest_cycle<N, E>(graph: &DiGraph<N, E>) -> Option<Vec<NodeId>> {
             if let Some(cycle) = shortest_cycle_through(graph, node) {
                 let better = match &best {
                     None => true,
-                    Some(b) => {
-                        cycle.len() < b.len() || (cycle.len() == b.len() && cycle[0] < b[0])
-                    }
+                    Some(b) => cycle.len() < b.len() || (cycle.len() == b.len() && cycle[0] < b[0]),
                 };
                 if better {
                     best = Some(cycle);
@@ -137,7 +135,7 @@ pub fn enumerate_cycles<N, E>(graph: &DiGraph<N, E>, limit: usize) -> Vec<Vec<No
                 on_path[p.index()] = true;
             }
             for succ in graph.successors(node) {
-                if succ == root && path.len() >= 1 {
+                if succ == root && !path.is_empty() {
                     // Found a cycle rooted at `root`.
                     if path.len() > 1 || graph.has_edge(root, root) {
                         result.push(path.clone());

@@ -21,12 +21,7 @@ use std::fmt::Write as _;
 /// assert!(text.contains("SW1"));
 /// ```
 pub fn to_dot<N: Display, E: Display>(graph: &DiGraph<N, E>, name: &str) -> String {
-    to_dot_with(
-        graph,
-        name,
-        |_, w| w.to_string(),
-        |_, w| w.to_string(),
-    )
+    to_dot_with(graph, name, |_, w| w.to_string(), |_, w| w.to_string())
 }
 
 /// Renders the graph in DOT syntax with caller-provided label functions.

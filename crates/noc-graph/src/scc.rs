@@ -218,7 +218,7 @@ mod tests {
         let comps = tarjan_scc(&g);
         let total: usize = comps.iter().map(|c| c.len()).sum();
         assert_eq!(total, 10);
-        let mut seen = vec![false; 10];
+        let mut seen = [false; 10];
         for c in &comps {
             for node in c {
                 assert!(!seen[node.index()], "node appears twice");

@@ -102,7 +102,7 @@ pub fn dijkstra<N, E>(
             };
             let next = edge.target;
             let nd = d.saturating_add(cost);
-            if dist[next.index()].map_or(true, |old| nd < old) {
+            if dist[next.index()].is_none_or(|old| nd < old) {
                 dist[next.index()] = Some(nd);
                 parent[next.index()] = Some((node, edge.id));
                 heap.push(Reverse((nd, next.index())));
@@ -174,13 +174,17 @@ mod tests {
         let c = g.add_node(());
         g.add_edge(a, b, 1);
         g.add_edge(b, c, 1);
-        let sp = dijkstra(&g, a, |e| {
-            if e.source == b {
-                None
-            } else {
-                Some(*e.weight)
-            }
-        });
+        let sp = dijkstra(
+            &g,
+            a,
+            |e| {
+                if e.source == b {
+                    None
+                } else {
+                    Some(*e.weight)
+                }
+            },
+        );
         assert_eq!(sp.distance(b), Some(1));
         assert_eq!(sp.distance(c), None);
     }

@@ -95,8 +95,7 @@ impl NetworkPowerModel {
                 out_links: topology.links_from(switch_id).count(),
                 input_buffers: topology.switch_input_buffers(switch_id),
             };
-            let estimate =
-                estimate_switch(geometry, switch_load[switch_id.index()], p);
+            let estimate = estimate_switch(geometry, switch_load[switch_id.index()], p);
             total_area += estimate.total_area_um2();
             total_power += estimate.total_power_mw();
             switches.push(estimate);
@@ -125,9 +124,7 @@ mod tests {
     use noc_routing::shortest::route_all_shortest;
     use noc_topology::{generators, CommGraph, CoreMap};
 
-    fn ring_design(
-        extra_vcs_on_link0: usize,
-    ) -> (Topology, CommGraph, RouteSet) {
+    fn ring_design(extra_vcs_on_link0: usize) -> (Topology, CommGraph, RouteSet) {
         let generated = generators::unidirectional_ring(4, 1000.0);
         let mut topo = generated.topology;
         for _ in 0..extra_vcs_on_link0 {
@@ -157,7 +154,11 @@ mod tests {
         assert!(e.link_power_mw > 0.0);
         let switch_sum: f64 = e.switches.iter().map(|s| s.total_power_mw()).sum();
         assert!((switch_sum + e.link_power_mw - e.total_power_mw).abs() < 1e-9);
-        assert!(e.switch_power_mw(noc_topology::SwitchId::from_index(0)).unwrap() > 0.0);
+        assert!(
+            e.switch_power_mw(noc_topology::SwitchId::from_index(0))
+                .unwrap()
+                > 0.0
+        );
     }
 
     #[test]

@@ -163,18 +163,32 @@ impl RouteSet {
         self.routes.iter().map(Route::hop_count).max().unwrap_or(0)
     }
 
-    /// Average hop count over flows that actually enter the network.
+    /// Number of flows that actually enter the switch network, i.e. whose
+    /// route has at least one hop.  Flows between cores on the same switch
+    /// have empty routes and are *not* counted.
+    pub fn active_flow_count(&self) -> usize {
+        self.routes.iter().filter(|r| !r.is_empty()).count()
+    }
+
+    /// Average hop count over the [`active_flow_count`](Self::active_flow_count)
+    /// flows that actually enter the network.
+    ///
+    /// Zero-hop (same-switch) flows are **deliberately excluded** from the
+    /// average: they never occupy a channel, so counting them would make a
+    /// design with good core clustering look artificially "shorter-routed"
+    /// than one where every flow crosses the network.  A route set with no
+    /// active flows at all has a mean of `0.0`.
     pub fn mean_hops(&self) -> f64 {
-        let active: Vec<usize> = self
+        let (count, total) = self
             .routes
             .iter()
             .map(Route::hop_count)
             .filter(|&h| h > 0)
-            .collect();
-        if active.is_empty() {
+            .fold((0usize, 0usize), |(c, t), h| (c + 1, t + h));
+        if count == 0 {
             0.0
         } else {
-            active.iter().sum::<usize>() as f64 / active.len() as f64
+            total as f64 / count as f64
         }
     }
 }
@@ -233,10 +247,7 @@ mod tests {
         rs.set_route(f1, r.clone());
         assert_eq!(rs.route(f1), Some(&r));
         assert_eq!(rs.max_hops(), 2);
-        assert_eq!(
-            rs.flows_using_link(LinkId::from_index(0)),
-            vec![f1]
-        );
+        assert_eq!(rs.flows_using_link(LinkId::from_index(0)), vec![f1]);
         assert_eq!(
             rs.flows_using_channel(Channel::base(LinkId::from_index(1))),
             vec![f1]
@@ -250,9 +261,23 @@ mod tests {
         let (_, r) = two_link_route();
         let mut rs = RouteSet::new(2);
         rs.set_route(FlowId::from_index(0), r);
+        // One 2-hop flow plus one local (empty) flow: the local flow is
+        // excluded, so the mean is 2.0, not 1.0.
         assert_eq!(rs.mean_hops(), 2.0);
         let empty = RouteSet::new(2);
         assert_eq!(empty.mean_hops(), 0.0);
+    }
+
+    #[test]
+    fn active_flow_count_matches_nonempty_routes() {
+        let (_, r) = two_link_route();
+        let mut rs = RouteSet::new(3);
+        assert_eq!(rs.active_flow_count(), 0);
+        rs.set_route(FlowId::from_index(0), r.clone());
+        rs.set_route(FlowId::from_index(2), r);
+        assert_eq!(rs.active_flow_count(), 2);
+        // mean_hops averages over exactly the active flows.
+        assert_eq!(rs.mean_hops(), 2.0);
     }
 
     #[test]

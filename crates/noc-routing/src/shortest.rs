@@ -51,12 +51,13 @@ pub fn route_all_with_cost(
     let mut routes = RouteSet::new(comm.flow_count());
 
     // Cache one Dijkstra run per distinct source switch.
-    let mut cache: Vec<Option<shortest_path::ShortestPaths>> =
-        vec![None; topology.switch_count()];
+    let mut cache: Vec<Option<shortest_path::ShortestPaths>> = vec![None; topology.switch_count()];
 
     for (flow_id, flow) in comm.flows() {
         let src = map.require(flow.source).map_err(RouteError::Topology)?;
-        let dst = map.require(flow.destination).map_err(RouteError::Topology)?;
+        let dst = map
+            .require(flow.destination)
+            .map_err(RouteError::Topology)?;
         if src == dst {
             routes.set_route(flow_id, Route::empty());
             continue;
@@ -75,13 +76,13 @@ pub fn route_all_with_cost(
                 })
             })
         });
-        let edge_path = sp
-            .edge_path_to(NodeId::from_index(dst.index()))
-            .ok_or(RouteError::Unroutable {
-                flow: flow_id,
-                from: src,
-                to: dst,
-            })?;
+        let edge_path =
+            sp.edge_path_to(NodeId::from_index(dst.index()))
+                .ok_or(RouteError::Unroutable {
+                    flow: flow_id,
+                    from: src,
+                    to: dst,
+                })?;
         let links: Vec<LinkId> = edge_path
             .iter()
             .map(|&e| {
@@ -100,7 +101,12 @@ mod tests {
     use super::*;
     use noc_topology::{generators, CommGraph, CoreMap};
 
-    fn ring_design() -> (noc_topology::Topology, CommGraph, CoreMap, Vec<noc_topology::SwitchId>) {
+    fn ring_design() -> (
+        noc_topology::Topology,
+        CommGraph,
+        CoreMap,
+        Vec<noc_topology::SwitchId>,
+    ) {
         let generated = generators::unidirectional_ring(4, 1.0);
         let mut comm = CommGraph::new();
         let cores: Vec<_> = (0..4).map(|i| comm.add_core(format!("c{i}"))).collect();
@@ -120,10 +126,34 @@ mod tests {
     fn ring_routes_follow_the_only_path() {
         let (t, c, m, _) = ring_design();
         let routes = route_all_shortest(&t, &c, &m).unwrap();
-        assert_eq!(routes.route(noc_topology::FlowId::from_index(0)).unwrap().hop_count(), 3);
-        assert_eq!(routes.route(noc_topology::FlowId::from_index(1)).unwrap().hop_count(), 2);
-        assert_eq!(routes.route(noc_topology::FlowId::from_index(2)).unwrap().hop_count(), 2);
-        assert_eq!(routes.route(noc_topology::FlowId::from_index(3)).unwrap().hop_count(), 2);
+        assert_eq!(
+            routes
+                .route(noc_topology::FlowId::from_index(0))
+                .unwrap()
+                .hop_count(),
+            3
+        );
+        assert_eq!(
+            routes
+                .route(noc_topology::FlowId::from_index(1))
+                .unwrap()
+                .hop_count(),
+            2
+        );
+        assert_eq!(
+            routes
+                .route(noc_topology::FlowId::from_index(2))
+                .unwrap()
+                .hop_count(),
+            2
+        );
+        assert_eq!(
+            routes
+                .route(noc_topology::FlowId::from_index(3))
+                .unwrap()
+                .hop_count(),
+            2
+        );
     }
 
     #[test]
@@ -194,8 +224,7 @@ mod tests {
         let mut map = CoreMap::new(2);
         map.assign(a, s[0]).unwrap();
         map.assign(b, s[3]).unwrap();
-        let routes =
-            route_all_with_cost(&t, &comm, &map, LinkCost::InverseBandwidth).unwrap();
+        let routes = route_all_with_cost(&t, &comm, &map, LinkCost::InverseBandwidth).unwrap();
         let links: Vec<_> = routes.route(f).unwrap().links().collect();
         assert_eq!(links, vec![wide_a, wide_b]);
     }

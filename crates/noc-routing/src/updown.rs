@@ -78,11 +78,13 @@ impl UpDownLabels {
         let l = topology.link(link)?;
         let ls = self.level(l.source)?;
         let lt = self.level(l.target)?;
-        Some(if lt < ls || (lt == ls && l.target.index() < l.source.index()) {
-            LinkDirection::Up
-        } else {
-            LinkDirection::Down
-        })
+        Some(
+            if lt < ls || (lt == ls && l.target.index() < l.source.index()) {
+                LinkDirection::Up
+            } else {
+                LinkDirection::Down
+            },
+        )
     }
 }
 
@@ -268,7 +270,10 @@ mod tests {
                 some_longer = true;
             }
         }
-        assert!(some_longer, "up*/down* on a ring should detour at least once");
+        assert!(
+            some_longer,
+            "up*/down* on a ring should detour at least once"
+        );
         let _ = FlowId::from_index(0);
     }
 }

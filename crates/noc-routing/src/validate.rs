@@ -113,9 +113,9 @@ pub fn validate_routes(
 
         let mut prev_target: Option<SwitchId> = None;
         for (hop, channel) in route.channels().iter().enumerate() {
-            let link = topology
-                .link(channel.link)
-                .ok_or(RouteError::Topology(TopologyError::UnknownLink(channel.link)))?;
+            let link = topology.link(channel.link).ok_or(RouteError::Topology(
+                TopologyError::UnknownLink(channel.link),
+            ))?;
             if channel.vc >= link.vcs {
                 return Err(RouteError::MissingVc {
                     flow: flow_id,

@@ -125,10 +125,7 @@ mod tests {
     use crate::validate::validate_routes;
     use noc_topology::{generators, CommGraph, CoreMap};
 
-    fn mesh_design(
-        rows: usize,
-        cols: usize,
-    ) -> (Topology, CommGraph, CoreMap, MeshCoords) {
+    fn mesh_design(rows: usize, cols: usize) -> (Topology, CommGraph, CoreMap, MeshCoords) {
         let generated = generators::mesh2d(rows, cols, 1.0);
         let coords = MeshCoords::new(rows, cols, generated.switches.clone());
         let mut comm = CommGraph::new();
@@ -153,7 +150,9 @@ mod tests {
         // Route length equals Manhattan distance.
         for (fid, flow) in c.flows() {
             let (sr, sc) = coords.position(m.require(flow.source).unwrap()).unwrap();
-            let (dr, dc) = coords.position(m.require(flow.destination).unwrap()).unwrap();
+            let (dr, dc) = coords
+                .position(m.require(flow.destination).unwrap())
+                .unwrap();
             let manhattan = sr.abs_diff(dr) + sc.abs_diff(dc);
             assert_eq!(routes.route(fid).unwrap().hop_count(), manhattan);
         }

@@ -95,11 +95,8 @@ impl<'a> Simulator<'a> {
         config: &SimConfig,
     ) -> Self {
         let channels: Vec<Channel> = topology.channels().collect();
-        let channel_index: HashMap<Channel, usize> = channels
-            .iter()
-            .enumerate()
-            .map(|(i, &c)| (c, i))
-            .collect();
+        let channel_index: HashMap<Channel, usize> =
+            channels.iter().enumerate().map(|(i, &c)| (c, i)).collect();
         for (_, route) in routes.iter() {
             for channel in route.channels() {
                 assert!(
@@ -141,10 +138,7 @@ impl<'a> Simulator<'a> {
         let mut cycle = 0u64;
         while cycle < self.config.max_cycles {
             // Admit newly created packets into their flow queue.
-            while pending
-                .front()
-                .map_or(false, |p| p.created_at <= cycle)
-            {
+            while pending.front().is_some_and(|p| p.created_at <= cycle) {
                 let packet = pending.pop_front().expect("checked non-empty");
                 stats.injected_packets += 1;
                 let route: Vec<Channel> = self
@@ -167,7 +161,10 @@ impl<'a> Simulator<'a> {
                     ejected: 0,
                     packet: packet.clone(),
                 };
-                flow_queues.entry(packet.flow).or_default().push_back(packet.id);
+                flow_queues
+                    .entry(packet.flow)
+                    .or_default()
+                    .push_back(packet.id);
                 self.packets.insert(packet.id, state);
             }
 
@@ -176,9 +173,7 @@ impl<'a> Simulator<'a> {
             let delivered = self.apply_moves(&moves, cycle, &mut stats, &mut flow_queues);
             let _ = delivered;
 
-            let in_flight = self.packets.values().any(|p| {
-                p.ejected < p.packet.length
-            });
+            let in_flight = self.packets.values().any(|p| p.ejected < p.packet.length);
             if !in_flight && pending.is_empty() {
                 cycle += 1;
                 break;
@@ -202,8 +197,7 @@ impl<'a> Simulator<'a> {
             .packets
             .values()
             .filter(|p| p.ejected < p.packet.length)
-            .count()
-            + 0;
+            .count();
         SimOutcome {
             stats,
             deadlocked,
@@ -415,7 +409,10 @@ mod tests {
         let routes = route_all_shortest(&generated.topology, &comm, &map).unwrap();
         let mut sim = Simulator::new(&generated.topology, &comm, &routes, &SimConfig::default());
         let outcome = sim.run(&TrafficConfig::default());
-        assert_eq!(outcome.stats.delivered_packets, outcome.stats.injected_packets);
+        assert_eq!(
+            outcome.stats.delivered_packets,
+            outcome.stats.injected_packets
+        );
         assert!(!outcome.deadlocked);
     }
 
@@ -450,7 +447,10 @@ mod tests {
             mean_gap_cycles: 0,
             seed: 1,
         });
-        assert!(outcome.deadlocked, "the cyclic CDG design must deadlock under pressure");
+        assert!(
+            outcome.deadlocked,
+            "the cyclic CDG design must deadlock under pressure"
+        );
         assert!(outcome.stranded_packets > 0);
     }
 
@@ -491,7 +491,10 @@ mod tests {
             seed: 1,
         });
         assert!(!outcome.deadlocked);
-        assert_eq!(outcome.stats.delivered_packets, outcome.stats.injected_packets);
+        assert_eq!(
+            outcome.stats.delivered_packets,
+            outcome.stats.injected_packets
+        );
         assert_eq!(outcome.stranded_packets, 0);
     }
 

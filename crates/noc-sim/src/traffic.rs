@@ -1,9 +1,8 @@
 //! Traffic generation from a communication graph.
 
 use crate::packet::{Packet, PacketId};
+use noc_rng::SmallRng;
 use noc_topology::{CommGraph, FlowId};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Traffic-generation parameters.
 #[derive(Debug, Clone, PartialEq)]

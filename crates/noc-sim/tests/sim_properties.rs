@@ -1,6 +1,10 @@
-//! Property-based tests for the wormhole simulator: conservation laws and
+//! Property-style tests for the wormhole simulator: conservation laws and
 //! the central deadlock-freedom claim (designs with acyclic CDGs always
 //! drain their workload).
+//!
+//! The crates.io `proptest` crate is unavailable in the offline build
+//! environment, so the properties are checked over deterministic parameter
+//! grids covering the same ranges the proptest strategies drew from.
 
 use noc_deadlock::removal::{remove_deadlocks, RemovalConfig};
 use noc_deadlock::verify;
@@ -10,14 +14,10 @@ use noc_sim::{SimConfig, Simulator, TrafficConfig};
 use noc_synth::{synthesize, SynthesisConfig};
 use noc_topology::benchmarks::Benchmark;
 use noc_topology::{generators, CommGraph, CoreMap};
-use proptest::prelude::*;
 
 /// Builds an all-to-all communication graph and mapping over a generated
 /// topology, one core per switch.
-fn all_to_all(
-    generated: &generators::Generated,
-    bandwidth: f64,
-) -> (CommGraph, CoreMap) {
+fn all_to_all(generated: &generators::Generated, bandwidth: f64) -> (CommGraph, CoreMap) {
     let n = generated.switches.len();
     let mut comm = CommGraph::new();
     let cores: Vec<_> = (0..n).map(|i| comm.add_core(format!("c{i}"))).collect();
@@ -35,30 +35,33 @@ fn all_to_all(
     (comm, map)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// XY-routed meshes (acyclic CDG by construction) always deliver every
-    /// packet, for any mesh size, packet length and buffer depth.
-    #[test]
-    fn xy_meshes_never_deadlock(
-        rows in 2usize..4,
-        cols in 2usize..4,
-        packet_length in 1usize..6,
-        buffer_depth in 1usize..4,
-        packets_per_flow in 1usize..4,
-    ) {
+/// XY-routed meshes (acyclic CDG by construction) always deliver every
+/// packet, for any mesh size, packet length and buffer depth.
+#[test]
+fn xy_meshes_never_deadlock() {
+    for (rows, cols, packet_length, buffer_depth, packets_per_flow) in [
+        (2, 2, 1, 1, 1),
+        (2, 3, 5, 1, 3),
+        (3, 2, 2, 3, 2),
+        (3, 3, 4, 2, 3),
+        (2, 2, 3, 2, 2),
+        (3, 3, 1, 1, 1),
+    ] {
         let generated = generators::mesh2d(rows, cols, 1000.0);
         let coords = MeshCoords::new(rows, cols, generated.switches.clone());
         let (comm, map) = all_to_all(&generated, 100.0);
         let routes = route_all_xy(&generated.topology, &comm, &map, &coords).unwrap();
-        prop_assert!(verify::check_deadlock_free(&generated.topology, &routes).is_ok());
+        assert!(verify::check_deadlock_free(&generated.topology, &routes).is_ok());
 
         let outcome = Simulator::new(
             &generated.topology,
             &comm,
             &routes,
-            &SimConfig { buffer_depth, deadlock_threshold: 2_000, max_cycles: 2_000_000 },
+            &SimConfig {
+                buffer_depth,
+                deadlock_threshold: 2_000,
+                max_cycles: 2_000_000,
+            },
         )
         .run(&TrafficConfig {
             packets_per_flow,
@@ -66,36 +69,45 @@ proptest! {
             mean_gap_cycles: 0,
             seed: 11,
         });
-        prop_assert!(!outcome.deadlocked);
-        prop_assert_eq!(outcome.stats.delivered_packets, outcome.stats.injected_packets);
-        prop_assert_eq!(outcome.stranded_packets, 0);
+        let case = format!("{rows}x{cols} len={packet_length} depth={buffer_depth}");
+        assert!(!outcome.deadlocked, "{case}");
+        assert_eq!(
+            outcome.stats.delivered_packets, outcome.stats.injected_packets,
+            "{case}"
+        );
+        assert_eq!(outcome.stranded_packets, 0, "{case}");
         // Flit conservation.
-        prop_assert_eq!(
+        assert_eq!(
             outcome.stats.delivered_flits,
-            outcome.stats.delivered_packets * packet_length.max(1)
+            outcome.stats.delivered_packets * packet_length.max(1),
+            "{case}"
         );
     }
+}
 
-    /// Repaired benchmark designs always drain the workload, whatever the
-    /// buffer depth and packet length.
-    #[test]
-    fn repaired_designs_always_drain(
-        switches in 4usize..12,
-        packet_length in 1usize..5,
-        buffer_depth in 1usize..3,
-    ) {
+/// Repaired benchmark designs always drain the workload, whatever the
+/// buffer depth and packet length.
+#[test]
+fn repaired_designs_always_drain() {
+    for (switches, packet_length, buffer_depth) in
+        [(4, 1, 1), (6, 4, 2), (8, 2, 1), (10, 3, 2), (11, 1, 2)]
+    {
         let comm = Benchmark::D36x6.comm_graph();
         let design = synthesize(&comm, &SynthesisConfig::with_switches(switches)).unwrap();
         let mut topology = design.topology.clone();
         let mut routes = design.routes.clone();
         remove_deadlocks(&mut topology, &mut routes, &RemovalConfig::default()).unwrap();
-        prop_assert!(verify::check_deadlock_free(&topology, &routes).is_ok());
+        assert!(verify::check_deadlock_free(&topology, &routes).is_ok());
 
         let outcome = Simulator::new(
             &topology,
             &comm,
             &routes,
-            &SimConfig { buffer_depth, deadlock_threshold: 2_000, max_cycles: 4_000_000 },
+            &SimConfig {
+                buffer_depth,
+                deadlock_threshold: 2_000,
+                max_cycles: 4_000_000,
+            },
         )
         .run(&TrafficConfig {
             packets_per_flow: 2,
@@ -103,17 +115,20 @@ proptest! {
             mean_gap_cycles: 0,
             seed: 3,
         });
-        prop_assert!(!outcome.deadlocked);
-        prop_assert_eq!(outcome.stats.delivered_packets, outcome.stats.injected_packets);
+        let case = format!("switches={switches} len={packet_length} depth={buffer_depth}");
+        assert!(!outcome.deadlocked, "{case}");
+        assert_eq!(
+            outcome.stats.delivered_packets, outcome.stats.injected_packets,
+            "{case}"
+        );
     }
+}
 
-    /// Latency sanity: on a contention-free chain, packet latency is at
-    /// least the hop count and delivery is complete.
-    #[test]
-    fn chain_latency_is_at_least_hop_count(
-        length in 2usize..8,
-        packet_length in 1usize..6,
-    ) {
+/// Latency sanity: on a contention-free chain, packet latency is at
+/// least the hop count and delivery is complete.
+#[test]
+fn chain_latency_is_at_least_hop_count() {
+    for (length, packet_length) in [(2, 1), (3, 5), (4, 2), (5, 4), (7, 3)] {
         let generated = generators::chain(length, 1000.0);
         let mut comm = CommGraph::new();
         let a = comm.add_core("a");
@@ -124,20 +139,19 @@ proptest! {
         map.assign(b, generated.switches[length - 1]).unwrap();
         let routes = route_all_shortest(&generated.topology, &comm, &map).unwrap();
 
-        let outcome = Simulator::new(
-            &generated.topology,
-            &comm,
-            &routes,
-            &SimConfig::default(),
-        )
-        .run(&TrafficConfig {
-            packets_per_flow: 3,
-            packet_length,
-            mean_gap_cycles: 0,
-            seed: 1,
-        });
-        prop_assert!(!outcome.deadlocked);
-        prop_assert_eq!(outcome.stats.delivered_packets, 3);
-        prop_assert!(outcome.stats.mean_latency() >= (length - 1) as f64);
+        let outcome = Simulator::new(&generated.topology, &comm, &routes, &SimConfig::default())
+            .run(&TrafficConfig {
+                packets_per_flow: 3,
+                packet_length,
+                mean_gap_cycles: 0,
+                seed: 1,
+            });
+        let case = format!("length={length} packet_length={packet_length}");
+        assert!(!outcome.deadlocked, "{case}");
+        assert_eq!(outcome.stats.delivered_packets, 3, "{case}");
+        assert!(
+            outcome.stats.mean_latency() >= (length - 1) as f64,
+            "{case}"
+        );
     }
 }

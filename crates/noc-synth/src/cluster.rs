@@ -89,8 +89,8 @@ pub fn cluster_cores(comm: &CommGraph, switch_count: usize) -> Clustering {
         // Affinity of this core to every cluster that still has room.
         let mut best_cluster = usize::MAX;
         let mut best_score = f64::NEG_INFINITY;
-        for cluster in 0..switch_count {
-            if sizes[cluster] >= capacity {
+        for (cluster, &size) in sizes.iter().enumerate() {
+            if size >= capacity {
                 continue;
             }
             let score: f64 = comm
@@ -154,7 +154,10 @@ mod tests {
         for switches in [2, 5, 8, 13, 26] {
             let clustering = cluster_cores(&comm, switches);
             let capacity = comm.core_count().div_ceil(switches);
-            assert!(clustering.max_cluster_size() <= capacity, "{switches} switches");
+            assert!(
+                clustering.max_cluster_size() <= capacity,
+                "{switches} switches"
+            );
             // Every core is assigned.
             assert!(clustering.assignment.iter().all(|&a| a < switches));
         }

@@ -81,7 +81,9 @@ pub fn build_interconnect(
 ) -> Interconnect {
     let k = clustering.switch_count;
     let mut topology = Topology::new();
-    let switches: Vec<SwitchId> = (0..k).map(|i| topology.add_switch(format!("sw{i}"))).collect();
+    let switches: Vec<SwitchId> = (0..k)
+        .map(|i| topology.add_switch(format!("sw{i}")))
+        .collect();
     if k == 1 {
         return Interconnect { topology, switches };
     }
@@ -93,10 +95,10 @@ pub fn build_interconnect(
     let mut neighbor_count = vec![0usize; k];
     let mut connected = vec![vec![false; k]; k];
     let connect = |topology: &mut Topology,
-                       neighbor_count: &mut Vec<usize>,
-                       connected: &mut Vec<Vec<bool>>,
-                       a: usize,
-                       b: usize| {
+                   neighbor_count: &mut Vec<usize>,
+                   connected: &mut Vec<Vec<bool>>,
+                   a: usize,
+                   b: usize| {
         if a == b || connected[a][b] {
             return;
         }
@@ -130,16 +132,14 @@ pub fn build_interconnect(
                     if !in_tree[a] {
                         continue;
                     }
-                    for b in 0..k {
-                        if in_tree[b] {
+                    for (b, &b_in_tree) in in_tree.iter().enumerate() {
+                        if b_in_tree {
                             continue;
                         }
                         let w = sym(a, b);
                         let better = match best {
                             None => true,
-                            Some((ba, bb, bw)) => {
-                                w > bw || (w == bw && (a, b) < (ba, bb))
-                            }
+                            Some((ba, bb, bw)) => w > bw || (w == bw && (a, b) < (ba, bb)),
                         };
                         if better {
                             best = Some((a, b, w));
@@ -156,6 +156,7 @@ pub fn build_interconnect(
     // Shortcut links: consider unconnected pairs in decreasing demand order
     // and open a link while both endpoints respect the degree constraint.
     let mut pairs: Vec<(usize, usize, f64)> = Vec::new();
+    #[allow(clippy::needless_range_loop)]
     for a in 0..k {
         for b in (a + 1)..k {
             let w = sym(a, b);
@@ -200,8 +201,7 @@ mod tests {
     fn interconnect_is_always_weakly_connected() {
         for benchmark in [Benchmark::D26Media, Benchmark::D36x8, Benchmark::D38Tvopd] {
             for switches in [2, 5, 9, 14] {
-                let (_, _, ic) =
-                    interconnect_for(benchmark, switches, &ConnectConfig::default());
+                let (_, _, ic) = interconnect_for(benchmark, switches, &ConnectConfig::default());
                 assert!(
                     traversal::is_weakly_connected(&ic.topology.to_switch_graph()),
                     "{benchmark} with {switches} switches"
@@ -250,7 +250,10 @@ mod tests {
         for (sw, _) in ic.topology.switches() {
             let pairs = ic.topology.links_from(sw).count();
             let tree_pairs = tree_only.topology.links_from(sw).count();
-            assert!(pairs <= 3.max(tree_pairs), "switch {sw} exceeds degree bound");
+            assert!(
+                pairs <= 3.max(tree_pairs),
+                "switch {sw} exceeds degree bound"
+            );
         }
     }
 
@@ -270,8 +273,8 @@ mod tests {
         let internal = clustering.internal_bandwidth(&comm);
         let total = comm.total_bandwidth();
         assert!((cross + internal - total).abs() < 1e-6);
-        for i in 0..4 {
-            assert_eq!(demand[i][i], 0.0);
+        for (i, row) in demand.iter().enumerate() {
+            assert_eq!(row[i], 0.0);
         }
     }
 

@@ -165,33 +165,10 @@ pub fn synthesize(
     })
 }
 
-/// Synthesizes designs for a range of switch counts, as the paper does for
-/// Figures 8 and 9, returning `(switch_count, design)` pairs.  Switch counts
-/// that exceed the core count are skipped.
-pub fn sweep_switch_counts(
-    comm: &CommGraph,
-    switch_counts: impl IntoIterator<Item = usize>,
-    template: &SynthesisConfig,
-) -> Result<Vec<(usize, SynthesizedDesign)>, SynthesisError> {
-    let mut result = Vec::new();
-    for count in switch_counts {
-        if count == 0 || count > comm.core_count() {
-            continue;
-        }
-        let config = SynthesisConfig {
-            switch_count: count,
-            ..template.clone()
-        };
-        result.push((count, synthesize(comm, &config)?));
-    }
-    Ok(result)
-}
-
 /// Convenience: does any core end up alone on a switch?  (Used in tests and
 /// diagnostics; isolated cores waste switch area.)
 pub fn has_singleton_switch(design: &SynthesizedDesign) -> bool {
-    (0..design.clustering.switch_count)
-        .any(|c| design.clustering.members(c).len() == 1)
+    (0..design.clustering.switch_count).any(|c| design.clustering.members(c).len() == 1)
 }
 
 /// Returns the switch a core was attached to; small helper used by examples.
@@ -215,8 +192,7 @@ mod tests {
                     .unwrap_or_else(|e| panic!("{benchmark} {switches}: {e}"));
                 assert_eq!(design.topology.switch_count(), switches);
                 validate_design(&design.topology, &comm, &design.core_map).unwrap();
-                validate_routes(&design.topology, &comm, &design.core_map, &design.routes)
-                    .unwrap();
+                validate_routes(&design.topology, &comm, &design.core_map, &design.routes).unwrap();
             }
         }
     }
@@ -247,18 +223,6 @@ mod tests {
             synthesize(&comm, &bad_degree),
             Err(SynthesisError::InvalidConfig(_))
         ));
-    }
-
-    #[test]
-    fn sweep_skips_infeasible_counts_and_is_monotone_in_size() {
-        let comm = Benchmark::D26Media.comm_graph();
-        let sweep = sweep_switch_counts(&comm, [0, 5, 10, 26, 40], &SynthesisConfig::with_switches(1))
-            .unwrap();
-        let counts: Vec<usize> = sweep.iter().map(|(c, _)| *c).collect();
-        assert_eq!(counts, vec![5, 10, 26]);
-        for (count, design) in &sweep {
-            assert_eq!(design.topology.switch_count(), *count);
-        }
     }
 
     #[test]

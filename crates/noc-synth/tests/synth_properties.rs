@@ -1,12 +1,17 @@
-//! Property-based tests for the topology synthesizer on random
+//! Property-style tests for the topology synthesizer on random
 //! communication graphs.
+//!
+//! The crates.io `proptest` crate is unavailable in the offline build
+//! environment, so the properties are checked over a seeded stream of
+//! random communication graphs from `noc-rng` — same properties,
+//! deterministic cases.
 
+use noc_rng::SmallRng;
 use noc_routing::validate::validate_routes;
 use noc_synth::cluster::cluster_cores;
 use noc_synth::{synthesize, SynthesisConfig};
 use noc_topology::validate::validate_design;
 use noc_topology::CommGraph;
-use proptest::prelude::*;
 
 /// Builds a communication graph with `cores` cores and the given flow list.
 fn build_comm(cores: usize, flows: &[(usize, usize, u32)]) -> CommGraph {
@@ -21,58 +26,93 @@ fn build_comm(cores: usize, flows: &[(usize, usize, u32)]) -> CommGraph {
     comm
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Synthesis always yields a consistent design: complete core mapping,
-    /// connected routes, valid route structure — for any random traffic and
-    /// any feasible switch count.
-    #[test]
-    fn synthesis_is_always_consistent(
-        cores in 4usize..24,
-        switches in 1usize..12,
-        flows in proptest::collection::vec((0usize..24, 0usize..24, 1u32..500), 1..60),
-    ) {
-        prop_assume!(switches <= cores);
-        let comm = build_comm(cores, &flows);
-        let design = synthesize(&comm, &SynthesisConfig::with_switches(switches)).unwrap();
-        prop_assert_eq!(design.topology.switch_count(), switches);
-        validate_design(&design.topology, &comm, &design.core_map).unwrap();
-        validate_routes(&design.topology, &comm, &design.core_map, &design.routes).unwrap();
-        // Every link opened by the synthesizer starts with a single VC.
-        prop_assert_eq!(design.topology.extra_vc_count(), 0);
+/// Draws `(cores, switches <= cores, flows)` like the proptest strategies.
+fn draw_case(
+    rng: &mut SmallRng,
+    min_cores: usize,
+    max_cores: usize,
+    max_switches: usize,
+    max_flows: usize,
+) -> (usize, usize, Vec<(usize, usize, u32)>) {
+    loop {
+        let cores = rng.gen_range(min_cores..max_cores);
+        let switches = rng.gen_range(1usize..max_switches);
+        if switches > cores {
+            continue; // mirrors prop_assume!(switches <= cores)
+        }
+        let flows: Vec<(usize, usize, u32)> = (0..rng.gen_range(1usize..max_flows))
+            .map(|_| {
+                (
+                    rng.gen_range(0usize..max_cores),
+                    rng.gen_range(0usize..max_cores),
+                    rng.gen_range(1u64..=499) as u32,
+                )
+            })
+            .collect();
+        return (cores, switches, flows);
     }
+}
 
-    /// Clustering is a balanced partition: every core assigned, cluster sizes
-    /// within one of each other (ceil capacity), determinism.
-    #[test]
-    fn clustering_is_a_balanced_partition(
-        cores in 2usize..30,
-        switches in 1usize..15,
-        flows in proptest::collection::vec((0usize..30, 0usize..30, 1u32..100), 0..40),
-    ) {
-        prop_assume!(switches <= cores);
+/// Synthesis always yields a consistent design: complete core mapping,
+/// connected routes, valid route structure — for any random traffic and
+/// any feasible switch count.
+#[test]
+fn synthesis_is_always_consistent() {
+    let mut rng = SmallRng::seed_from_u64(0x5EED_1001);
+    for case in 0..48 {
+        let (cores, switches, flows) = draw_case(&mut rng, 4, 24, 12, 60);
+        let comm = build_comm(cores, &flows);
+        let design = synthesize(&comm, &SynthesisConfig::with_switches(switches))
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
+        assert_eq!(design.topology.switch_count(), switches, "case {case}");
+        validate_design(&design.topology, &comm, &design.core_map)
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
+        validate_routes(&design.topology, &comm, &design.core_map, &design.routes)
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
+        // Every link opened by the synthesizer starts with a single VC.
+        assert_eq!(design.topology.extra_vc_count(), 0, "case {case}");
+    }
+}
+
+/// Clustering is a balanced partition: every core assigned, cluster sizes
+/// within one of each other (ceil capacity), determinism.
+#[test]
+fn clustering_is_a_balanced_partition() {
+    let mut rng = SmallRng::seed_from_u64(0x5EED_1002);
+    for case in 0..48 {
+        let (cores, switches, flows) = draw_case(&mut rng, 2, 30, 15, 40);
         let comm = build_comm(cores, &flows);
         let clustering = cluster_cores(&comm, switches);
-        prop_assert_eq!(clustering.assignment.len(), cores);
-        prop_assert!(clustering.assignment.iter().all(|&c| c < switches));
+        assert_eq!(clustering.assignment.len(), cores, "case {case}");
+        assert!(
+            clustering.assignment.iter().all(|&c| c < switches),
+            "case {case}"
+        );
         let capacity = cores.div_ceil(switches);
         for cluster in 0..switches {
-            prop_assert!(clustering.members(cluster).len() <= capacity);
+            assert!(clustering.members(cluster).len() <= capacity, "case {case}");
         }
-        prop_assert_eq!(clustering, cluster_cores(&comm, switches));
+        assert_eq!(clustering, cluster_cores(&comm, switches), "case {case}");
     }
+}
 
-    /// The ring backbone variant is also always routable.
-    #[test]
-    fn ring_backbone_synthesis_is_consistent(
-        cores in 4usize..20,
-        switches in 2usize..10,
-        flows in proptest::collection::vec((0usize..20, 0usize..20, 1u32..200), 1..40),
-    ) {
-        prop_assume!(switches <= cores);
+/// The ring backbone variant is also always routable.
+#[test]
+fn ring_backbone_synthesis_is_consistent() {
+    let mut rng = SmallRng::seed_from_u64(0x5EED_1003);
+    for case in 0..48 {
+        // Redraw until the ring backbone is feasible (>= 2 switches), so
+        // all 48 cases test something (the original strategy drew 2..10).
+        let (cores, switches, flows) = loop {
+            let drawn = draw_case(&mut rng, 4, 20, 10, 40);
+            if drawn.1 >= 2 {
+                break drawn;
+            }
+        };
         let comm = build_comm(cores, &flows);
-        let design = synthesize(&comm, &SynthesisConfig::with_switches_ring(switches)).unwrap();
-        validate_routes(&design.topology, &comm, &design.core_map, &design.routes).unwrap();
+        let design = synthesize(&comm, &SynthesisConfig::with_switches_ring(switches))
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
+        validate_routes(&design.topology, &comm, &design.core_map, &design.routes)
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
     }
 }

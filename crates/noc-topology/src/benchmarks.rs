@@ -29,8 +29,7 @@
 
 use crate::comm::CommGraph;
 use crate::ids::CoreId;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use noc_rng::SmallRng;
 
 /// Identifies one of the six SoC benchmarks of the paper's evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -153,7 +152,11 @@ pub fn d26_media() -> CommGraph {
         g.add_flow(w[0], w[1], stream_bw(&mut rng) * 0.3);
     }
     g.add_flow(cpus[0], wireless[0], control_bw(&mut rng));
-    g.add_flow(*wireless.last().unwrap(), mems[2], stream_bw(&mut rng) * 0.3);
+    g.add_flow(
+        *wireless.last().unwrap(),
+        mems[2],
+        stream_bw(&mut rng) * 0.3,
+    );
     // Peripherals: control traffic with cpu1/cpu2.
     for (i, &p) in periph.iter().enumerate() {
         let cpu = cpus[1 + (i % 2)];
@@ -174,7 +177,11 @@ pub fn d36(fanout: usize) -> CommGraph {
     for (i, &src) in cores.iter().enumerate() {
         for k in 0..fanout {
             // Half the destinations are neighbours, half stride across the die.
-            let offset = if k % 2 == 0 { k / 2 + 1 } else { 5 + 7 * (k / 2 + 1) };
+            let offset = if k % 2 == 0 {
+                k / 2 + 1
+            } else {
+                5 + 7 * (k / 2 + 1)
+            };
             let dst = cores[(i + offset) % 36];
             if dst != src {
                 g.add_flow(src, dst, stream_bw(&mut rng) * 0.4);
@@ -230,7 +237,11 @@ pub fn d38_tvopd() -> CommGraph {
     }
     // Cross links between pipelines (object plane composition).
     for p in 0..2 {
-        g.add_flow(cores[p * 12 + 5], cores[(p + 1) * 12 + 5], stream_bw(&mut rng) * 0.5);
+        g.add_flow(
+            cores[p * 12 + 5],
+            cores[(p + 1) * 12 + 5],
+            stream_bw(&mut rng) * 0.5,
+        );
     }
     g
 }

@@ -62,7 +62,10 @@ impl CommGraph {
     ///
     /// Panics if either core does not exist.
     pub fn add_flow(&mut self, source: CoreId, destination: CoreId, bandwidth: f64) -> FlowId {
-        assert!(source.index() < self.cores.len(), "source core out of bounds");
+        assert!(
+            source.index() < self.cores.len(),
+            "source core out of bounds"
+        );
         assert!(
             destination.index() < self.cores.len(),
             "destination core out of bounds"
@@ -185,7 +188,8 @@ impl CoreMap {
     ///
     /// [`TopologyError::UnmappedCore`] when the core has no attachment.
     pub fn require(&self, core: CoreId) -> Result<SwitchId, TopologyError> {
-        self.switch_of(core).ok_or(TopologyError::UnmappedCore(core))
+        self.switch_of(core)
+            .ok_or(TopologyError::UnmappedCore(core))
     }
 
     /// Number of cores this mapping covers (mapped or not).
@@ -214,7 +218,10 @@ mod tests {
 
     fn sample() -> (CommGraph, Vec<CoreId>) {
         let mut g = CommGraph::new();
-        let cores: Vec<_> = ["cpu", "dsp", "mem"].iter().map(|n| g.add_core(*n)).collect();
+        let cores: Vec<_> = ["cpu", "dsp", "mem"]
+            .iter()
+            .map(|n| g.add_core(*n))
+            .collect();
         g.add_flow(cores[0], cores[2], 100.0);
         g.add_flow(cores[1], cores[2], 50.0);
         g.add_flow(cores[2], cores[0], 25.0);

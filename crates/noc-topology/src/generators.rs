@@ -178,7 +178,9 @@ mod tests {
     fn chain_is_connected_and_acyclic_in_one_direction() {
         let g = chain(6, 1.0);
         assert_eq!(g.topology.link_count(), 10);
-        assert!(traversal::is_weakly_connected(&g.topology.to_switch_graph()));
+        assert!(traversal::is_weakly_connected(
+            &g.topology.to_switch_graph()
+        ));
     }
 
     #[test]
@@ -187,7 +189,9 @@ mod tests {
         assert_eq!(g.topology.switch_count(), 12);
         // Horizontal: 3 rows * 3 = 9 pairs, vertical: 2 * 4 = 8 pairs, times 2 directions.
         assert_eq!(g.topology.link_count(), 2 * (9 + 8));
-        assert!(traversal::is_weakly_connected(&g.topology.to_switch_graph()));
+        assert!(traversal::is_weakly_connected(
+            &g.topology.to_switch_graph()
+        ));
     }
 
     #[test]

@@ -168,9 +168,8 @@ impl Topology {
 
     /// Iterates over every channel of the topology in `(link, vc)` order.
     pub fn channels(&self) -> impl Iterator<Item = Channel> + '_ {
-        self.links().flat_map(|(id, link)| {
-            (0..link.vcs).map(move |vc| Channel::new(id, vc))
-        })
+        self.links()
+            .flat_map(|(id, link)| (0..link.vcs).map(move |vc| Channel::new(id, vc)))
     }
 
     /// Iterates over the links leaving `switch`.

@@ -80,7 +80,8 @@ mod tests {
     #[test]
     fn mapping_to_missing_switch_is_reported() {
         let (t, c, mut m) = simple_design();
-        m.assign(CoreId::from_index(0), SwitchId::from_index(99)).unwrap();
+        m.assign(CoreId::from_index(0), SwitchId::from_index(99))
+            .unwrap();
         assert_eq!(
             validate_design(&t, &c, &m),
             Err(TopologyError::UnknownSwitch(SwitchId::from_index(99)))

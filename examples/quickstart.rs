@@ -1,12 +1,10 @@
 //! Quickstart: build the paper's Figure 1 ring design, detect the deadlock
 //! condition, remove it with the paper's algorithm and compare against the
-//! resource-ordering baseline.
+//! resource-ordering baseline — all through the `DesignFlow` pipeline API.
 //!
 //! Run with `cargo run --example quickstart`.
 
-use noc_suite::deadlock::removal::{remove_deadlocks, RemovalConfig};
-use noc_suite::deadlock::{apply_resource_ordering, verify};
-use noc_suite::routing::shortest::route_all_shortest;
+use noc_suite::flow::{CycleBreaking, DesignFlow, ResourceOrdering, ShortestPathRouter};
 use noc_suite::topology::{CommGraph, CoreMap, Topology};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -31,32 +29,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         core_map.assign(core, switches[i])?;
     }
 
-    // --- 3. Deadlock-oblivious shortest-path routes (the paper's input).
-    let mut routes = route_all_shortest(&topology, &comm, &core_map)?;
+    // --- 3. Import the hand-built design into a flow and route it with
+    // deadlock-oblivious shortest paths (the paper's input routing).  The
+    // stage transitions validate the design and the routes automatically.
+    let routed = DesignFlow::from_comm(comm)
+        .labelled("figure-1-ring")
+        .with_design(topology, core_map)?
+        .route(&ShortestPathRouter::default())?;
 
     // --- 4. The CDG has a cycle: the design can deadlock.
-    match verify::check_deadlock_free(&topology, &routes) {
-        Ok(()) => println!("input design is already deadlock-free"),
-        Err(cycle) => println!("input design CAN deadlock: {cycle}"),
+    match routed.deadlock_evidence() {
+        None => println!("input design is already deadlock-free"),
+        Some(cycle) => println!("input design CAN deadlock: {cycle}"),
     }
 
-    // --- 5. Baseline for comparison: resource ordering on a copy.
-    let mut ro_topology = topology.clone();
-    let mut ro_routes = routes.clone();
-    let ro = apply_resource_ordering(&mut ro_topology, &mut ro_routes)?;
+    // --- 5. Baseline for comparison: resource ordering.  Branching off the
+    // routed stage needs no cloning — the flow owns its artifacts.
+    let ordered = routed.resolve_deadlocks(&ResourceOrdering)?;
+    let ro = ordered
+        .resolution()
+        .ordering
+        .as_ref()
+        .expect("ordering ran");
     println!(
         "resource ordering:   {} extra VCs ({} channel classes)",
         ro.added_vcs, ro.classes
     );
 
-    // --- 6. The paper's algorithm.
-    let report = remove_deadlocks(&mut topology, &mut routes, &RemovalConfig::default())?;
+    // --- 6. The paper's algorithm (swapping strategies is a one-line change).
+    let fixed = routed.resolve_deadlocks(&CycleBreaking::default())?;
     println!(
         "deadlock removal:    {} extra VC(s), {} cycle(s) broken",
-        report.added_vcs, report.cycles_broken
+        fixed.resolution().added_vcs,
+        fixed.resolution().cycles_broken
     );
-    verify::check_deadlock_free(&topology, &routes)
-        .expect("the removal algorithm guarantees an acyclic CDG");
     println!("after removal the CDG is acyclic: the design cannot deadlock");
     Ok(())
 }

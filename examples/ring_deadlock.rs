@@ -8,14 +8,12 @@
 //!
 //! Run with `cargo run --example ring_deadlock`.
 
-use noc_suite::deadlock::removal::{remove_deadlocks, RemovalConfig};
-use noc_suite::routing::shortest::route_all_shortest;
-use noc_suite::sim::{SimConfig, Simulator, TrafficConfig};
+use noc_suite::flow::{CycleBreaking, DesignFlow, ShortestPathRouter};
+use noc_suite::sim::{SimConfig, TrafficConfig};
 use noc_suite::topology::{generators, CommGraph, CoreMap};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let generated = generators::unidirectional_ring(4, 1000.0);
-    let mut topology = generated.topology;
 
     // Every core sends to the core two hops away, so every link is shared by
     // two flows and the channel dependency cycle closes.
@@ -28,7 +26,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (i, &core) in cores.iter().enumerate() {
         core_map.assign(core, generated.switches[i])?;
     }
-    let mut routes = route_all_shortest(&topology, &comm, &core_map)?;
+
+    let routed = DesignFlow::from_comm(comm)
+        .labelled("ring-deadlock")
+        .with_design(generated.topology, core_map)?
+        .route(&ShortestPathRouter::default())?;
 
     let sim_config = SimConfig {
         buffer_depth: 1,
@@ -43,7 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     println!("--- original design (cyclic CDG) ---");
-    let outcome = Simulator::new(&topology, &comm, &routes, &sim_config).run(&traffic);
+    let outcome = routed.simulate_with(&sim_config, &traffic);
     println!(
         "deadlocked: {}, delivered {}/{} packets, {} stranded",
         outcome.deadlocked,
@@ -52,12 +54,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         outcome.stranded_packets
     );
 
-    let report = remove_deadlocks(&mut topology, &mut routes, &RemovalConfig::default())?;
+    let fixed = routed.resolve_deadlocks(&CycleBreaking::default())?;
     println!(
         "--- after deadlock removal ({} VC added, {} cycle broken) ---",
-        report.added_vcs, report.cycles_broken
+        fixed.resolution().added_vcs,
+        fixed.resolution().cycles_broken
     );
-    let outcome = Simulator::new(&topology, &comm, &routes, &sim_config).run(&traffic);
+    let outcome = fixed.simulate_with(&sim_config, &traffic)?.into_outcome();
     println!(
         "deadlocked: {}, delivered {}/{} packets, mean latency {:.1} cycles",
         outcome.deadlocked,

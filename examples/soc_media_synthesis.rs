@@ -2,46 +2,37 @@
 //! synthesize topologies across a range of switch counts, compare the VC
 //! overhead of the deadlock-removal algorithm with resource ordering, and
 //! estimate the resulting power — i.e. a miniature version of the paper's
-//! Figures 8 and 10 driven entirely through the public API.
+//! Figures 8 and 10, driven by a single `FlowSweep`.
 //!
 //! Run with `cargo run --release --example soc_media_synthesis`.
 
-use noc_suite::deadlock::removal::{remove_deadlocks, RemovalConfig};
-use noc_suite::deadlock::resource_ordering::apply_resource_ordering;
-use noc_suite::power::{NetworkPowerModel, TechParams};
-use noc_suite::synth::{synthesize, SynthesisConfig};
+use noc_suite::flow::{CycleBreaking, DeadlockStrategy, FlowSweep, ResourceOrdering};
 use noc_suite::topology::benchmarks::Benchmark;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let comm = Benchmark::D26Media.comm_graph();
-    let model = NetworkPowerModel::new(TechParams::default());
+    let removal = CycleBreaking::default();
+    let ordering = ResourceOrdering;
+    let points = FlowSweep::new()
+        .benchmark(Benchmark::D26Media)
+        .switch_counts((6..=22).step_by(4))
+        .run(&[&removal, &ordering])?;
 
     println!(
         "{:>9} {:>12} {:>12} {:>16} {:>16}",
         "switches", "removal_vc", "ordering_vc", "removal_power", "ordering_power"
     );
-    for switch_count in (6..=22).step_by(4) {
-        let design = synthesize(&comm, &SynthesisConfig::with_switches(switch_count))?;
-
-        // Paper's algorithm.
-        let mut dr_topology = design.topology.clone();
-        let mut dr_routes = design.routes.clone();
-        let report = remove_deadlocks(&mut dr_topology, &mut dr_routes, &RemovalConfig::default())?;
-        let dr_power = model.estimate(&dr_topology, &comm, &dr_routes);
-
-        // Resource-ordering baseline.
-        let mut ro_topology = design.topology.clone();
-        let mut ro_routes = design.routes.clone();
-        let ro = apply_resource_ordering(&mut ro_topology, &mut ro_routes)?;
-        let ro_power = model.estimate(&ro_topology, &comm, &ro_routes);
-
+    for point in points {
+        let removal = point.outcome(removal.name()).expect("strategy ran");
+        let ordering = point.outcome(ordering.name()).expect("strategy ran");
         println!(
             "{:>9} {:>12} {:>12} {:>13.1} mW {:>13.1} mW",
-            switch_count,
-            report.added_vcs,
-            ro.added_vcs,
-            dr_power.total_power_mw,
-            ro_power.total_power_mw
+            point.switch_count,
+            removal.added_vcs,
+            ordering.added_vcs,
+            removal.power_mw.expect("power estimates are on by default"),
+            ordering
+                .power_mw
+                .expect("power estimates are on by default")
         );
     }
     Ok(())

@@ -4,25 +4,26 @@
 //!
 //! Run with `cargo run --release --example wormhole_simulation`.
 
-use noc_suite::deadlock::removal::{remove_deadlocks, RemovalConfig};
-use noc_suite::deadlock::verify;
-use noc_suite::sim::{SimConfig, Simulator, TrafficConfig};
-use noc_suite::synth::{synthesize, SynthesisConfig};
+use noc_suite::flow::{CycleBreaking, DesignFlow, ShortestPathRouter};
+use noc_suite::sim::{SimConfig, TrafficConfig};
+use noc_suite::synth::SynthesisConfig;
 use noc_suite::topology::benchmarks::Benchmark;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let benchmark = Benchmark::D36x8;
-    let comm = benchmark.comm_graph();
-    let design = synthesize(&comm, &SynthesisConfig::with_switches(12))?;
+    let routed = DesignFlow::from_benchmark(benchmark)
+        .synthesize(SynthesisConfig::with_switches(12))?
+        .route(&ShortestPathRouter::default())?;
 
     println!(
-        "{benchmark}: {} cores, {} flows, 12-switch application-specific topology",
-        comm.core_count(),
-        comm.flow_count()
+        "{benchmark}: {} cores, {} flows ({} active), 12-switch application-specific topology",
+        routed.comm().core_count(),
+        routed.comm().flow_count(),
+        routed.active_flow_count()
     );
-    match verify::check_deadlock_free(&design.topology, &design.routes) {
-        Ok(()) => println!("input routing is already deadlock-free"),
-        Err(cycle) => println!("input routing can deadlock ({cycle})"),
+    match routed.deadlock_evidence() {
+        None => println!("input routing is already deadlock-free"),
+        Some(cycle) => println!("input routing can deadlock ({cycle})"),
     }
 
     let sim_config = SimConfig {
@@ -37,8 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         seed: 99,
     };
 
-    let before = Simulator::new(&design.topology, &comm, &design.routes, &sim_config)
-        .run(&traffic);
+    let before = routed.simulate_with(&sim_config, &traffic);
     println!(
         "before removal: deadlocked = {}, delivered {}/{}, mean latency {:.1}",
         before.deadlocked,
@@ -47,13 +47,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         before.stats.mean_latency()
     );
 
-    let mut topology = design.topology.clone();
-    let mut routes = design.routes.clone();
-    let report = remove_deadlocks(&mut topology, &mut routes, &RemovalConfig::default())?;
-    let after = Simulator::new(&topology, &comm, &routes, &sim_config).run(&traffic);
+    let fixed = routed.resolve_deadlocks(&CycleBreaking::default())?;
+    let after = fixed.simulate_with(&sim_config, &traffic)?.into_outcome();
     println!(
         "after removal ({} VCs added): deadlocked = {}, delivered {}/{}, mean latency {:.1}",
-        report.added_vcs,
+        fixed.resolution().added_vcs,
         after.deadlocked,
         after.stats.delivered_packets,
         after.stats.injected_packets,

@@ -3,9 +3,14 @@
 //! Re-exports every member crate under a single dependency so the
 //! repository-level examples and integration tests can exercise the whole
 //! stack.  Downstream users normally depend on the individual crates
-//! (`noc-deadlock`, `noc-sim`, ...) directly.
+//! (`noc-deadlock`, `noc-sim`, ...) directly — or on [`flow`], the staged
+//! pipeline API that drives the full benchmark → synthesis → routing →
+//! deadlock-removal → power/simulation chain with pluggable
+//! [`Router`](flow::Router) and [`DeadlockStrategy`](flow::DeadlockStrategy)
+//! implementations.
 
 pub use noc_deadlock as deadlock;
+pub use noc_flow as flow;
 pub use noc_graph as graph;
 pub use noc_power as power;
 pub use noc_routing as routing;

@@ -1,43 +1,38 @@
 //! Repository-level integration tests: exercise the whole stack
 //! (benchmark → synthesis → routing → deadlock removal → power → simulation)
-//! through the umbrella crate, the way the examples and the experiment
-//! harness do.
+//! through the umbrella crate's [`noc_suite::flow`] pipeline API, the way
+//! the examples and the experiment harness do.
 
-use noc_suite::deadlock::removal::{remove_deadlocks, RemovalConfig};
-use noc_suite::deadlock::resource_ordering::resource_ordering_overhead;
-use noc_suite::deadlock::verify;
-use noc_suite::power::{NetworkPowerModel, TechParams};
-use noc_suite::routing::validate::validate_routes;
-use noc_suite::sim::{SimConfig, Simulator, TrafficConfig};
-use noc_suite::synth::{synthesize, SynthesisConfig};
+use noc_suite::flow::{
+    CycleBreaking, DeadlockFreeStage, DeadlockStrategy, DesignFlow, ResourceOrdering,
+    ShortestPathRouter,
+};
+use noc_suite::power::TechParams;
+use noc_suite::sim::{SimConfig, TrafficConfig};
+use noc_suite::synth::SynthesisConfig;
 use noc_suite::topology::benchmarks::Benchmark;
-use noc_suite::topology::validate::validate_design;
 
 /// The full Figure-8-style pipeline for one benchmark and one switch count.
+/// Every stage transition auto-runs the `validate_*`/`verify` checks this
+/// test used to call by hand.
 fn pipeline(benchmark: Benchmark, switches: usize) {
-    let comm = benchmark.comm_graph();
-    let design = synthesize(&comm, &SynthesisConfig::with_switches(switches)).unwrap();
-    validate_design(&design.topology, &comm, &design.core_map).unwrap();
-    validate_routes(&design.topology, &comm, &design.core_map, &design.routes).unwrap();
+    let routed = DesignFlow::from_benchmark(benchmark)
+        .synthesize(SynthesisConfig::with_switches(switches))
+        .unwrap()
+        .route(&ShortestPathRouter::default())
+        .unwrap();
 
-    let baseline = resource_ordering_overhead(&design.topology, &design.routes);
+    let baseline = routed.resource_ordering_overhead();
 
-    let mut topology = design.topology.clone();
-    let mut routes = design.routes.clone();
-    let report = remove_deadlocks(&mut topology, &mut routes, &RemovalConfig::default()).unwrap();
-
-    // Deadlock-free, valid, and never worse than the baseline.
-    verify::check_deadlock_free(&topology, &routes).unwrap();
-    validate_routes(&topology, &comm, &design.core_map, &routes).unwrap();
-    assert!(report.added_vcs <= baseline);
+    // The paper's algorithm: deadlock-free and never worse than the baseline.
+    let fixed = routed.resolve_deadlocks(&CycleBreaking::default()).unwrap();
+    assert!(fixed.resolution().added_vcs <= baseline);
 
     // The power model sees the extra buffers of the baseline.
-    let model = NetworkPowerModel::new(TechParams::default());
-    let removal_power = model.estimate(&topology, &comm, &routes).total_power_mw;
-    let mut ro_topology = design.topology.clone();
-    let mut ro_routes = design.routes.clone();
-    noc_suite::deadlock::apply_resource_ordering(&mut ro_topology, &mut ro_routes).unwrap();
-    let ordering_power = model.estimate(&ro_topology, &comm, &ro_routes).total_power_mw;
+    let ordered = routed.resolve_deadlocks(&ResourceOrdering).unwrap();
+    let params = TechParams::default();
+    let removal_power = fixed.power(params.clone()).total_power_mw;
+    let ordering_power = ordered.power(params).total_power_mw;
     assert!(ordering_power >= removal_power);
 }
 
@@ -56,32 +51,56 @@ fn d35_bott_full_pipeline() {
     pipeline(Benchmark::D35Bott, 9);
 }
 
+/// Swapping the deadlock scheme really is a one-line change: the same flow,
+/// parameterised only by the strategy, works for both implementations.
+#[test]
+fn strategies_are_one_line_swaps() {
+    fn fix(strategy: &dyn DeadlockStrategy) -> DeadlockFreeStage {
+        DesignFlow::from_benchmark(Benchmark::D36x8)
+            .synthesize(SynthesisConfig::with_switches(10))
+            .unwrap()
+            .route(&ShortestPathRouter::default())
+            .unwrap()
+            .resolve_deadlocks(strategy) // <- the one line that changes
+            .unwrap()
+    }
+
+    let removal = fix(&CycleBreaking::default());
+    let ordering = fix(&ResourceOrdering);
+    assert_eq!(removal.resolution().strategy, "cycle-breaking");
+    assert_eq!(ordering.resolution().strategy, "resource-ordering");
+    assert!(removal.resolution().added_vcs <= ordering.resolution().added_vcs);
+}
+
 #[test]
 fn repaired_designs_complete_a_simulated_workload() {
-    let comm = Benchmark::D36x6.comm_graph();
-    let design = synthesize(&comm, &SynthesisConfig::with_switches(10)).unwrap();
-    let mut topology = design.topology.clone();
-    let mut routes = design.routes.clone();
-    remove_deadlocks(&mut topology, &mut routes, &RemovalConfig::default()).unwrap();
-
-    let outcome = Simulator::new(
-        &topology,
-        &comm,
-        &routes,
-        &SimConfig {
-            buffer_depth: 2,
-            deadlock_threshold: 1_000,
-            max_cycles: 500_000,
-        },
-    )
-    .run(&TrafficConfig {
-        packets_per_flow: 3,
-        packet_length: 4,
-        mean_gap_cycles: 4,
-        seed: 5,
-    });
+    let simulated = DesignFlow::from_benchmark(Benchmark::D36x6)
+        .synthesize(SynthesisConfig::with_switches(10))
+        .unwrap()
+        .route_default()
+        .unwrap()
+        .resolve_deadlocks(&CycleBreaking::default())
+        .unwrap()
+        .simulate_with(
+            &SimConfig {
+                buffer_depth: 2,
+                deadlock_threshold: 1_000,
+                max_cycles: 500_000,
+            },
+            &TrafficConfig {
+                packets_per_flow: 3,
+                packet_length: 4,
+                mean_gap_cycles: 4,
+                seed: 5,
+            },
+        )
+        .unwrap();
+    let outcome = simulated.outcome();
     assert!(!outcome.deadlocked);
-    assert_eq!(outcome.stats.delivered_packets, outcome.stats.injected_packets);
+    assert_eq!(
+        outcome.stats.delivered_packets,
+        outcome.stats.injected_packets
+    );
 }
 
 #[test]
@@ -93,4 +112,7 @@ fn umbrella_reexports_are_usable() {
     assert_eq!(Benchmark::ALL.len(), 6);
     let params = TechParams::default();
     assert!(params.buffer_bits() > 0);
+    // The flow API is reachable as noc_suite::flow.
+    let flow = DesignFlow::from_benchmark(Benchmark::D26Media);
+    assert_eq!(flow.label(), "D26_media");
 }
