@@ -1,11 +1,15 @@
 //! Reproduces Figure 10: normalised NoC power consumption of the
 //! resource-ordering baseline relative to the deadlock-removal algorithm for
 //! the six SoC benchmarks at 14 switches.
+//!
+//! All six benchmarks run as one parallel sweep; pass `--json <path>` to
+//! write the per-benchmark comparison as a JSON artifact.
 
-use noc_bench::{power_comparison, sweeps};
+use noc_bench::{artifact, power_comparisons, sweeps};
 use noc_topology::benchmarks::Benchmark;
 
 fn main() {
+    let json_path = artifact::json_path_from_args("fig10_power");
     println!(
         "# Figure 10 — normalised power (resource ordering / deadlock removal), {} switches",
         sweeps::FIG10_SWITCHES
@@ -14,8 +18,13 @@ fn main() {
         "{:>12} {:>18} {:>18} {:>12} {:>12}",
         "benchmark", "removal_norm", "ordering_norm", "removal_vc", "ordering_vc"
     );
-    for benchmark in Benchmark::ALL {
-        let c = power_comparison(benchmark, sweeps::FIG10_SWITCHES);
+    let comparisons = power_comparisons(Benchmark::ALL, sweeps::FIG10_SWITCHES, |progress| {
+        eprintln!(
+            "[{}/{}] {} done",
+            progress.completed, progress.total, progress.point.benchmark
+        );
+    });
+    for c in &comparisons {
         println!(
             "{:>12} {:>18.3} {:>18.3} {:>12} {:>12}",
             c.benchmark,
@@ -24,5 +33,8 @@ fn main() {
             c.removal_vcs,
             c.ordering_vcs
         );
+    }
+    if let Some(path) = json_path {
+        artifact::write_json_artifact(&path, "fig10_power", &comparisons);
     }
 }

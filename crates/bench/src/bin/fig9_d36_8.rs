@@ -1,16 +1,28 @@
 //! Reproduces Figure 9: extra VCs versus switch count for D36_8 (36 cores,
 //! fan-out 8), resource ordering versus the deadlock-removal algorithm.
+//!
+//! The sweep runs sharded across worker threads (progress on stderr); pass
+//! `--json <path>` to also write the series as a JSON artifact for plotting
+//! outside Rust.
 
-use noc_bench::{sweeps, vc_overhead_sweep};
+use noc_bench::{artifact, sweeps, vc_overhead_sweep_streaming};
 use noc_topology::benchmarks::Benchmark;
 
 fn main() {
+    let json_path = artifact::json_path_from_args("fig9_d36_8");
     println!("# Figure 9 — D36_8: extra VCs vs. switch count");
     println!(
         "{:>12} {:>22} {:>22} {:>14}",
         "switches", "resource_ordering_vc", "deadlock_removal_vc", "cycles_broken"
     );
-    for point in vc_overhead_sweep(Benchmark::D36x8, sweeps::FIG9_SWITCH_COUNTS) {
+    let points =
+        vc_overhead_sweep_streaming(Benchmark::D36x8, sweeps::FIG9_SWITCH_COUNTS, |progress| {
+            eprintln!(
+                "[{}/{}] {} switches done",
+                progress.completed, progress.total, progress.point.switch_count
+            );
+        });
+    for point in &points {
         println!(
             "{:>12} {:>22} {:>22} {:>14}",
             point.switch_count,
@@ -18,5 +30,8 @@ fn main() {
             point.deadlock_removal_vcs,
             point.cycles_broken
         );
+    }
+    if let Some(path) = json_path {
+        artifact::write_json_artifact(&path, "fig9_d36_8", &points);
     }
 }

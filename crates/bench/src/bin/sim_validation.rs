@@ -1,11 +1,15 @@
 //! Dynamic validation (beyond the paper's analytical argument): simulate
 //! each benchmark design before and after deadlock removal under a
 //! high-pressure wormhole workload and report whether deadlocks occur.
+//!
+//! Pass `--json <path>` to write the per-benchmark outcomes as a JSON
+//! artifact.
 
-use noc_bench::simulate_before_after;
+use noc_bench::{artifact, simulate_before_after, SimValidation};
 use noc_topology::benchmarks::Benchmark;
 
 fn main() {
+    let json_path = artifact::json_path_from_args("sim_validation");
     println!("# Wormhole simulation: deadlock behaviour before/after removal (10-switch designs)");
     println!(
         "{:>12} {:>14} {:>20} {:>18} {:>16} {:>16}",
@@ -16,6 +20,7 @@ fn main() {
         "fixed_delivered",
         "fixed_latency"
     );
+    let mut validations: Vec<SimValidation> = Vec::new();
     for benchmark in Benchmark::ALL {
         let v = simulate_before_after(benchmark, 10);
         println!(
@@ -27,5 +32,9 @@ fn main() {
             v.fixed_delivered,
             v.fixed_mean_latency
         );
+        validations.push(v);
+    }
+    if let Some(path) = json_path {
+        artifact::write_json_artifact(&path, "sim_validation", &validations);
     }
 }

@@ -1,11 +1,32 @@
 //! Reproduces the prose numbers of Section 5: average VC / area / power
 //! savings of the deadlock-removal algorithm versus resource ordering and its
 //! overhead versus the unmodified (deadlock-prone) designs.
+//!
+//! The six benchmark comparisons run as one parallel sweep; pass
+//! `--json <path>` to write the comparisons and aggregates as a JSON
+//! artifact.
 
-use noc_bench::{power_comparison, summary, sweeps, PowerComparison};
+use noc_bench::{artifact, power_comparisons, summary, sweeps, PowerComparison, Summary};
+use noc_flow::json::{ObjectWriter, ToJson};
 use noc_topology::benchmarks::Benchmark;
 
+/// The artifact payload: the per-benchmark rows plus the aggregates.
+struct SummaryArtifact {
+    comparisons: Vec<PowerComparison>,
+    summary: Summary,
+}
+
+impl ToJson for SummaryArtifact {
+    fn write_json(&self, out: &mut String) {
+        ObjectWriter::new(out)
+            .field("comparisons", &self.comparisons)
+            .field("summary", &self.summary)
+            .finish();
+    }
+}
+
 fn main() {
+    let json_path = artifact::json_path_from_args("summary_table");
     println!(
         "# Section 5 summary — per-benchmark comparison at {} switches",
         sweeps::FIG10_SWITCHES
@@ -20,10 +41,12 @@ fn main() {
         "power_saving",
         "power_overhead"
     );
-    let comparisons: Vec<PowerComparison> = Benchmark::ALL
-        .into_iter()
-        .map(|b| power_comparison(b, sweeps::FIG10_SWITCHES))
-        .collect();
+    let comparisons = power_comparisons(Benchmark::ALL, sweeps::FIG10_SWITCHES, |progress| {
+        eprintln!(
+            "[{}/{}] {} done",
+            progress.completed, progress.total, progress.point.benchmark
+        );
+    });
     for c in &comparisons {
         println!(
             "{:>12} {:>12} {:>12} {:>13.1}% {:>13.1}% {:>15.2}% {:>15.2}%",
@@ -59,4 +82,11 @@ fn main() {
         "mean area overhead vs. no removal:       {:>6.2}%",
         s.mean_area_overhead * 100.0
     );
+    if let Some(path) = json_path {
+        let data = SummaryArtifact {
+            comparisons,
+            summary: s,
+        };
+        artifact::write_json_artifact(&path, "summary_table", &data);
+    }
 }

@@ -19,8 +19,10 @@
 
 use noc_deadlock::removal::RemovalConfig;
 use noc_deadlock::report::RemovalReport;
+use noc_flow::json::{ObjectWriter, ToJson};
 use noc_flow::{
     CycleBreaking, DeadlockStrategy, DesignFlow, FlowSweep, ResourceOrdering, RoutedStage,
+    SweepPoint, SweepProgress,
 };
 use noc_sim::{SimConfig, TrafficConfig};
 use noc_synth::{synthesize, SynthesisConfig, SynthesisError, SynthesizedDesign};
@@ -63,13 +65,24 @@ pub fn vc_overhead_sweep(
     benchmark: Benchmark,
     switch_counts: impl IntoIterator<Item = usize>,
 ) -> Vec<VcSweepPoint> {
+    vc_overhead_sweep_streaming(benchmark, switch_counts, |_| {})
+}
+
+/// [`vc_overhead_sweep`] on the parallel executor, streaming a progress
+/// notification to `observer` as each grid point completes (completion
+/// order); the returned points are in switch-count order regardless.
+pub fn vc_overhead_sweep_streaming(
+    benchmark: Benchmark,
+    switch_counts: impl IntoIterator<Item = usize>,
+    observer: impl FnMut(SweepProgress<'_>),
+) -> Vec<VcSweepPoint> {
     let removal = CycleBreaking::default();
     let ordering = ResourceOrdering;
     let points = FlowSweep::new()
         .benchmark(benchmark)
         .switch_counts(switch_counts)
         .power_estimates(false) // Figures 8/9 only plot VC counts
-        .run(&[&removal, &ordering])
+        .run_streaming(&[&removal, &ordering], observer)
         .unwrap_or_else(|e| panic!("sweep failed for {benchmark}: {e}"));
     points
         .into_iter()
@@ -157,27 +170,45 @@ impl PowerComparison {
 /// Regenerates one bar group of Figure 10 (default: 14-switch topologies, as
 /// in the paper).
 pub fn power_comparison(benchmark: Benchmark, switch_count: usize) -> PowerComparison {
+    power_comparisons([benchmark], switch_count, |_| {})
+        .into_iter()
+        .next()
+        .unwrap_or_else(|| panic!("switch count {switch_count} infeasible for {benchmark}"))
+}
+
+/// Regenerates a whole Figure 10 bar row in one parallel sweep: every
+/// benchmark at the same switch count, sharded across worker threads, with
+/// per-point progress streamed to `observer`.  Infeasible benchmarks are
+/// skipped, so the result can be shorter than the input.
+pub fn power_comparisons(
+    benchmarks: impl IntoIterator<Item = Benchmark>,
+    switch_count: usize,
+    observer: impl FnMut(SweepProgress<'_>),
+) -> Vec<PowerComparison> {
     let removal_strategy = CycleBreaking::default();
     let ordering_strategy = ResourceOrdering;
     let points = FlowSweep::new()
-        .benchmark(benchmark)
+        .benchmarks(benchmarks)
         .switch_counts([switch_count])
-        .run(&[&removal_strategy, &ordering_strategy])
-        .unwrap_or_else(|e| panic!("flow failed for {benchmark}/{switch_count}: {e}"));
-    let point = points
-        .into_iter()
-        .next()
-        .unwrap_or_else(|| panic!("switch count {switch_count} infeasible for {benchmark}"));
-    let removal = point
-        .outcome(removal_strategy.name())
-        .expect("strategy ran");
-    let ordering = point
-        .outcome(ordering_strategy.name())
-        .expect("strategy ran");
+        .run_streaming(&[&removal_strategy, &ordering_strategy], observer)
+        .unwrap_or_else(|e| panic!("flow failed at {switch_count} switches: {e}"));
+    points
+        .iter()
+        .map(|p| comparison_from_point(p, removal_strategy.name(), ordering_strategy.name()))
+        .collect()
+}
 
+/// Extracts the Figure 10 numbers from one power-enabled sweep point.
+fn comparison_from_point(
+    point: &SweepPoint,
+    removal_name: &str,
+    ordering_name: &str,
+) -> PowerComparison {
+    let removal = point.outcome(removal_name).expect("strategy ran");
+    let ordering = point.outcome(ordering_name).expect("strategy ran");
     let enabled = "power estimates are on by default";
     PowerComparison {
-        benchmark: benchmark.name().to_string(),
+        benchmark: point.benchmark.name().to_string(),
         original_power_mw: point.original_power_mw.expect(enabled),
         removal_power_mw: removal.power_mw.expect(enabled),
         ordering_power_mw: ordering.power_mw.expect(enabled),
@@ -316,6 +347,110 @@ pub fn run_removal(design: &SynthesizedDesign, config: &RemovalConfig) -> Remova
         .resolve_cloned(&design.topology, &design.routes)
         .expect("removal succeeds on the benchmark suite");
     resolution.removal.expect("cycle breaking reports removal")
+}
+
+impl ToJson for VcSweepPoint {
+    fn write_json(&self, out: &mut String) {
+        ObjectWriter::new(out)
+            .field("switch_count", &self.switch_count)
+            .field("resource_ordering_vcs", &self.resource_ordering_vcs)
+            .field("deadlock_removal_vcs", &self.deadlock_removal_vcs)
+            .field("cycles_broken", &self.cycles_broken)
+            .finish();
+    }
+}
+
+impl ToJson for PowerComparison {
+    fn write_json(&self, out: &mut String) {
+        ObjectWriter::new(out)
+            .field("benchmark", &self.benchmark)
+            .field("original_power_mw", &self.original_power_mw)
+            .field("removal_power_mw", &self.removal_power_mw)
+            .field("ordering_power_mw", &self.ordering_power_mw)
+            .field("original_area_um2", &self.original_area_um2)
+            .field("removal_area_um2", &self.removal_area_um2)
+            .field("ordering_area_um2", &self.ordering_area_um2)
+            .field("removal_vcs", &self.removal_vcs)
+            .field("ordering_vcs", &self.ordering_vcs)
+            .field(
+                "normalised_ordering_power",
+                &self.normalised_ordering_power(),
+            )
+            .finish();
+    }
+}
+
+impl ToJson for Summary {
+    fn write_json(&self, out: &mut String) {
+        ObjectWriter::new(out)
+            .field("mean_vc_saving", &self.mean_vc_saving)
+            .field("mean_area_saving", &self.mean_area_saving)
+            .field("mean_power_saving", &self.mean_power_saving)
+            .field("mean_power_overhead", &self.mean_power_overhead)
+            .field("mean_area_overhead", &self.mean_area_overhead)
+            .finish();
+    }
+}
+
+impl ToJson for SimValidation {
+    fn write_json(&self, out: &mut String) {
+        ObjectWriter::new(out)
+            .field("benchmark", &self.benchmark)
+            .field("original_cdg_cyclic", &self.original_cdg_cyclic)
+            .field("original_deadlocked", &self.original_deadlocked)
+            .field("fixed_deadlocked", &self.fixed_deadlocked)
+            .field("fixed_delivered", &self.fixed_delivered)
+            .field("fixed_mean_latency", &self.fixed_mean_latency)
+            .finish();
+    }
+}
+
+/// `--json <path>` artifact support shared by the figure binaries.
+pub mod artifact {
+    use noc_flow::json::{JsonValue, ObjectWriter, ToJson};
+    use std::path::PathBuf;
+
+    /// Extracts `--json <path>` (or `--json=<path>`) from the command line.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message when `--json` is passed without a path
+    /// or an unknown argument is present — the figure binaries take no
+    /// other arguments.
+    pub fn json_path_from_args(figure: &str) -> Option<PathBuf> {
+        let mut args = std::env::args().skip(1);
+        let mut path = None;
+        while let Some(arg) = args.next() {
+            if arg == "--json" {
+                let value = args
+                    .next()
+                    .unwrap_or_else(|| panic!("usage: {figure} [--json <path>]"));
+                path = Some(PathBuf::from(value));
+            } else if let Some(value) = arg.strip_prefix("--json=") {
+                path = Some(PathBuf::from(value));
+            } else {
+                panic!("unknown argument {arg:?}; usage: {figure} [--json <path>]");
+            }
+        }
+        path
+    }
+
+    /// Renders a figure artifact — `{"figure": ..., "data": ...}` — and
+    /// writes it to `path`, re-parsing the output first so a serializer bug
+    /// can never produce an unreadable artifact.
+    pub fn write_json_artifact(path: &std::path::Path, figure: &str, data: &dyn ToJson) {
+        let mut out = String::new();
+        ObjectWriter::new(&mut out)
+            .field("figure", &figure)
+            .field("data", data)
+            .finish();
+        out.push('\n');
+        JsonValue::parse(&out)
+            .unwrap_or_else(|e| panic!("internal error: artifact for {figure} is invalid: {e}"));
+        std::fs::write(path, &out)
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        eprintln!("wrote {}", path.display());
+    }
 }
 
 /// The switch-count ranges used by the paper for its two sweep figures.

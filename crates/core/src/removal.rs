@@ -250,49 +250,65 @@ fn break_cycle(
         duplicates.insert(channel, new_channel);
     }
 
-    // Re-route every flow that creates the removed dependency.
+    // Re-route every flow that creates the removed dependency.  A route may
+    // traverse the `from -> to` pair more than once (flows that re-enter the
+    // cycle); every occurrence must move onto the duplicates, otherwise the
+    // dependency edge survives the break and the loop re-breaks the same
+    // cycle, burning extra VCs.
     let offending = offending_flows(routes, from, to);
+    let mut flows_rerouted = 0;
     for &flow in &offending {
         let route = routes
             .route_mut(flow)
             .expect("offending flows exist in the route set");
         let channels = route.channels_mut();
-        // Position of the `from -> to` pair inside this flow's route.
-        let Some(p) = (0..channels.len().saturating_sub(1))
-            .find(|&i| channels[i] == from && channels[i + 1] == to)
-        else {
-            continue;
-        };
-        match direction {
-            Direction::Forward => {
-                // Replace `from` and the contiguous duplicated channels
-                // preceding it in this route.
-                let mut i = p as isize;
-                while i >= 0 {
-                    if let Some(&dup) = duplicates.get(&channels[i as usize]) {
-                        channels[i as usize] = dup;
-                        i -= 1;
-                    } else {
-                        break;
+        let mut modified = false;
+        // Scan for every position of the `from -> to` pair.  Replacements
+        // only ever rewrite channels at or before (forward) / after
+        // (backward) the current occurrence, and rewrite the matched
+        // channel itself, so an ascending scan visits each occurrence once.
+        let mut p = 0;
+        while p + 1 < channels.len() {
+            if !(channels[p] == from && channels[p + 1] == to) {
+                p += 1;
+                continue;
+            }
+            modified = true;
+            match direction {
+                Direction::Forward => {
+                    // Replace `from` and the contiguous duplicated channels
+                    // preceding it in this route.
+                    let mut i = p as isize;
+                    while i >= 0 {
+                        if let Some(&dup) = duplicates.get(&channels[i as usize]) {
+                            channels[i as usize] = dup;
+                            i -= 1;
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                Direction::Backward => {
+                    // Replace `to` and the contiguous duplicated channels
+                    // following it in this route.
+                    let mut i = p + 1;
+                    while i < channels.len() {
+                        if let Some(&dup) = duplicates.get(&channels[i]) {
+                            channels[i] = dup;
+                            i += 1;
+                        } else {
+                            break;
+                        }
                     }
                 }
             }
-            Direction::Backward => {
-                // Replace `to` and the contiguous duplicated channels
-                // following it in this route.
-                let mut i = p + 1;
-                while i < channels.len() {
-                    if let Some(&dup) = duplicates.get(&channels[i]) {
-                        channels[i] = dup;
-                        i += 1;
-                    } else {
-                        break;
-                    }
-                }
-            }
+            p += 1;
+        }
+        if modified {
+            flows_rerouted += 1;
         }
     }
-    Ok(offending.len())
+    Ok(flows_rerouted)
 }
 
 /// The flows whose route contains the channel pair `from` immediately
@@ -454,6 +470,88 @@ mod tests {
         assert_eq!(report.steps[0].flows_rerouted, 2);
         assert_eq!(report.steps[0].cycle_len, 4);
     }
+
+    /// A design whose only smallest cycle is broken at a dependency that one
+    /// flow traverses twice: F0 goes around `A -> B`, detours through W1/W2,
+    /// and crosses `A -> B` again.  F1 and F2 create the other two
+    /// dependencies of the CDG cycle [A, B, C] at forward cost 3 each, so
+    /// the forward cost table is [3, 3, 3] and the tie-break selects the
+    /// doubled dependency `A -> B`.
+    fn double_crossing_design() -> (Topology, RouteSet) {
+        let mut topo = Topology::new();
+        let s0 = topo.add_switch("s0");
+        let s1 = topo.add_switch("s1");
+        // Nine parallel links: A, B, C (the cycle), W1, W2 (F0's detour),
+        // Y0, Y1 and Z0, Z1 (the detours of F1 and F2).
+        let l: Vec<Channel> = (0..9)
+            .map(|_| Channel::base(topo.add_link(s0, s1, 1.0)))
+            .collect();
+        let (a, b, c, w1, w2, y0, y1, z0, z1) =
+            (l[0], l[1], l[2], l[3], l[4], l[5], l[6], l[7], l[8]);
+        let mut routes = RouteSet::new(3);
+        routes.set_route(
+            FlowId::from_index(0),
+            noc_routing::Route::new(vec![a, b, w1, w2, a, b]),
+        );
+        routes.set_route(
+            FlowId::from_index(1),
+            noc_routing::Route::new(vec![b, y0, c, y1, b, c]),
+        );
+        routes.set_route(
+            FlowId::from_index(2),
+            noc_routing::Route::new(vec![c, z0, a, z1, c, a]),
+        );
+        (topo, routes)
+    }
+
+    #[test]
+    fn break_cycle_reroutes_every_occurrence_of_the_pair() {
+        let (mut topo, mut routes) = double_crossing_design();
+        let channels: Vec<Channel> = topo.channels().collect();
+        let (a, b, c) = (channels[0], channels[1], channels[2]);
+        // Break the dependency A -> B of the cycle [A, B, C] forward at
+        // cost 1 (duplicate A only).
+        let rerouted =
+            break_cycle(&mut topo, &mut routes, &[a, b, c], 0, 1, Direction::Forward).unwrap();
+        assert_eq!(rerouted, 1, "one flow crosses A -> B (twice)");
+        // Both occurrences must have moved off the pair, otherwise the
+        // dependency edge survives the break.
+        assert!(
+            offending_flows(&routes, a, b).is_empty(),
+            "no route may still traverse the broken pair"
+        );
+        let f0 = routes.route(FlowId::from_index(0)).unwrap().channels();
+        assert_eq!(f0[0], f0[4], "both crossings use the same duplicate");
+        assert_ne!(f0[0], a);
+    }
+
+    #[test]
+    fn multi_occurrence_pair_is_fully_rerouted_end_to_end() {
+        let (mut topo, mut routes) = double_crossing_design();
+        // Forward-only makes the cost analysis above exact: the first break
+        // attacks the doubled dependency A -> B.
+        let config = RemovalConfig {
+            direction: DirectionPolicy::ForwardOnly,
+            ..RemovalConfig::default()
+        };
+        let report = remove_deadlocks(&mut topo, &mut routes, &config).unwrap();
+        assert!(verify::check_deadlock_free(&topo, &routes).is_ok());
+        assert_eq!(
+            topo.extra_vc_count(),
+            report.added_vcs,
+            "every added VC is accounted for exactly once"
+        );
+        // One break per remaining cycle — re-breaking the same cycle because
+        // an occurrence survived would inflate both counters.
+        assert_eq!(report.cycles_broken, PINNED_CYCLES_BROKEN);
+        assert_eq!(report.added_vcs, PINNED_ADDED_VCS);
+    }
+
+    // Pinned outcome of `multi_occurrence_pair_is_fully_rerouted_end_to_end`:
+    // the algorithm is fully deterministic, so any change to these numbers
+    // is a behavioural change of the removal loop.
+    const PINNED_CYCLES_BROKEN: usize = 6;
+    const PINNED_ADDED_VCS: usize = 11;
 
     #[test]
     fn error_display_for_inconsistent_cycle() {

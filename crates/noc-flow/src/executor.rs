@@ -1,0 +1,151 @@
+//! Sharded execution of [`FlowSweep`] grids on scoped worker threads.
+//!
+//! The paper's evaluation (Figures 8–10) is a grid of fully independent
+//! (benchmark × switch-count) design points, so the sweep parallelizes
+//! trivially: workers claim grid indices from a shared atomic counter,
+//! compute their point, and send `(index, point)` back over a channel.  The
+//! coordinating thread streams completions to an observer as they arrive and
+//! slots each point into its grid position, so the returned vector is in
+//! deterministic grid order no matter how the workers interleave.
+//!
+//! Built on `std::thread::scope` + `std::sync::mpsc` only — the offline
+//! build environment has no external dependencies (no rayon/crossbeam).
+
+use crate::error::FlowError;
+use crate::router::Router;
+use crate::strategy::DeadlockStrategy;
+use crate::sweep::{FlowSweep, SweepPoint};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// A progress notification handed to the observer of
+/// [`FlowSweep::run_streaming`] each time a worker finishes a grid point.
+#[derive(Debug)]
+pub struct SweepProgress<'a> {
+    /// Position of the point in the deterministic grid order (the index it
+    /// will occupy in the returned vector).
+    pub index: usize,
+    /// Number of points completed so far, this one included.  Completion
+    /// order is not grid order: a sweep is done when `completed == total`,
+    /// not when `index == total - 1`.
+    pub completed: usize,
+    /// Total number of feasible grid points in the sweep.
+    pub total: usize,
+    /// The point that just completed.
+    pub point: &'a SweepPoint,
+}
+
+/// Runs the sweep grid across scoped worker threads and streams completions
+/// through `observer`; returns the points in grid order.
+///
+/// The worker count is the sweep's
+/// [`worker_threads`](FlowSweep::worker_threads) setting, auto-sized to the
+/// machine's available parallelism when unset and never larger than the
+/// grid.  When a point fails, remaining work is abandoned (claimed points
+/// still finish) and the error of the failed point earliest in grid order
+/// is returned.
+pub(crate) fn run_sharded(
+    sweep: &FlowSweep,
+    router: Option<&dyn Router>,
+    strategies: &[&dyn DeadlockStrategy],
+    mut observer: impl FnMut(SweepProgress<'_>),
+) -> Result<Vec<SweepPoint>, FlowError> {
+    let grid = sweep.grid();
+    let total = grid.len();
+    let workers = worker_count(sweep.requested_threads(), total);
+
+    let next = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let (tx, rx) = mpsc::channel::<(usize, Result<SweepPoint, FlowError>)>();
+
+    let mut slots: Vec<Option<SweepPoint>> = Vec::new();
+    slots.resize_with(total, || None);
+    // Errors are kept with their grid index: if several in-flight points
+    // fail, the one earliest in grid order wins, matching what the serial
+    // run would have reported.
+    let mut first_error: Option<(usize, FlowError)> = None;
+    let mut completed = 0usize;
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let abort = &abort;
+            let grid = &grid;
+            scope.spawn(move || loop {
+                if abort.load(Ordering::Relaxed) {
+                    break;
+                }
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&(benchmark, switch_count)) = grid.get(index) else {
+                    break;
+                };
+                let result = sweep.compute_point(benchmark, switch_count, router, strategies);
+                if result.is_err() {
+                    abort.store(true, Ordering::Relaxed);
+                }
+                if tx.send((index, result)).is_err() {
+                    break;
+                }
+            });
+        }
+        // The workers hold the only remaining senders: the loop below ends
+        // once every worker has exited.
+        drop(tx);
+
+        for (index, result) in rx {
+            match result {
+                Ok(point) => {
+                    completed += 1;
+                    observer(SweepProgress {
+                        index,
+                        completed,
+                        total,
+                        point: &point,
+                    });
+                    slots[index] = Some(point);
+                }
+                Err(error) => {
+                    if first_error.as_ref().is_none_or(|(i, _)| index < *i) {
+                        first_error = Some((index, error));
+                    }
+                }
+            }
+        }
+    });
+
+    if let Some((_, error)) = first_error {
+        return Err(error);
+    }
+    Ok(slots
+        .into_iter()
+        .map(|slot| slot.expect("every grid index was computed exactly once"))
+        .collect())
+}
+
+/// Resolves the configured thread count: `0` auto-sizes to the machine's
+/// available parallelism; the pool never exceeds the grid size and is at
+/// least one thread.
+fn worker_count(requested: usize, grid_len: usize) -> usize {
+    let threads = if requested == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        requested
+    };
+    threads.clamp(1, grid_len.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_count_auto_sizes_and_clamps() {
+        assert_eq!(worker_count(4, 2), 2, "never more workers than points");
+        assert_eq!(worker_count(4, 100), 4);
+        assert_eq!(worker_count(1, 0), 1, "empty grids still get one worker");
+        assert!(worker_count(0, 100) >= 1, "auto mode is at least one");
+    }
+}

@@ -1,0 +1,738 @@
+//! Hand-rolled, dependency-free JSON support for sweep results.
+//!
+//! The offline build environment has no crates.io access, so instead of
+//! serde this module provides the small slice of JSON the suite needs:
+//!
+//! * [`ToJson`] — a writer trait implemented for the sweep result types
+//!   ([`SweepPoint`], [`StrategyOutcome`](crate::StrategyOutcome),
+//!   [`RemovalReport`]) and the primitives they are built from, with an
+//!   escaping-correct string encoder,
+//! * [`JsonValue`] — a tiny parsed representation with a strict parser,
+//!   used by the figure binaries' `--json` artifact checker and the
+//!   round-trip tests.
+//!
+//! Output is deterministic: object keys are emitted in declaration order,
+//! numbers through Rust's `Display` (which never produces exponent
+//! notation), non-finite floats as `null`.
+
+use crate::sweep::{StrategyOutcome, SweepPoint};
+use noc_deadlock::cost::Direction;
+use noc_deadlock::report::{BreakStep, RemovalReport};
+use noc_topology::benchmarks::Benchmark;
+use std::fmt;
+
+/// Serializes a value as JSON into a growing buffer.
+///
+/// Implementations must append exactly one valid JSON value to `out`.
+pub trait ToJson {
+    /// Appends this value's JSON encoding to `out`.
+    fn write_json(&self, out: &mut String);
+
+    /// This value's JSON encoding as a fresh string.
+    fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+}
+
+/// Appends `text` as a JSON string literal (quotes included), escaping
+/// quotes, backslashes and every control character.
+pub fn write_escaped(out: &mut String, text: &str) {
+    out.push('"');
+    for ch in text.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl ToJson for bool {
+    fn write_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl ToJson for usize {
+    fn write_json(&self, out: &mut String) {
+        out.push_str(&self.to_string());
+    }
+}
+
+impl ToJson for f64 {
+    /// Non-finite values have no JSON encoding and are emitted as `null`,
+    /// like every mainstream serializer's lossy mode.
+    fn write_json(&self, out: &mut String) {
+        if self.is_finite() {
+            out.push_str(&self.to_string());
+        } else {
+            out.push_str("null");
+        }
+    }
+}
+
+impl ToJson for str {
+    fn write_json(&self, out: &mut String) {
+        write_escaped(out, self);
+    }
+}
+
+impl ToJson for String {
+    fn write_json(&self, out: &mut String) {
+        write_escaped(out, self);
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Some(value) => value.write_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn write_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, item) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            item.write_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn write_json(&self, out: &mut String) {
+        self.as_slice().write_json(out);
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn write_json(&self, out: &mut String) {
+        (**self).write_json(out);
+    }
+}
+
+/// Incremental JSON object writer used by the struct impls below (and by
+/// downstream crates adding [`ToJson`] to their own result types).
+///
+/// # Example
+///
+/// ```
+/// use noc_flow::json::ObjectWriter;
+///
+/// let mut out = String::new();
+/// ObjectWriter::new(&mut out)
+///     .field("name", &"fig8")
+///     .field("points", &3usize)
+///     .finish();
+/// assert_eq!(out, r#"{"name":"fig8","points":3}"#);
+/// ```
+pub struct ObjectWriter<'a> {
+    out: &'a mut String,
+    first: bool,
+}
+
+impl<'a> ObjectWriter<'a> {
+    /// Opens an object (writes `{`).
+    pub fn new(out: &'a mut String) -> Self {
+        out.push('{');
+        ObjectWriter { out, first: true }
+    }
+
+    /// Writes one `"key": value` member.
+    pub fn field(mut self, key: &str, value: &dyn ToJson) -> Self {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        write_escaped(self.out, key);
+        self.out.push(':');
+        value.write_json(self.out);
+        self
+    }
+
+    /// Closes the object (writes `}`).
+    pub fn finish(self) {
+        self.out.push('}');
+    }
+}
+
+impl ToJson for Benchmark {
+    fn write_json(&self, out: &mut String) {
+        write_escaped(out, self.name());
+    }
+}
+
+impl ToJson for Direction {
+    fn write_json(&self, out: &mut String) {
+        write_escaped(out, &self.to_string());
+    }
+}
+
+impl ToJson for BreakStep {
+    fn write_json(&self, out: &mut String) {
+        ObjectWriter::new(out)
+            .field("cycle_len", &self.cycle_len)
+            .field("direction", &self.direction)
+            .field("vcs_added", &self.vcs_added)
+            .field("flows_rerouted", &self.flows_rerouted)
+            .finish();
+    }
+}
+
+impl ToJson for RemovalReport {
+    fn write_json(&self, out: &mut String) {
+        ObjectWriter::new(out)
+            .field("added_vcs", &self.added_vcs)
+            .field("cycles_broken", &self.cycles_broken)
+            .field("already_deadlock_free", &self.already_deadlock_free)
+            .field("steps", &self.steps)
+            .finish();
+    }
+}
+
+impl ToJson for StrategyOutcome {
+    fn write_json(&self, out: &mut String) {
+        ObjectWriter::new(out)
+            .field("strategy", &self.strategy)
+            .field("added_vcs", &self.added_vcs)
+            .field("cycles_broken", &self.cycles_broken)
+            .field("power_mw", &self.power_mw)
+            .field("area_um2", &self.area_um2)
+            .finish();
+    }
+}
+
+impl ToJson for SweepPoint {
+    fn write_json(&self, out: &mut String) {
+        ObjectWriter::new(out)
+            .field("benchmark", &self.benchmark)
+            .field("switch_count", &self.switch_count)
+            .field("active_flows", &self.active_flows)
+            .field("mean_hops", &self.mean_hops)
+            .field("original_power_mw", &self.original_power_mw)
+            .field("original_area_um2", &self.original_area_um2)
+            .field("outcomes", &self.outcomes)
+            .finish();
+    }
+}
+
+/// A parsed JSON document (strict subset of ECMA-404: no trailing commas,
+/// no comments, objects as ordered key/value lists).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number, held as `f64`.
+    Number(f64),
+    /// A string, unescaped.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object; keys keep their document order (duplicates preserved).
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Parses a complete JSON document (surrounding whitespace allowed,
+    /// trailing garbage rejected).
+    pub fn parse(input: &str) -> Result<JsonValue, JsonParseError> {
+        let mut parser = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+            depth: 0,
+        };
+        parser.skip_ws();
+        let value = parser.value()?;
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return Err(parser.error("trailing characters after the document"));
+        }
+        Ok(value)
+    }
+
+    /// Looks up a key in an object (first occurrence); `None` for non-objects.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The elements of an array; `None` for non-arrays.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The numeric value; `None` for non-numbers.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value; `None` for non-strings.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl ToJson for JsonValue {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => b.write_json(out),
+            JsonValue::Number(n) => n.write_json(out),
+            JsonValue::String(s) => write_escaped(out, s),
+            JsonValue::Array(items) => items.write_json(out),
+            JsonValue::Object(members) => {
+                let mut writer = ObjectWriter::new(out);
+                for (key, value) in members {
+                    writer = writer.field(key, value);
+                }
+                writer.finish();
+            }
+        }
+    }
+}
+
+impl fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_json())
+    }
+}
+
+/// A parse failure with the byte offset where it happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// Byte offset into the input.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+/// Containers deeper than this are rejected: the parser is recursive
+/// descent, so a depth cap turns pathological inputs (`[[[[…`) into a
+/// [`JsonParseError`] instead of a stack overflow.
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: &str) -> JsonParseError {
+        JsonParseError {
+            offset: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, expected: u8) -> Result<(), JsonParseError> {
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", expected as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, JsonParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonParseError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'"') => self.string().map(JsonValue::String),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn enter(&mut self) -> Result<(), JsonParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.error("nesting deeper than 128 levels"));
+        }
+        Ok(())
+    }
+
+    fn array(&mut self) -> Result<JsonValue, JsonParseError> {
+        self.eat(b'[')?;
+        self.enter()?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.error("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, JsonParseError> {
+        self.eat(b'{')?;
+        self.enter()?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(JsonValue::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(JsonValue::Object(members));
+                }
+                _ => return Err(self.error("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: a single 0, or a nonzero digit followed by digits.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.error("expected a digit")),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.error("expected a digit after '.'"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.error("expected a digit in the exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number characters are ASCII");
+        let number: f64 = text.parse().expect("grammar guarantees a float literal");
+        // `f64::from_str` never fails on the JSON grammar but saturates to
+        // infinity (e.g. "1e999"); a non-finite Number would have no JSON
+        // encoding on the writer side, so a strict parser rejects it.
+        if !number.is_finite() {
+            return Err(self.error("number out of range"));
+        }
+        Ok(JsonValue::Number(number))
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.eat(b'"')?;
+        let mut result = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(result);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => result.push('"'),
+                        Some(b'\\') => result.push('\\'),
+                        Some(b'/') => result.push('/'),
+                        Some(b'n') => result.push('\n'),
+                        Some(b'r') => result.push('\r'),
+                        Some(b't') => result.push('\t'),
+                        Some(b'b') => result.push('\u{08}'),
+                        Some(b'f') => result.push('\u{0C}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let unit = self.hex4()?;
+                            let ch = if (0xD800..0xDC00).contains(&unit) {
+                                // High surrogate: a \uXXXX low surrogate must
+                                // follow to form one code point.
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.eat(b'u')?;
+                                    let low = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&low) {
+                                        return Err(self.error("invalid low surrogate"));
+                                    }
+                                    let combined =
+                                        0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
+                                    char::from_u32(combined)
+                                        .ok_or_else(|| self.error("invalid surrogate pair"))?
+                                } else {
+                                    return Err(self.error("lone high surrogate"));
+                                }
+                            } else {
+                                char::from_u32(unit)
+                                    .ok_or_else(|| self.error("lone low surrogate"))?
+                            };
+                            result.push(ch);
+                            continue;
+                        }
+                        _ => return Err(self.error("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(byte) if byte < 0x20 => {
+                    return Err(self.error("raw control character in string"));
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so the
+                    // byte stream is valid UTF-8).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .expect("input was a valid &str");
+                    let ch = rest.chars().next().expect("peek saw a byte");
+                    result.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Reads exactly four hex digits (after `\u`) as a code unit.
+    fn hex4(&mut self) -> Result<u32, JsonParseError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.error("truncated \\u escape"));
+        }
+        let mut unit = 0u32;
+        // Digit by digit: `u32::from_str_radix` would also accept a leading
+        // sign, which is not valid JSON.
+        for &byte in &self.bytes[self.pos..end] {
+            let digit = (byte as char)
+                .to_digit(16)
+                .ok_or_else(|| self.error("invalid \\u escape"))?;
+            unit = unit * 16 + digit;
+        }
+        self.pos = end;
+        Ok(unit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_quotes_backslashes_and_controls() {
+        let mut out = String::new();
+        write_escaped(&mut out, "a\"b\\c\nd\te\r\u{08}\u{0C}\u{01}ü");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\te\\r\\b\\f\\u0001ü\"");
+        // And the parser reverses it exactly.
+        assert_eq!(
+            JsonValue::parse(&out).unwrap(),
+            JsonValue::String("a\"b\\c\nd\te\r\u{08}\u{0C}\u{01}ü".to_string())
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(f64::NAN.to_json(), "null");
+        assert_eq!(f64::INFINITY.to_json(), "null");
+        assert_eq!(1.5f64.to_json(), "1.5");
+    }
+
+    #[test]
+    fn options_vectors_and_primitives() {
+        assert_eq!(None::<f64>.to_json(), "null");
+        assert_eq!(Some(3usize).to_json(), "3");
+        assert_eq!(vec![1usize, 2, 3].to_json(), "[1,2,3]");
+        assert_eq!(true.to_json(), "true");
+        assert_eq!("x".to_json(), "\"x\"");
+        assert_eq!(Vec::<usize>::new().to_json(), "[]");
+    }
+
+    #[test]
+    fn parser_accepts_the_grammar() {
+        let doc = r#" {"a": [1, -2.5, 1e3, true, false, null], "b": {"c": "d"}, "e": []} "#;
+        let value = JsonValue::parse(doc).unwrap();
+        assert_eq!(value.get("a").unwrap().as_array().unwrap().len(), 6);
+        assert_eq!(
+            value.get("a").unwrap().as_array().unwrap()[2].as_number(),
+            Some(1000.0)
+        );
+        assert_eq!(
+            value.get("b").unwrap().get("c").unwrap().as_str(),
+            Some("d")
+        );
+        assert_eq!(value.get("e").unwrap().as_array(), Some(&[][..]));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "01",
+            "1.",
+            "1e",
+            "\"\\x\"",
+            "\"",
+            "tru",
+            "[1] extra",
+            "{\"a\" 1}",
+            "\u{7f}\"unclosed",
+            "nan",
+            "+1",
+            "--1",
+            "\"\\ud800\"",
+            "\"\\ud800\\u0020\"",
+            "\"\\u+061\"",
+            "\"\\u-061\"",
+            "1e999",
+            "-1e999",
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parser_rejects_pathological_nesting_instead_of_overflowing() {
+        let deep_ok = format!("{}0{}", "[".repeat(128), "]".repeat(128));
+        assert!(JsonValue::parse(&deep_ok).is_ok());
+        let too_deep = format!("{}0{}", "[".repeat(129), "]".repeat(129));
+        let err = JsonValue::parse(&too_deep).unwrap_err();
+        assert!(err.message.contains("nesting"));
+        // Far past any plausible stack limit: must error, not abort.
+        assert!(JsonValue::parse(&"[".repeat(200_000)).is_err());
+        assert!(JsonValue::parse(&"{\"k\":".repeat(200_000)).is_err());
+        // Sibling (non-nested) containers do not accumulate depth.
+        let wide = format!("[{}[]]", "[],".repeat(500));
+        assert!(JsonValue::parse(&wide).is_ok());
+    }
+
+    #[test]
+    fn parser_handles_unicode_escapes_and_surrogate_pairs() {
+        assert_eq!(
+            JsonValue::parse("\"\\u00fc\\ud83d\\ude00\"").unwrap(),
+            JsonValue::String("ü😀".to_string())
+        );
+    }
+
+    #[test]
+    fn json_value_round_trips_through_display() {
+        let doc = r#"{"a":[1,2.5,true,null],"b":"x\"y","c":{}}"#;
+        let value = JsonValue::parse(doc).unwrap();
+        let rendered = value.to_json();
+        assert_eq!(JsonValue::parse(&rendered).unwrap(), value);
+        assert_eq!(rendered, doc);
+    }
+
+    #[test]
+    fn removal_report_serializes_with_steps() {
+        let report = RemovalReport {
+            added_vcs: 2,
+            cycles_broken: 1,
+            steps: vec![BreakStep {
+                cycle_len: 4,
+                direction: Direction::Forward,
+                vcs_added: 2,
+                flows_rerouted: 3,
+            }],
+            already_deadlock_free: false,
+        };
+        let json = report.to_json();
+        let value = JsonValue::parse(&json).expect("valid JSON");
+        assert_eq!(value.get("added_vcs").unwrap().as_number(), Some(2.0));
+        let steps = value.get("steps").unwrap().as_array().unwrap();
+        assert_eq!(steps[0].get("direction").unwrap().as_str(), Some("forward"));
+    }
+}

@@ -17,7 +17,15 @@
 //!   [`ResourceOrdering`] — its baseline), so swapping schemes is a
 //!   one-line change,
 //! * [`FlowSweep`] drives (benchmark × switch-count × strategy) grids, the
-//!   shape of the paper's Figures 8–10.
+//!   shape of the paper's Figures 8–10 — serially via
+//!   [`run`](FlowSweep::run) or sharded across scoped worker threads via
+//!   [`run_parallel`](FlowSweep::run_parallel) /
+//!   [`run_streaming`](FlowSweep::run_streaming), which stream completed
+//!   points to an observer and still return them in deterministic grid
+//!   order,
+//! * [`json`] is a dependency-free JSON writer/parser ([`ToJson`],
+//!   [`JsonValue`]) so sweep results can be exported and plotted outside
+//!   Rust.
 //!
 //! # Quick start
 //!
@@ -41,12 +49,16 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod executor;
+pub mod json;
 pub mod router;
 pub mod stage;
 pub mod strategy;
 pub mod sweep;
 
 pub use error::FlowError;
+pub use executor::SweepProgress;
+pub use json::{JsonParseError, JsonValue, ToJson};
 pub use router::{Router, ShortestPathRouter, UpDownRouter, XyRouter};
 pub use stage::{DeadlockFreeStage, DesignFlow, RoutedStage, SimulatedStage, SynthesizedStage};
 pub use strategy::{CycleBreaking, DeadlockResolution, DeadlockStrategy, ResourceOrdering};

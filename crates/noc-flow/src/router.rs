@@ -21,7 +21,11 @@ use noc_topology::{CommGraph, CoreMap, SwitchId, Topology};
 /// [`route`](crate::SynthesizedStage::route) stage re-checks this after
 /// every call, so a broken implementation fails fast instead of corrupting
 /// downstream stages.
-pub trait Router {
+///
+/// Routers are shared by reference across the worker threads of a parallel
+/// [`FlowSweep`](crate::FlowSweep), hence the `Sync` bound; routing itself
+/// takes `&self`, so implementations are naturally immutable.
+pub trait Router: Sync {
     /// Human-readable scheme name (used in sweep output and diagnostics).
     fn name(&self) -> &str;
 

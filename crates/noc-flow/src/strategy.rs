@@ -36,7 +36,12 @@ pub struct DeadlockResolution {
 /// re-verifies deadlock freedom after every call, so implementations that
 /// fail to deliver an acyclic CDG are rejected with
 /// [`FlowError::StillCyclic`] instead of leaking unsafe designs downstream.
-pub trait DeadlockStrategy {
+///
+/// Strategies are shared by reference across the worker threads of a
+/// parallel [`FlowSweep`](crate::FlowSweep), hence the `Sync` bound; the
+/// design being repaired is owned per grid point, so implementations only
+/// need immutable configuration.
+pub trait DeadlockStrategy: Sync {
     /// Human-readable scheme name (used in sweep output and diagnostics).
     fn name(&self) -> &str;
 

@@ -4,8 +4,17 @@
 //! hand-rolled loops behind Figures 8, 9 and 10: one sweep description, any
 //! number of deadlock strategies, one pass that synthesizes each design once
 //! and charges every strategy against the same routed input.
+//!
+//! Grid points are independent, so the sweep can run them on a pool of
+//! scoped worker threads: [`FlowSweep::run_parallel`] and
+//! [`FlowSweep::run_streaming`] shard the grid across
+//! [`worker_threads`](FlowSweep::worker_threads) workers (see
+//! [`executor`](crate::executor)) and still return points in deterministic
+//! grid order, byte-identical to the serial [`run`](FlowSweep::run).
 
 use crate::error::FlowError;
+use crate::executor;
+pub use crate::executor::SweepProgress;
 use crate::router::Router;
 use crate::stage::DesignFlow;
 use crate::strategy::DeadlockStrategy;
@@ -93,6 +102,7 @@ pub struct FlowSweep {
     template: SynthesisConfig,
     tech: TechParams,
     estimate_power: bool,
+    threads: usize,
 }
 
 impl Default for FlowSweep {
@@ -111,24 +121,46 @@ impl FlowSweep {
             template: SynthesisConfig::with_switches(1),
             tech: TechParams::default(),
             estimate_power: true,
+            threads: 0,
         }
     }
 
     /// Adds one benchmark to the grid.
+    ///
+    /// Adding the same benchmark twice is harmless: the grid is deduplicated
+    /// (preserving first-seen order), so each (benchmark, switch-count) pair
+    /// produces exactly one [`SweepPoint`].
     pub fn benchmark(mut self, benchmark: Benchmark) -> Self {
         self.benchmarks.push(benchmark);
         self
     }
 
     /// Adds several benchmarks to the grid.
+    ///
+    /// Duplicates (within this call or across calls) are deduplicated,
+    /// preserving first-seen order.
     pub fn benchmarks(mut self, benchmarks: impl IntoIterator<Item = Benchmark>) -> Self {
         self.benchmarks.extend(benchmarks);
         self
     }
 
     /// Sets the switch counts to sweep.
+    ///
+    /// Duplicates (within this call or across calls) are deduplicated,
+    /// preserving first-seen order.
     pub fn switch_counts(mut self, counts: impl IntoIterator<Item = usize>) -> Self {
         self.switch_counts.extend(counts);
+        self
+    }
+
+    /// Sets the number of worker threads for
+    /// [`run_parallel`](Self::run_parallel) and
+    /// [`run_streaming`](Self::run_streaming).
+    ///
+    /// `0` (the default) auto-sizes to the machine's available parallelism.
+    /// The serial [`run`](Self::run) ignores this setting.
+    pub fn worker_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -172,52 +204,165 @@ impl FlowSweep {
         self.run_inner(Some(router), strategies)
     }
 
+    /// Runs the grid on a pool of scoped worker threads, one grid point per
+    /// task, and returns the points in the same deterministic grid order as
+    /// [`run`](Self::run) — the two are interchangeable, the parallel path
+    /// is just faster on multi-core machines.
+    ///
+    /// The pool size comes from [`worker_threads`](Self::worker_threads)
+    /// (auto-sized by default).  On the first failing grid point the sweep
+    /// stops handing out work and returns that error.
+    pub fn run_parallel(
+        &self,
+        strategies: &[&dyn DeadlockStrategy],
+    ) -> Result<Vec<SweepPoint>, FlowError> {
+        self.run_streaming(strategies, |_| {})
+    }
+
+    /// Same as [`run_parallel`](Self::run_parallel), but streams every
+    /// completed point through `observer` as soon as its worker finishes —
+    /// in completion order, which under parallelism is *not* grid order —
+    /// so long sweeps can report progress while running.  The returned
+    /// vector is still in deterministic grid order.
+    ///
+    /// The observer runs on the calling thread; workers keep computing
+    /// while it executes.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use noc_flow::{CycleBreaking, FlowSweep};
+    /// use noc_topology::benchmarks::Benchmark;
+    ///
+    /// let points = FlowSweep::new()
+    ///     .benchmark(Benchmark::D26Media)
+    ///     .switch_counts([6, 10, 14])
+    ///     .power_estimates(false)
+    ///     .worker_threads(2)
+    ///     .run_streaming(&[&CycleBreaking::default()], |progress| {
+    ///         eprintln!(
+    ///             "[{}/{}] {} @ {} switches done",
+    ///             progress.completed,
+    ///             progress.total,
+    ///             progress.point.benchmark,
+    ///             progress.point.switch_count,
+    ///         );
+    ///     })?;
+    /// assert_eq!(points.len(), 3);
+    /// # Ok::<(), noc_flow::FlowError>(())
+    /// ```
+    pub fn run_streaming(
+        &self,
+        strategies: &[&dyn DeadlockStrategy],
+        observer: impl FnMut(SweepProgress<'_>),
+    ) -> Result<Vec<SweepPoint>, FlowError> {
+        executor::run_sharded(self, None, strategies, observer)
+    }
+
+    /// Parallel + streaming sweep with an explicit input [`Router`], the
+    /// parallel counterpart of [`run_with_router`](Self::run_with_router).
+    pub fn run_streaming_with_router(
+        &self,
+        router: &dyn Router,
+        strategies: &[&dyn DeadlockStrategy],
+        observer: impl FnMut(SweepProgress<'_>),
+    ) -> Result<Vec<SweepPoint>, FlowError> {
+        executor::run_sharded(self, Some(router), strategies, observer)
+    }
+
+    /// The feasible, deduplicated (benchmark, switch-count) grid in
+    /// deterministic sweep order: benchmarks in first-seen order, switch
+    /// counts in first-seen order within each benchmark.
+    ///
+    /// Infeasible combinations (zero switches, or more switches than cores)
+    /// are skipped; duplicate benchmarks or switch counts contribute a
+    /// single grid point each.
+    pub(crate) fn grid(&self) -> Vec<(Benchmark, usize)> {
+        let benchmarks = dedup_preserving_order(&self.benchmarks);
+        let counts = dedup_preserving_order(&self.switch_counts);
+        let mut grid = Vec::with_capacity(benchmarks.len() * counts.len());
+        for &benchmark in &benchmarks {
+            for &switch_count in &counts {
+                if switch_count == 0 || switch_count > benchmark.core_count() {
+                    continue;
+                }
+                grid.push((benchmark, switch_count));
+            }
+        }
+        grid
+    }
+
+    /// Number of worker threads a parallel run will use.
+    pub(crate) fn requested_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Computes one grid point: synthesize, route, charge every strategy.
+    /// Shared by the serial and the sharded executor so both produce
+    /// identical points.
+    pub(crate) fn compute_point(
+        &self,
+        benchmark: Benchmark,
+        switch_count: usize,
+        router: Option<&dyn Router>,
+        strategies: &[&dyn DeadlockStrategy],
+    ) -> Result<SweepPoint, FlowError> {
+        let config = SynthesisConfig {
+            switch_count,
+            ..self.template.clone()
+        };
+        let stage = DesignFlow::from_benchmark(benchmark).synthesize(config)?;
+        let routed = match router {
+            Some(router) => stage.route(router)?,
+            None => stage.route_default()?,
+        };
+        let original = self.estimate_power.then(|| routed.power(self.tech.clone()));
+
+        let mut outcomes = Vec::with_capacity(strategies.len());
+        for &strategy in strategies {
+            let fixed = routed.resolve_deadlocks(strategy)?;
+            let estimate = self.estimate_power.then(|| fixed.power(self.tech.clone()));
+            let resolution = fixed.resolution();
+            outcomes.push(StrategyOutcome {
+                strategy: resolution.strategy.clone(),
+                added_vcs: resolution.added_vcs,
+                cycles_broken: resolution.cycles_broken,
+                power_mw: estimate.as_ref().map(|e| e.total_power_mw),
+                area_um2: estimate.as_ref().map(|e| e.total_area_um2),
+            });
+        }
+        Ok(SweepPoint {
+            benchmark,
+            switch_count,
+            active_flows: routed.active_flow_count(),
+            mean_hops: routed.routes().mean_hops(),
+            original_power_mw: original.as_ref().map(|e| e.total_power_mw),
+            original_area_um2: original.as_ref().map(|e| e.total_area_um2),
+            outcomes,
+        })
+    }
+
     fn run_inner(
         &self,
         router: Option<&dyn Router>,
         strategies: &[&dyn DeadlockStrategy],
     ) -> Result<Vec<SweepPoint>, FlowError> {
-        let mut points = Vec::new();
-        for &benchmark in &self.benchmarks {
-            for &switch_count in &self.switch_counts {
-                if switch_count == 0 || switch_count > benchmark.core_count() {
-                    continue;
-                }
-                let config = SynthesisConfig {
-                    switch_count,
-                    ..self.template.clone()
-                };
-                let stage = DesignFlow::from_benchmark(benchmark).synthesize(config)?;
-                let routed = match router {
-                    Some(router) => stage.route(router)?,
-                    None => stage.route_default()?,
-                };
-                let original = self.estimate_power.then(|| routed.power(self.tech.clone()));
-
-                let mut outcomes = Vec::with_capacity(strategies.len());
-                for &strategy in strategies {
-                    let fixed = routed.resolve_deadlocks(strategy)?;
-                    let estimate = self.estimate_power.then(|| fixed.power(self.tech.clone()));
-                    let resolution = fixed.resolution();
-                    outcomes.push(StrategyOutcome {
-                        strategy: resolution.strategy.clone(),
-                        added_vcs: resolution.added_vcs,
-                        cycles_broken: resolution.cycles_broken,
-                        power_mw: estimate.as_ref().map(|e| e.total_power_mw),
-                        area_um2: estimate.as_ref().map(|e| e.total_area_um2),
-                    });
-                }
-                points.push(SweepPoint {
-                    benchmark,
-                    switch_count,
-                    active_flows: routed.active_flow_count(),
-                    mean_hops: routed.routes().mean_hops(),
-                    original_power_mw: original.as_ref().map(|e| e.total_power_mw),
-                    original_area_um2: original.as_ref().map(|e| e.total_area_um2),
-                    outcomes,
-                });
-            }
-        }
-        Ok(points)
+        self.grid()
+            .into_iter()
+            .map(|(benchmark, switch_count)| {
+                self.compute_point(benchmark, switch_count, router, strategies)
+            })
+            .collect()
     }
+}
+
+/// First-seen-order deduplication for the grid axes.
+fn dedup_preserving_order<T: Copy + PartialEq>(items: &[T]) -> Vec<T> {
+    let mut seen = Vec::with_capacity(items.len());
+    for &item in items {
+        if !seen.contains(&item) {
+            seen.push(item);
+        }
+    }
+    seen
 }

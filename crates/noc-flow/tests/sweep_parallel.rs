@@ -1,0 +1,183 @@
+//! Contract tests for the sharded sweep executor: the parallel and
+//! streaming paths must be drop-in replacements for the serial
+//! [`FlowSweep::run`], point for point.
+
+use noc_flow::{
+    CycleBreaking, DeadlockResolution, DeadlockStrategy, FlowError, FlowSweep, ResourceOrdering,
+    ShortestPathRouter, ToJson,
+};
+use noc_routing::RouteSet;
+use noc_topology::benchmarks::Benchmark;
+use noc_topology::Topology;
+
+fn two_benchmark_sweep() -> FlowSweep {
+    FlowSweep::new()
+        .benchmark(Benchmark::D26Media)
+        .benchmark(Benchmark::D36x8)
+        .switch_counts([6, 10, 14])
+        .power_estimates(false)
+}
+
+#[test]
+fn parallel_results_equal_serial_results() {
+    let removal = CycleBreaking::default();
+    let ordering = ResourceOrdering;
+    let strategies: &[&dyn DeadlockStrategy] = &[&removal, &ordering];
+    let sweep = two_benchmark_sweep();
+
+    let serial = sweep.run(strategies).unwrap();
+    for threads in [1, 2, 4] {
+        let parallel = sweep
+            .clone()
+            .worker_threads(threads)
+            .run_parallel(strategies)
+            .unwrap();
+        assert_eq!(serial, parallel, "threads = {threads}");
+    }
+}
+
+#[test]
+fn parallel_results_equal_serial_results_with_explicit_router() {
+    let removal = CycleBreaking::default();
+    let strategies: &[&dyn DeadlockStrategy] = &[&removal];
+    let router = ShortestPathRouter::default();
+    let sweep = two_benchmark_sweep();
+
+    let serial = sweep.run_with_router(&router, strategies).unwrap();
+    let parallel = sweep
+        .worker_threads(2)
+        .run_streaming_with_router(&router, strategies, |_| {})
+        .unwrap();
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn streaming_reports_every_point_exactly_once() {
+    let removal = CycleBreaking::default();
+    let strategies: &[&dyn DeadlockStrategy] = &[&removal];
+    let sweep = two_benchmark_sweep().worker_threads(3);
+
+    let mut seen_indices = Vec::new();
+    let mut completed_sequence = Vec::new();
+    let points = sweep
+        .run_streaming(strategies, |progress| {
+            seen_indices.push(progress.index);
+            completed_sequence.push(progress.completed);
+            assert_eq!(progress.total, 6);
+            assert!(progress.point.switch_count > 0);
+        })
+        .unwrap();
+
+    assert_eq!(points.len(), 6);
+    // `completed` counts monotonically on the observer thread...
+    assert_eq!(completed_sequence, (1..=6).collect::<Vec<_>>());
+    // ...and every grid index is observed exactly once, whatever the
+    // completion order was.
+    seen_indices.sort_unstable();
+    assert_eq!(seen_indices, (0..6).collect::<Vec<_>>());
+}
+
+#[test]
+fn duplicate_benchmarks_and_switch_counts_are_deduplicated() {
+    let removal = CycleBreaking::default();
+    let strategies: &[&dyn DeadlockStrategy] = &[&removal];
+    let deduped = FlowSweep::new()
+        .benchmark(Benchmark::D26Media)
+        .benchmark(Benchmark::D26Media)
+        .benchmarks([Benchmark::D36x8, Benchmark::D26Media])
+        .switch_counts([10, 6, 10])
+        .switch_counts([6])
+        .power_estimates(false)
+        .run(strategies)
+        .unwrap();
+    let clean = FlowSweep::new()
+        .benchmarks([Benchmark::D26Media, Benchmark::D36x8])
+        .switch_counts([10, 6])
+        .power_estimates(false)
+        .run(strategies)
+        .unwrap();
+    assert_eq!(deduped, clean, "duplicates add no grid points");
+    // First-seen order: D26_media before D36_8, 10 before 6.
+    let order: Vec<(Benchmark, usize)> = deduped
+        .iter()
+        .map(|p| (p.benchmark, p.switch_count))
+        .collect();
+    assert_eq!(
+        order,
+        vec![
+            (Benchmark::D26Media, 10),
+            (Benchmark::D26Media, 6),
+            (Benchmark::D36x8, 10),
+            (Benchmark::D36x8, 6),
+        ]
+    );
+    // The parallel path shares the same grid.
+    let parallel = FlowSweep::new()
+        .benchmark(Benchmark::D26Media)
+        .benchmark(Benchmark::D26Media)
+        .benchmarks([Benchmark::D36x8, Benchmark::D26Media])
+        .switch_counts([10, 6, 10])
+        .switch_counts([6])
+        .power_estimates(false)
+        .worker_threads(2)
+        .run_parallel(strategies)
+        .unwrap();
+    assert_eq!(parallel, clean);
+}
+
+/// A strategy that always fails, for exercising the executor's error path.
+struct AlwaysFails;
+
+impl DeadlockStrategy for AlwaysFails {
+    fn name(&self) -> &str {
+        "always-fails"
+    }
+
+    fn resolve(
+        &self,
+        _topology: &mut Topology,
+        _routes: &mut RouteSet,
+    ) -> Result<DeadlockResolution, FlowError> {
+        Err(FlowError::NoDefaultRoutes)
+    }
+}
+
+#[test]
+fn a_failing_point_aborts_the_parallel_sweep_with_its_error() {
+    let failing = AlwaysFails;
+    let strategies: &[&dyn DeadlockStrategy] = &[&failing];
+    let error = two_benchmark_sweep()
+        .worker_threads(2)
+        .run_parallel(strategies)
+        .unwrap_err();
+    assert!(matches!(error, FlowError::NoDefaultRoutes));
+}
+
+#[test]
+fn sweep_points_serialize_to_parseable_json() {
+    let removal = CycleBreaking::default();
+    let strategies: &[&dyn DeadlockStrategy] = &[&removal];
+    let points = FlowSweep::new()
+        .benchmark(Benchmark::D26Media)
+        .switch_counts([10])
+        .run_parallel(strategies)
+        .unwrap();
+    let json = points.to_json();
+    let value = noc_flow::JsonValue::parse(&json).expect("artifact is valid JSON");
+    let array = value.as_array().unwrap();
+    assert_eq!(array.len(), 1);
+    assert_eq!(
+        array[0].get("benchmark").unwrap().as_str(),
+        Some("D26_media")
+    );
+    assert_eq!(
+        array[0].get("switch_count").unwrap().as_number(),
+        Some(10.0)
+    );
+    let outcomes = array[0].get("outcomes").unwrap().as_array().unwrap();
+    assert_eq!(
+        outcomes[0].get("strategy").unwrap().as_str(),
+        Some("cycle-breaking")
+    );
+    assert!(outcomes[0].get("power_mw").unwrap().as_number().is_some());
+}

@@ -32,24 +32,20 @@ pub fn shortest_cycle_through<N, E>(graph: &DiGraph<N, E>, start: NodeId) -> Opt
     while let Some(node) = queue.pop_front() {
         for succ in graph.successors(node) {
             if succ == start {
-                // Reconstruct start -> ... -> node, the edge node -> start
-                // closes the cycle.
-                let mut path = vec![node];
+                // Reconstruct start -> ... -> node by walking the BFS tree
+                // from node back to the root; the edge node -> start closes
+                // the cycle.  A self-loop is the degenerate walk of length
+                // zero (node == start), yielding the one-element cycle.
+                let mut path = Vec::new();
                 let mut cur = node;
-                while let Some(p) = parent[cur.index()] {
-                    path.push(p);
-                    cur = p;
-                }
-                if cur != start {
-                    // node == start only if self-loop handled above; otherwise
-                    // the chain always terminates at start.
-                    path.push(start);
-                }
-                if *path.last().unwrap() != start {
-                    path.push(start);
+                loop {
+                    path.push(cur);
+                    if cur == start {
+                        break;
+                    }
+                    cur = parent[cur.index()].expect("BFS parents chain back to the start node");
                 }
                 path.reverse();
-                path.dedup();
                 return Some(path);
             }
             if !visited[succ.index()] {
@@ -236,6 +232,47 @@ mod tests {
             assert_eq!(c.len(), 5);
             assert_eq!(c[0], n, "cycle must start at the requested node");
         }
+    }
+
+    #[test]
+    fn shortest_cycle_through_self_loop_is_a_single_node() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(b, a, ());
+        g.add_edge(a, a, ());
+        // The self-loop beats the 2-cycle from a's perspective.
+        assert_eq!(shortest_cycle_through(&g, a).unwrap(), vec![a]);
+        // b has no self-loop: its shortest cycle is the 2-cycle, with both
+        // nodes reported exactly once.
+        assert_eq!(shortest_cycle_through(&g, b).unwrap(), vec![b, a]);
+    }
+
+    #[test]
+    fn shortest_cycle_through_two_cycle_has_no_duplicates() {
+        let (g, nodes) = ring(2);
+        for (i, &n) in nodes.iter().enumerate() {
+            let c = shortest_cycle_through(&g, n).unwrap();
+            assert_eq!(c.len(), 2, "2-cycle must have exactly two nodes");
+            assert_eq!(c[0], n);
+            assert_eq!(c[1], nodes[(i + 1) % 2]);
+        }
+    }
+
+    #[test]
+    fn shortest_cycle_through_prefers_short_closing_path() {
+        // start -> a -> start (2-cycle) and start -> a -> b -> start
+        // (3-cycle): BFS must return the 2-cycle.
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let s = g.add_node(());
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(s, a, ());
+        g.add_edge(a, b, ());
+        g.add_edge(b, s, ());
+        g.add_edge(a, s, ());
+        assert_eq!(shortest_cycle_through(&g, s).unwrap(), vec![s, a]);
     }
 
     #[test]

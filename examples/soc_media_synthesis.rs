@@ -4,8 +4,15 @@
 //! estimate the resulting power — i.e. a miniature version of the paper's
 //! Figures 8 and 10, driven by a single `FlowSweep`.
 //!
-//! Run with `cargo run --release --example soc_media_synthesis`.
+//! The sweep runs on the parallel streaming executor: each grid point is
+//! reported on stderr the moment its worker finishes, while the final table
+//! (and the optional JSON export) keeps deterministic switch-count order.
+//!
+//! Run with `cargo run --release --example soc_media_synthesis`, optionally
+//! passing a path to also dump the raw sweep points as JSON:
+//! `cargo run --release --example soc_media_synthesis -- points.json`.
 
+use noc_suite::flow::json::ToJson;
 use noc_suite::flow::{CycleBreaking, DeadlockStrategy, FlowSweep, ResourceOrdering};
 use noc_suite::topology::benchmarks::Benchmark;
 
@@ -15,13 +22,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let points = FlowSweep::new()
         .benchmark(Benchmark::D26Media)
         .switch_counts((6..=22).step_by(4))
-        .run(&[&removal, &ordering])?;
+        .run_streaming(&[&removal, &ordering], |progress| {
+            eprintln!(
+                "[{}/{}] {} switches synthesized and repaired",
+                progress.completed, progress.total, progress.point.switch_count
+            );
+        })?;
 
     println!(
         "{:>9} {:>12} {:>12} {:>16} {:>16}",
         "switches", "removal_vc", "ordering_vc", "removal_power", "ordering_power"
     );
-    for point in points {
+    for point in &points {
         let removal = point.outcome(removal.name()).expect("strategy ran");
         let ordering = point.outcome(ordering.name()).expect("strategy ran");
         println!(
@@ -34,6 +46,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .power_mw
                 .expect("power estimates are on by default")
         );
+    }
+
+    if let Some(path) = std::env::args().nth(1) {
+        std::fs::write(&path, points.to_json())?;
+        eprintln!("wrote {path}");
     }
     Ok(())
 }

@@ -4,7 +4,7 @@
 //! the examples and the experiment harness do.
 
 use noc_suite::flow::{
-    CycleBreaking, DeadlockFreeStage, DeadlockStrategy, DesignFlow, ResourceOrdering,
+    CycleBreaking, DeadlockFreeStage, DeadlockStrategy, DesignFlow, FlowSweep, ResourceOrdering,
     ShortestPathRouter,
 };
 use noc_suite::power::TechParams;
@@ -101,6 +101,35 @@ fn repaired_designs_complete_a_simulated_workload() {
         outcome.stats.delivered_packets,
         outcome.stats.injected_packets
     );
+}
+
+/// The paper's Figure 8 and Figure 9 grids, through the parallel + streaming
+/// sweep API the figure binaries use: the sharded executor must produce the
+/// exact same point sequence as the serial driver, while streaming every
+/// completion to the observer.
+#[test]
+fn figure_grids_are_identical_serial_and_parallel() {
+    let removal = CycleBreaking::default();
+    let ordering = ResourceOrdering;
+    let strategies: &[&dyn DeadlockStrategy] = &[&removal, &ordering];
+    for (benchmark, counts) in [
+        (Benchmark::D26Media, 5..=25), // Figure 8
+        (Benchmark::D36x8, 10..=35),   // Figure 9
+    ] {
+        let sweep = FlowSweep::new()
+            .benchmark(benchmark)
+            .switch_counts(counts)
+            .power_estimates(false);
+        let serial = sweep.run(strategies).unwrap();
+        let mut streamed = 0;
+        let parallel = sweep
+            .clone()
+            .worker_threads(2)
+            .run_streaming(strategies, |_| streamed += 1)
+            .unwrap();
+        assert_eq!(serial, parallel, "{benchmark}: parallel must match serial");
+        assert_eq!(streamed, serial.len(), "{benchmark}: every point streamed");
+    }
 }
 
 #[test]
