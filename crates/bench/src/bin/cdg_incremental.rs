@@ -1,0 +1,185 @@
+//! Timing comparison of the two CDG maintenance modes of the removal loop:
+//! per-iteration full rebuild (the reference) versus incremental delta
+//! maintenance with the dirty-region smallest-cycle search (the default).
+//!
+//! Runs the Figure 8 (D26_media) and Figure 9 (D36_8) sweep grids, times
+//! `remove_deadlocks` in both modes on the same routed design, and asserts
+//! the two produce the same outcome report on every point before trusting
+//! either number.  Pass `--threads <n>` to shard the untimed
+//! synthesis/routing preparation (timing itself always runs serially, one
+//! mode at a time, best of three) and `--json <path>` to write the rows
+//! plus aggregate speedups as a JSON artifact.
+
+use noc_bench::artifact::FigureArgs;
+use noc_bench::{artifact, routed_benchmark, sweeps};
+use noc_deadlock::removal::{remove_deadlocks, CdgMode, RemovalConfig};
+use noc_flow::json::{ObjectWriter, ToJson};
+use noc_routing::RouteSet;
+use noc_topology::benchmarks::Benchmark;
+use noc_topology::Topology;
+use std::time::Instant;
+
+/// Timing runs per mode per grid point; the best (minimum) is reported.
+const RUNS: usize = 3;
+
+/// One timed grid point.
+struct TimingPoint {
+    benchmark: Benchmark,
+    switch_count: usize,
+    cycles_broken: usize,
+    deps_removed: usize,
+    deps_added: usize,
+    rebuild_ms: f64,
+    incremental_ms: f64,
+}
+
+impl TimingPoint {
+    fn speedup(&self) -> f64 {
+        if self.incremental_ms > 0.0 {
+            self.rebuild_ms / self.incremental_ms
+        } else {
+            1.0
+        }
+    }
+}
+
+impl ToJson for TimingPoint {
+    fn write_json(&self, out: &mut String) {
+        ObjectWriter::new(out)
+            .field("benchmark", &self.benchmark.name())
+            .field("switch_count", &self.switch_count)
+            .field("cycles_broken", &self.cycles_broken)
+            .field("deps_removed", &self.deps_removed)
+            .field("deps_added", &self.deps_added)
+            .field("rebuild_ms", &self.rebuild_ms)
+            .field("incremental_ms", &self.incremental_ms)
+            .field("speedup", &self.speedup())
+            .finish();
+    }
+}
+
+/// The artifact payload: per-point rows plus aggregates.
+struct TimingArtifact {
+    points: Vec<TimingPoint>,
+    total_rebuild_ms: f64,
+    total_incremental_ms: f64,
+}
+
+impl ToJson for TimingArtifact {
+    fn write_json(&self, out: &mut String) {
+        let overall = if self.total_incremental_ms > 0.0 {
+            self.total_rebuild_ms / self.total_incremental_ms
+        } else {
+            1.0
+        };
+        ObjectWriter::new(out)
+            .field("runs_per_mode", &RUNS)
+            .field("total_rebuild_ms", &self.total_rebuild_ms)
+            .field("total_incremental_ms", &self.total_incremental_ms)
+            .field("overall_speedup", &overall)
+            .field("points", &self.points)
+            .finish();
+    }
+}
+
+/// Best-of-[`RUNS`] wall time of one removal mode, in milliseconds, plus
+/// the report of the last run.
+fn time_mode(
+    topology: &Topology,
+    routes: &RouteSet,
+    cdg_mode: CdgMode,
+) -> (f64, noc_deadlock::RemovalReport) {
+    let config = RemovalConfig {
+        cdg_mode,
+        ..RemovalConfig::default()
+    };
+    let mut best = f64::INFINITY;
+    let mut report = None;
+    for _ in 0..RUNS {
+        let mut topo = topology.clone();
+        let mut routes = routes.clone();
+        let start = Instant::now();
+        let r = remove_deadlocks(&mut topo, &mut routes, &config).expect("removal succeeds");
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        report = Some(r);
+    }
+    (best, report.expect("at least one run"))
+}
+
+fn main() {
+    let args = FigureArgs::parse("cdg_incremental");
+    let grid: Vec<(Benchmark, usize)> = sweeps::FIG8_SWITCH_COUNTS
+        .map(|s| (Benchmark::D26Media, s))
+        .chain(sweeps::FIG9_SWITCH_COUNTS.map(|s| (Benchmark::D36x8, s)))
+        .collect();
+
+    // Untimed preparation: synthesize and route every grid point, sharded
+    // across worker threads when --threads asks for it.
+    let designs: Vec<(Topology, RouteSet)> =
+        noc_flow::executor::parallel_map_ordered(&grid, args.threads, |&(benchmark, switches)| {
+            let routed = routed_benchmark(benchmark, switches);
+            (routed.topology().clone(), routed.routes().clone())
+        });
+
+    println!("# CDG maintenance: full rebuild vs. incremental (best of {RUNS} runs per mode)");
+    println!(
+        "{:>12} {:>10} {:>8} {:>12} {:>10} {:>14} {:>18} {:>9}",
+        "benchmark",
+        "switches",
+        "breaks",
+        "deps_rm",
+        "deps_add",
+        "rebuild_ms",
+        "incremental_ms",
+        "speedup"
+    );
+    let mut points = Vec::with_capacity(grid.len());
+    for ((benchmark, switches), (topology, routes)) in grid.iter().zip(designs) {
+        let (rebuild_ms, rebuild_report) = time_mode(&topology, &routes, CdgMode::FullRebuild);
+        let (incremental_ms, incremental_report) =
+            time_mode(&topology, &routes, CdgMode::Incremental);
+        assert!(
+            incremental_report.same_outcome(&rebuild_report),
+            "{benchmark}/{switches}: modes disagree — timing numbers would be meaningless"
+        );
+        let point = TimingPoint {
+            benchmark: *benchmark,
+            switch_count: *switches,
+            cycles_broken: incremental_report.cycles_broken,
+            deps_removed: incremental_report.cdg.deps_removed(),
+            deps_added: incremental_report.cdg.deps_added(),
+            rebuild_ms,
+            incremental_ms,
+        };
+        println!(
+            "{:>12} {:>10} {:>8} {:>12} {:>10} {:>14.3} {:>18.3} {:>8.2}x",
+            point.benchmark.name(),
+            point.switch_count,
+            point.cycles_broken,
+            point.deps_removed,
+            point.deps_added,
+            point.rebuild_ms,
+            point.incremental_ms,
+            point.speedup()
+        );
+        points.push(point);
+    }
+
+    let total_rebuild_ms: f64 = points.iter().map(|p| p.rebuild_ms).sum();
+    let total_incremental_ms: f64 = points.iter().map(|p| p.incremental_ms).sum();
+    println!();
+    println!(
+        "totals: rebuild {total_rebuild_ms:.1} ms, incremental {total_incremental_ms:.1} ms, \
+         overall speedup {:.2}x",
+        total_rebuild_ms / total_incremental_ms.max(1e-9)
+    );
+
+    if let Some(path) = args.json {
+        let data = TimingArtifact {
+            points,
+            total_rebuild_ms,
+            total_incremental_ms,
+        };
+        artifact::write_json_artifact(&path, "cdg_incremental", &data);
+    }
+}

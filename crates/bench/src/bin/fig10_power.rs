@@ -2,14 +2,17 @@
 //! resource-ordering baseline relative to the deadlock-removal algorithm for
 //! the six SoC benchmarks at 14 switches.
 //!
-//! All six benchmarks run as one parallel sweep; pass `--json <path>` to
-//! write the per-benchmark comparison as a JSON artifact.
+//! All six benchmarks run as one parallel sweep; pass `--threads <n>` to
+//! pin the worker count (default: auto-size to the machine) and
+//! `--json <path>` to write the per-benchmark comparison as a JSON
+//! artifact.
 
+use noc_bench::artifact::FigureArgs;
 use noc_bench::{artifact, power_comparisons, sweeps};
 use noc_topology::benchmarks::Benchmark;
 
 fn main() {
-    let json_path = artifact::json_path_from_args("fig10_power");
+    let args = FigureArgs::parse("fig10_power");
     println!(
         "# Figure 10 — normalised power (resource ordering / deadlock removal), {} switches",
         sweeps::FIG10_SWITCHES
@@ -18,12 +21,17 @@ fn main() {
         "{:>12} {:>18} {:>18} {:>12} {:>12}",
         "benchmark", "removal_norm", "ordering_norm", "removal_vc", "ordering_vc"
     );
-    let comparisons = power_comparisons(Benchmark::ALL, sweeps::FIG10_SWITCHES, |progress| {
-        eprintln!(
-            "[{}/{}] {} done",
-            progress.completed, progress.total, progress.point.benchmark
-        );
-    });
+    let comparisons = power_comparisons(
+        Benchmark::ALL,
+        sweeps::FIG10_SWITCHES,
+        args.threads,
+        |progress| {
+            eprintln!(
+                "[{}/{}] {} done",
+                progress.completed, progress.total, progress.point.benchmark
+            );
+        },
+    );
     for c in &comparisons {
         println!(
             "{:>12} {:>18.3} {:>18.3} {:>12} {:>12}",
@@ -34,7 +42,7 @@ fn main() {
             c.ordering_vcs
         );
     }
-    if let Some(path) = json_path {
+    if let Some(path) = args.json {
         artifact::write_json_artifact(&path, "fig10_power", &comparisons);
     }
 }

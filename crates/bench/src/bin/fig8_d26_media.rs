@@ -2,14 +2,16 @@
 //! resource ordering versus the deadlock-removal algorithm.
 //!
 //! The sweep runs sharded across worker threads (progress on stderr); pass
-//! `--json <path>` to also write the series as a JSON artifact for plotting
-//! outside Rust.
+//! `--threads <n>` to pin the worker count (default: auto-size to the
+//! machine) and `--json <path>` to also write the series as a JSON artifact
+//! for plotting outside Rust.
 
+use noc_bench::artifact::FigureArgs;
 use noc_bench::{artifact, sweeps, vc_overhead_sweep_streaming};
 use noc_topology::benchmarks::Benchmark;
 
 fn main() {
-    let json_path = artifact::json_path_from_args("fig8_d26_media");
+    let args = FigureArgs::parse("fig8_d26_media");
     println!("# Figure 8 — D26_media: extra VCs vs. switch count");
     println!(
         "{:>12} {:>22} {:>22} {:>14}",
@@ -18,6 +20,7 @@ fn main() {
     let points = vc_overhead_sweep_streaming(
         Benchmark::D26Media,
         sweeps::FIG8_SWITCH_COUNTS,
+        args.threads,
         |progress| {
             eprintln!(
                 "[{}/{}] {} switches done",
@@ -34,7 +37,7 @@ fn main() {
             point.cycles_broken
         );
     }
-    if let Some(path) = json_path {
+    if let Some(path) = args.json {
         artifact::write_json_artifact(&path, "fig8_d26_media", &points);
     }
 }

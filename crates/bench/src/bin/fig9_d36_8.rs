@@ -2,26 +2,32 @@
 //! fan-out 8), resource ordering versus the deadlock-removal algorithm.
 //!
 //! The sweep runs sharded across worker threads (progress on stderr); pass
-//! `--json <path>` to also write the series as a JSON artifact for plotting
-//! outside Rust.
+//! `--threads <n>` to pin the worker count (default: auto-size to the
+//! machine) and `--json <path>` to also write the series as a JSON artifact
+//! for plotting outside Rust.
 
+use noc_bench::artifact::FigureArgs;
 use noc_bench::{artifact, sweeps, vc_overhead_sweep_streaming};
 use noc_topology::benchmarks::Benchmark;
 
 fn main() {
-    let json_path = artifact::json_path_from_args("fig9_d36_8");
+    let args = FigureArgs::parse("fig9_d36_8");
     println!("# Figure 9 — D36_8: extra VCs vs. switch count");
     println!(
         "{:>12} {:>22} {:>22} {:>14}",
         "switches", "resource_ordering_vc", "deadlock_removal_vc", "cycles_broken"
     );
-    let points =
-        vc_overhead_sweep_streaming(Benchmark::D36x8, sweeps::FIG9_SWITCH_COUNTS, |progress| {
+    let points = vc_overhead_sweep_streaming(
+        Benchmark::D36x8,
+        sweeps::FIG9_SWITCH_COUNTS,
+        args.threads,
+        |progress| {
             eprintln!(
                 "[{}/{}] {} switches done",
                 progress.completed, progress.total, progress.point.switch_count
             );
-        });
+        },
+    );
     for point in &points {
         println!(
             "{:>12} {:>22} {:>22} {:>14}",
@@ -31,7 +37,7 @@ fn main() {
             point.cycles_broken
         );
     }
-    if let Some(path) = json_path {
+    if let Some(path) = args.json {
         artifact::write_json_artifact(&path, "fig9_d36_8", &points);
     }
 }

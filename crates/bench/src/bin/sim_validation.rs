@@ -2,14 +2,17 @@
 //! each benchmark design before and after deadlock removal under a
 //! high-pressure wormhole workload and report whether deadlocks occur.
 //!
-//! Pass `--json <path>` to write the per-benchmark outcomes as a JSON
-//! artifact.
+//! The per-benchmark simulations run sharded across worker threads; pass
+//! `--threads <n>` to pin the worker count (default: auto-size to the
+//! machine) and `--json <path>` to write the per-benchmark outcomes as a
+//! JSON artifact.
 
-use noc_bench::{artifact, simulate_before_after, SimValidation};
+use noc_bench::artifact::FigureArgs;
+use noc_bench::{artifact, simulate_before_after_all, SimValidation};
 use noc_topology::benchmarks::Benchmark;
 
 fn main() {
-    let json_path = artifact::json_path_from_args("sim_validation");
+    let args = FigureArgs::parse("sim_validation");
     println!("# Wormhole simulation: deadlock behaviour before/after removal (10-switch designs)");
     println!(
         "{:>12} {:>14} {:>20} {:>18} {:>16} {:>16}",
@@ -20,9 +23,9 @@ fn main() {
         "fixed_delivered",
         "fixed_latency"
     );
-    let mut validations: Vec<SimValidation> = Vec::new();
-    for benchmark in Benchmark::ALL {
-        let v = simulate_before_after(benchmark, 10);
+    let validations: Vec<SimValidation> =
+        simulate_before_after_all(&Benchmark::ALL, 10, args.threads);
+    for v in &validations {
         println!(
             "{:>12} {:>14} {:>20} {:>18} {:>16} {:>16.1}",
             v.benchmark,
@@ -32,9 +35,8 @@ fn main() {
             v.fixed_delivered,
             v.fixed_mean_latency
         );
-        validations.push(v);
     }
-    if let Some(path) = json_path {
+    if let Some(path) = args.json {
         artifact::write_json_artifact(&path, "sim_validation", &validations);
     }
 }

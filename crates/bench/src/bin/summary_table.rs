@@ -3,9 +3,11 @@
 //! overhead versus the unmodified (deadlock-prone) designs.
 //!
 //! The six benchmark comparisons run as one parallel sweep; pass
-//! `--json <path>` to write the comparisons and aggregates as a JSON
-//! artifact.
+//! `--threads <n>` to pin the worker count (default: auto-size to the
+//! machine) and `--json <path>` to write the comparisons and aggregates as
+//! a JSON artifact.
 
+use noc_bench::artifact::FigureArgs;
 use noc_bench::{artifact, power_comparisons, summary, sweeps, PowerComparison, Summary};
 use noc_flow::json::{ObjectWriter, ToJson};
 use noc_topology::benchmarks::Benchmark;
@@ -26,7 +28,7 @@ impl ToJson for SummaryArtifact {
 }
 
 fn main() {
-    let json_path = artifact::json_path_from_args("summary_table");
+    let args = FigureArgs::parse("summary_table");
     println!(
         "# Section 5 summary — per-benchmark comparison at {} switches",
         sweeps::FIG10_SWITCHES
@@ -41,12 +43,17 @@ fn main() {
         "power_saving",
         "power_overhead"
     );
-    let comparisons = power_comparisons(Benchmark::ALL, sweeps::FIG10_SWITCHES, |progress| {
-        eprintln!(
-            "[{}/{}] {} done",
-            progress.completed, progress.total, progress.point.benchmark
-        );
-    });
+    let comparisons = power_comparisons(
+        Benchmark::ALL,
+        sweeps::FIG10_SWITCHES,
+        args.threads,
+        |progress| {
+            eprintln!(
+                "[{}/{}] {} done",
+                progress.completed, progress.total, progress.point.benchmark
+            );
+        },
+    );
     for c in &comparisons {
         println!(
             "{:>12} {:>12} {:>12} {:>13.1}% {:>13.1}% {:>15.2}% {:>15.2}%",
@@ -82,7 +89,7 @@ fn main() {
         "mean area overhead vs. no removal:       {:>6.2}%",
         s.mean_area_overhead * 100.0
     );
-    if let Some(path) = json_path {
+    if let Some(path) = args.json {
         let data = SummaryArtifact {
             comparisons,
             summary: s,

@@ -65,15 +65,19 @@ pub fn vc_overhead_sweep(
     benchmark: Benchmark,
     switch_counts: impl IntoIterator<Item = usize>,
 ) -> Vec<VcSweepPoint> {
-    vc_overhead_sweep_streaming(benchmark, switch_counts, |_| {})
+    vc_overhead_sweep_streaming(benchmark, switch_counts, 0, |_| {})
 }
 
 /// [`vc_overhead_sweep`] on the parallel executor, streaming a progress
 /// notification to `observer` as each grid point completes (completion
 /// order); the returned points are in switch-count order regardless.
+///
+/// `threads` is the executor worker count (`0` auto-sizes to the machine,
+/// the figure binaries expose it as `--threads N`).
 pub fn vc_overhead_sweep_streaming(
     benchmark: Benchmark,
     switch_counts: impl IntoIterator<Item = usize>,
+    threads: usize,
     observer: impl FnMut(SweepProgress<'_>),
 ) -> Vec<VcSweepPoint> {
     let removal = CycleBreaking::default();
@@ -82,6 +86,7 @@ pub fn vc_overhead_sweep_streaming(
         .benchmark(benchmark)
         .switch_counts(switch_counts)
         .power_estimates(false) // Figures 8/9 only plot VC counts
+        .worker_threads(threads)
         .run_streaming(&[&removal, &ordering], observer)
         .unwrap_or_else(|e| panic!("sweep failed for {benchmark}: {e}"));
     points
@@ -170,19 +175,21 @@ impl PowerComparison {
 /// Regenerates one bar group of Figure 10 (default: 14-switch topologies, as
 /// in the paper).
 pub fn power_comparison(benchmark: Benchmark, switch_count: usize) -> PowerComparison {
-    power_comparisons([benchmark], switch_count, |_| {})
+    power_comparisons([benchmark], switch_count, 0, |_| {})
         .into_iter()
         .next()
         .unwrap_or_else(|| panic!("switch count {switch_count} infeasible for {benchmark}"))
 }
 
 /// Regenerates a whole Figure 10 bar row in one parallel sweep: every
-/// benchmark at the same switch count, sharded across worker threads, with
-/// per-point progress streamed to `observer`.  Infeasible benchmarks are
-/// skipped, so the result can be shorter than the input.
+/// benchmark at the same switch count, sharded across `threads` worker
+/// threads (`0` auto-sizes), with per-point progress streamed to
+/// `observer`.  Infeasible benchmarks are skipped, so the result can be
+/// shorter than the input.
 pub fn power_comparisons(
     benchmarks: impl IntoIterator<Item = Benchmark>,
     switch_count: usize,
+    threads: usize,
     observer: impl FnMut(SweepProgress<'_>),
 ) -> Vec<PowerComparison> {
     let removal_strategy = CycleBreaking::default();
@@ -190,6 +197,7 @@ pub fn power_comparisons(
     let points = FlowSweep::new()
         .benchmarks(benchmarks)
         .switch_counts([switch_count])
+        .worker_threads(threads)
         .run_streaming(&[&removal_strategy, &ordering_strategy], observer)
         .unwrap_or_else(|e| panic!("flow failed at {switch_count} switches: {e}"));
     points
@@ -330,9 +338,29 @@ pub fn simulate_before_after(benchmark: Benchmark, switch_count: usize) -> SimVa
     }
 }
 
+/// [`simulate_before_after`] for a whole benchmark list, sharded across
+/// `threads` scoped worker threads (`0` auto-sizes to the machine); results
+/// come back in input order.  This is what gives the `sim_validation`
+/// binary its `--threads` knob — the per-benchmark simulations are fully
+/// independent, like the sweep grid points.
+pub fn simulate_before_after_all(
+    benchmarks: &[Benchmark],
+    switch_count: usize,
+    threads: usize,
+) -> Vec<SimValidation> {
+    noc_flow::executor::parallel_map_ordered(benchmarks, threads, |&benchmark| {
+        simulate_before_after(benchmark, switch_count)
+    })
+}
+
 /// Synthesizes and routes a benchmark through the flow API (shared entry
-/// point of the harness functions above).
-fn routed_benchmark(benchmark: Benchmark, switch_count: usize) -> RoutedStage {
+/// point of the harness functions and the `cdg_incremental` timing binary).
+///
+/// # Panics
+///
+/// Panics if synthesis fails, which does not happen for feasible switch
+/// counts of the bundled benchmarks.
+pub fn routed_benchmark(benchmark: Benchmark, switch_count: usize) -> RoutedStage {
     DesignFlow::from_benchmark(benchmark)
         .synthesize(SynthesisConfig::with_switches(switch_count))
         .unwrap_or_else(|e| panic!("synthesis failed for {benchmark}/{switch_count}: {e}"))
@@ -405,34 +433,62 @@ impl ToJson for SimValidation {
     }
 }
 
-/// `--json <path>` artifact support shared by the figure binaries.
+/// `--json <path>` / `--threads <n>` CLI support shared by the figure
+/// binaries.
 pub mod artifact {
     use noc_flow::json::{JsonValue, ObjectWriter, ToJson};
     use std::path::PathBuf;
 
-    /// Extracts `--json <path>` (or `--json=<path>`) from the command line.
-    ///
-    /// # Panics
-    ///
-    /// Panics with a usage message when `--json` is passed without a path
-    /// or an unknown argument is present — the figure binaries take no
-    /// other arguments.
-    pub fn json_path_from_args(figure: &str) -> Option<PathBuf> {
-        let mut args = std::env::args().skip(1);
-        let mut path = None;
-        while let Some(arg) = args.next() {
-            if arg == "--json" {
-                let value = args
-                    .next()
-                    .unwrap_or_else(|| panic!("usage: {figure} [--json <path>]"));
-                path = Some(PathBuf::from(value));
-            } else if let Some(value) = arg.strip_prefix("--json=") {
-                path = Some(PathBuf::from(value));
-            } else {
-                panic!("unknown argument {arg:?}; usage: {figure} [--json <path>]");
-            }
+    /// The command-line options every figure binary accepts.
+    #[derive(Debug, Clone, Default, PartialEq, Eq)]
+    pub struct FigureArgs {
+        /// `--json <path>`: also write the series as a JSON artifact.
+        pub json: Option<PathBuf>,
+        /// `--threads <n>`: executor worker count (`0`, the default,
+        /// auto-sizes to the machine's available parallelism).
+        pub threads: usize,
+    }
+
+    impl FigureArgs {
+        /// Parses the process arguments (`--json <path>`, `--json=<path>`,
+        /// `--threads <n>`, `--threads=<n>`).
+        ///
+        /// # Panics
+        ///
+        /// Panics with a usage message on a flag without its value, a
+        /// non-numeric thread count, or an unknown argument — the figure
+        /// binaries take no other arguments.
+        pub fn parse(figure: &str) -> Self {
+            Self::from_iter(figure, std::env::args().skip(1))
         }
-        path
+
+        fn from_iter(figure: &str, args: impl IntoIterator<Item = String>) -> Self {
+            let usage = || format!("usage: {figure} [--json <path>] [--threads <n>]");
+            let mut parsed = FigureArgs::default();
+            let mut args = args.into_iter();
+            while let Some(arg) = args.next() {
+                if arg == "--json" {
+                    let value = args.next().unwrap_or_else(|| panic!("{}", usage()));
+                    parsed.json = Some(PathBuf::from(value));
+                } else if let Some(value) = arg.strip_prefix("--json=") {
+                    parsed.json = Some(PathBuf::from(value));
+                } else if arg == "--threads" {
+                    let value = args.next().unwrap_or_else(|| panic!("{}", usage()));
+                    parsed.threads = parse_threads(figure, &value);
+                } else if let Some(value) = arg.strip_prefix("--threads=") {
+                    parsed.threads = parse_threads(figure, value);
+                } else {
+                    panic!("unknown argument {arg:?}; {}", usage());
+                }
+            }
+            parsed
+        }
+    }
+
+    fn parse_threads(figure: &str, value: &str) -> usize {
+        value
+            .parse()
+            .unwrap_or_else(|_| panic!("{figure}: --threads expects a number, got {value:?}"))
     }
 
     /// Renders a figure artifact — `{"figure": ..., "data": ...}` — and
@@ -450,6 +506,38 @@ pub mod artifact {
         std::fs::write(path, &out)
             .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
         eprintln!("wrote {}", path.display());
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        fn parse(args: &[&str]) -> FigureArgs {
+            FigureArgs::from_iter("fig", args.iter().map(|s| s.to_string()))
+        }
+
+        #[test]
+        fn parses_json_and_threads_in_both_spellings() {
+            assert_eq!(parse(&[]), FigureArgs::default());
+            let a = parse(&["--json", "out.json", "--threads", "4"]);
+            assert_eq!(a.json.as_deref(), Some(std::path::Path::new("out.json")));
+            assert_eq!(a.threads, 4);
+            let b = parse(&["--threads=2", "--json=x.json"]);
+            assert_eq!(b.threads, 2);
+            assert_eq!(b.json.as_deref(), Some(std::path::Path::new("x.json")));
+        }
+
+        #[test]
+        #[should_panic(expected = "--threads expects a number")]
+        fn rejects_non_numeric_threads() {
+            parse(&["--threads", "lots"]);
+        }
+
+        #[test]
+        #[should_panic(expected = "unknown argument")]
+        fn rejects_unknown_arguments() {
+            parse(&["--frobnicate"]);
+        }
     }
 }
 

@@ -5,7 +5,23 @@
 //! followed by `cj`.  A cycle in this graph is a necessary condition for a
 //! routing-level deadlock under wormhole flow control (Dally & Towles), so
 //! "deadlock-free" for this suite means "the CDG is acyclic".
+//!
+//! # Incremental maintenance
+//!
+//! The removal loop used to rebuild the whole CDG after every cycle break,
+//! even though a break only touches the dependencies of the flows it
+//! re-routes.  [`Cdg::remove_flow_deps`] / [`Cdg::add_flow_deps`] apply
+//! exactly that per-flow delta: they maintain the per-edge flow multiset and
+//! drop/create dependency edges as flows leave/enter channel pairs, while a
+//! [`CdgDelta`] records which vertices were touched (the *dirty region* the
+//! incremental cycle search seeds from) and how many dependencies changed.
+//!
+//! All cycle queries rank vertices by their [`Channel`] (not by internal
+//! node id), so an incrementally maintained CDG answers every query
+//! identically to a freshly rebuilt one over the same topology and routes —
+//! the equivalence the incremental removal loop is tested against.
 
+use noc_graph::cycles::IncrementalCycleFinder;
 use noc_graph::{cycles, DiGraph, NodeId};
 use noc_routing::RouteSet;
 use noc_topology::{Channel, FlowId, Topology};
@@ -16,6 +32,32 @@ use std::collections::HashMap;
 pub struct Cdg {
     graph: DiGraph<Channel, Vec<FlowId>>,
     index: HashMap<Channel, NodeId>,
+}
+
+/// Bookkeeping of one incremental CDG update (one cycle-break iteration):
+/// how many dependency edges changed and which vertices they touched.
+#[derive(Debug, Clone, Default)]
+pub struct CdgDelta {
+    /// Dependency edges that lost their last flow and were removed.
+    pub deps_removed: usize,
+    /// Dependency edges newly created for a first-time channel pair.
+    pub deps_added: usize,
+    /// Channel vertices created during the update (new VCs).
+    pub channels_added: usize,
+    /// Vertices incident to a removed or added dependency edge, with
+    /// duplicates; use [`touched_nodes`](Self::touched_nodes) for the
+    /// deduplicated set.
+    touched: Vec<NodeId>,
+}
+
+impl CdgDelta {
+    /// The deduplicated, sorted set of vertices incident to changed edges —
+    /// the dirty region to seed the next smallest-cycle query from.
+    pub fn touched_nodes(&mut self) -> &[NodeId] {
+        self.touched.sort();
+        self.touched.dedup();
+        &self.touched
+    }
 }
 
 impl Cdg {
@@ -70,6 +112,76 @@ impl Cdg {
         }
     }
 
+    /// Creates a vertex for `channel` if it does not have one yet (new VCs
+    /// added by a cycle break), counting the creation in `delta`.
+    pub fn register_channel(&mut self, channel: Channel, delta: &mut CdgDelta) {
+        if !self.index.contains_key(&channel) {
+            self.node_of(channel);
+            delta.channels_added += 1;
+        }
+    }
+
+    /// Removes the dependencies the route `channels` (the flow's route
+    /// *before* a re-route) contributed for `flow`: the flow leaves the
+    /// multiset of every consecutive pair, and a dependency edge whose last
+    /// flow leaves is removed from the graph (its endpoints join the delta's
+    /// dirty region).
+    ///
+    /// Pairs the flow does not actually sit on are skipped, which makes the
+    /// call idempotent and lets routes that cross the same pair twice be
+    /// removed with a single linear scan.
+    pub fn remove_flow_deps(&mut self, flow: FlowId, channels: &[Channel], delta: &mut CdgDelta) {
+        for pair in channels.windows(2) {
+            let (Some(&from), Some(&to)) = (self.index.get(&pair[0]), self.index.get(&pair[1]))
+            else {
+                continue;
+            };
+            let Some(edge) = self.graph.find_edge(from, to) else {
+                continue;
+            };
+            let flows = self
+                .graph
+                .edge_weight_mut(edge)
+                .expect("edge found above is live");
+            let before = flows.len();
+            flows.retain(|&f| f != flow);
+            if flows.len() == before {
+                continue; // second crossing of the same pair, already removed
+            }
+            if flows.is_empty() {
+                self.graph.remove_edge(edge);
+                delta.deps_removed += 1;
+                delta.touched.push(from);
+                delta.touched.push(to);
+            }
+        }
+    }
+
+    /// Adds the dependencies the route `channels` (the flow's route *after*
+    /// a re-route) contributes for `flow`.  Newly created dependency edges
+    /// join the delta's dirty region; pairs that already carry other flows
+    /// only gain a multiset entry and leave the cycle structure untouched.
+    pub fn add_flow_deps(&mut self, flow: FlowId, channels: &[Channel], delta: &mut CdgDelta) {
+        for pair in channels.windows(2) {
+            let from = self.node_of(pair[0]);
+            let to = self.node_of(pair[1]);
+            if let Some(edge) = self.graph.find_edge(from, to) {
+                let flows = self
+                    .graph
+                    .edge_weight_mut(edge)
+                    .expect("edge found above is live");
+                if !flows.contains(&flow) {
+                    flows.push(flow);
+                }
+            } else {
+                self.graph.add_edge(from, to, vec![flow]);
+                delta.deps_added += 1;
+                delta.touched.push(from);
+                delta.touched.push(to);
+            }
+        }
+    }
+
     /// Number of channel vertices.
     pub fn channel_count(&self) -> usize {
         self.graph.node_count()
@@ -88,13 +200,34 @@ impl Cdg {
 
     /// Returns the smallest cycle as an ordered channel list
     /// (`GetSmallestCycle` of Algorithm 1), or `None` when acyclic.
+    ///
+    /// Vertices are ranked by their [`Channel`] (link, then VC), not by
+    /// internal node id, so the answer depends only on which dependencies
+    /// exist — a freshly built CDG and an incrementally maintained one
+    /// return the same cycle for the same design.
     pub fn smallest_cycle(&self) -> Option<Vec<Channel>> {
-        cycles::smallest_cycle(&self.graph).map(|cycle| {
-            cycle
-                .into_iter()
-                .map(|n| *self.graph.node_weight(n).expect("cycle nodes are valid"))
-                .collect()
-        })
+        cycles::smallest_cycle_by(&self.graph, |n| self.channel_of(n)).map(|c| self.to_channels(c))
+    }
+
+    /// [`smallest_cycle`](Self::smallest_cycle) through an
+    /// [`IncrementalCycleFinder`], which prunes the search using candidate
+    /// cycles cached from earlier queries and the dirty region reported via
+    /// [`CdgDelta::touched_nodes`].  The answer is always identical to the
+    /// unseeded search; only the work to find it shrinks.
+    pub fn smallest_cycle_with(&self, finder: &mut IncrementalCycleFinder) -> Option<Vec<Channel>> {
+        finder
+            .smallest_cycle_by(&self.graph, |n| self.channel_of(n))
+            .map(|c| self.to_channels(c))
+    }
+
+    /// The channel ranking shared by all cycle queries.
+    fn channel_of(&self, node: NodeId) -> Channel {
+        *self.graph.node_weight(node).expect("cycle nodes are valid")
+    }
+
+    /// Maps a node cycle back to the channel list the removal loop works on.
+    fn to_channels(&self, cycle: Vec<NodeId>) -> Vec<Channel> {
+        cycle.into_iter().map(|n| self.channel_of(n)).collect()
     }
 
     /// Returns all simple cycles up to `limit`, as channel lists (used by the
@@ -258,6 +391,129 @@ mod tests {
         assert_eq!(cdg.dependencies().count(), cdg.dependency_count());
         let total_flow_refs: usize = cdg.dependencies().map(|(_, _, f)| f.len()).sum();
         assert_eq!(total_flow_refs, 5); // F1 twice, F2, F3, F4 once each
+    }
+
+    /// Applies a re-route of `flow` from `old` to `new` as an incremental
+    /// delta and returns the delta bookkeeping.
+    fn apply_reroute(cdg: &mut Cdg, flow: FlowId, old: &[Channel], new: &[Channel]) -> CdgDelta {
+        let mut delta = CdgDelta::default();
+        cdg.remove_flow_deps(flow, old, &mut delta);
+        cdg.add_flow_deps(flow, new, &mut delta);
+        delta
+    }
+
+    /// The incremental CDG and a from-scratch rebuild must agree on the
+    /// dependency structure: same edges, same flow sets, same smallest
+    /// cycle.
+    fn assert_structurally_equal(incremental: &Cdg, rebuilt: &Cdg) {
+        assert_eq!(incremental.dependency_count(), rebuilt.dependency_count());
+        for (from, to, flows) in rebuilt.dependencies() {
+            let mut expected: Vec<FlowId> = flows.to_vec();
+            expected.sort();
+            let mut actual: Vec<FlowId> = incremental
+                .dependency_flows(from, to)
+                .unwrap_or_else(|| panic!("missing dependency {from} -> {to}"))
+                .to_vec();
+            actual.sort();
+            assert_eq!(actual, expected, "flow set of {from} -> {to}");
+        }
+        assert_eq!(incremental.smallest_cycle(), rebuilt.smallest_cycle());
+    }
+
+    #[test]
+    fn incremental_reroute_matches_rebuild() {
+        // Re-route F3 of the Figure 1 ring onto a fresh VC (the paper's
+        // manual Figure 3 fix), applied as a delta, and compare against a
+        // from-scratch build of the updated design.
+        let (mut topo, mut routes) = figure_1_design();
+        let mut cdg = Cdg::build(&topo, &routes);
+        let f3 = FlowId::from_index(2);
+        let old: Vec<Channel> = routes.route(f3).unwrap().channels().to_vec();
+
+        let new_channel = topo.add_vc(LinkId::from_index(0)).unwrap();
+        routes.route_mut(f3).unwrap().channels_mut()[1] = new_channel;
+        let new: Vec<Channel> = routes.route(f3).unwrap().channels().to_vec();
+
+        let mut delta = CdgDelta::default();
+        cdg.register_channel(new_channel, &mut delta);
+        cdg.remove_flow_deps(f3, &old, &mut delta);
+        cdg.add_flow_deps(f3, &new, &mut delta);
+
+        assert_eq!(delta.channels_added, 1);
+        assert_eq!(delta.deps_removed, 1, "L3 -> L0 had only F3");
+        assert_eq!(delta.deps_added, 1, "L3 -> L0' is new");
+        assert!(!delta.touched_nodes().is_empty());
+        assert!(cdg.is_acyclic());
+        assert_structurally_equal(&cdg, &Cdg::build(&topo, &routes));
+    }
+
+    #[test]
+    fn removing_one_flow_of_a_shared_dependency_keeps_the_edge() {
+        let (topo, routes) = figure_1_design();
+        let mut cdg = Cdg::build(&topo, &routes);
+        let l = |i| Channel::base(LinkId::from_index(i));
+        // L0 -> L1 is carried by F1 and F4; removing F1's route must keep it.
+        let f1 = FlowId::from_index(0);
+        let old: Vec<Channel> = routes.route(f1).unwrap().channels().to_vec();
+        let delta = apply_reroute(&mut cdg, f1, &old, &[]);
+        assert!(cdg.has_dependency(l(0), l(1)));
+        assert_eq!(cdg.dependency_flows(l(0), l(1)).unwrap().len(), 1);
+        // F1 alone carried L1 -> L2.
+        assert!(!cdg.has_dependency(l(1), l(2)));
+        assert_eq!(delta.deps_removed, 1);
+        assert_eq!(delta.deps_added, 0);
+    }
+
+    #[test]
+    fn remove_flow_deps_is_idempotent_and_handles_double_crossings() {
+        // A route crossing the same pair twice: removal must strip the
+        // membership once, tolerate the second window, and a repeat call
+        // must be a no-op.
+        let mut topo = Topology::new();
+        let s0 = topo.add_switch("s0");
+        let s1 = topo.add_switch("s1");
+        let l: Vec<Channel> = (0..3)
+            .map(|_| Channel::base(topo.add_link(s0, s1, 1.0)))
+            .collect();
+        let (a, b, w) = (l[0], l[1], l[2]);
+        let mut routes = RouteSet::new(1);
+        let flow = FlowId::from_index(0);
+        routes.set_route(flow, Route::new(vec![a, b, w, a, b]));
+        let mut cdg = Cdg::build(&topo, &routes);
+        assert_eq!(cdg.dependency_count(), 3); // a->b (twice, merged), b->w, w->a
+
+        let old: Vec<Channel> = routes.route(flow).unwrap().channels().to_vec();
+        let mut delta = CdgDelta::default();
+        cdg.remove_flow_deps(flow, &old, &mut delta);
+        assert_eq!(delta.deps_removed, 3);
+        assert_eq!(cdg.dependency_count(), 0);
+
+        let mut repeat = CdgDelta::default();
+        cdg.remove_flow_deps(flow, &old, &mut repeat);
+        assert_eq!(repeat.deps_removed, 0, "second removal is a no-op");
+    }
+
+    #[test]
+    fn register_channel_is_idempotent() {
+        let (topo, routes) = figure_1_design();
+        let mut cdg = Cdg::build(&topo, &routes);
+        let fresh = Channel::new(LinkId::from_index(0), 1);
+        let mut delta = CdgDelta::default();
+        cdg.register_channel(fresh, &mut delta);
+        cdg.register_channel(fresh, &mut delta);
+        assert_eq!(delta.channels_added, 1);
+        assert_eq!(cdg.channel_count(), 5);
+    }
+
+    #[test]
+    fn smallest_cycle_with_finder_matches_plain_query() {
+        use noc_graph::cycles::IncrementalCycleFinder;
+        let (topo, routes) = figure_1_design();
+        let cdg = Cdg::build(&topo, &routes);
+        let mut finder = IncrementalCycleFinder::new();
+        assert_eq!(cdg.smallest_cycle_with(&mut finder), cdg.smallest_cycle());
+        // A second query against unchanged state must agree too.
+        assert_eq!(cdg.smallest_cycle_with(&mut finder), cdg.smallest_cycle());
     }
 
     #[test]

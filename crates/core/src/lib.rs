@@ -76,7 +76,9 @@ pub mod report;
 pub mod resource_ordering;
 pub mod verify;
 
-pub use cdg::Cdg;
-pub use removal::{remove_deadlocks, CycleOrder, DirectionPolicy, RemovalConfig, RemovalError};
-pub use report::RemovalReport;
+pub use cdg::{Cdg, CdgDelta};
+pub use removal::{
+    remove_deadlocks, CdgMode, CycleOrder, DirectionPolicy, RemovalConfig, RemovalError,
+};
+pub use report::{CdgDeltaStats, CdgMaintenanceStats, RemovalReport};
 pub use resource_ordering::{apply_resource_ordering, ResourceOrderingResult};

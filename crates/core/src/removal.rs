@@ -3,14 +3,25 @@
 //! Repeatedly: find the smallest cycle of the CDG, compute the cheapest way
 //! to break it (forward or backward, Algorithm 2), duplicate the required
 //! channels by adding VCs to the topology, re-route the offending flows onto
-//! the new channels, and rebuild the CDG.  Terminates when the CDG is
+//! the new channels, and update the CDG.  Terminates when the CDG is
 //! acyclic.
+//!
+//! The CDG update is incremental by default ([`CdgMode::Incremental`]): a
+//! break only changes the dependencies of the flows it re-routed, so the
+//! loop applies exactly those deltas ([`Cdg::remove_flow_deps`] /
+//! [`Cdg::add_flow_deps`]) and seeds the next smallest-cycle query from the
+//! touched vertices, instead of rebuilding the whole graph from scratch
+//! every iteration.  [`CdgMode::FullRebuild`] keeps the from-scratch
+//! reference path; both produce identical reports
+//! ([`RemovalReport::same_outcome`]), which the equivalence tests assert
+//! over the full benchmark grids.
 
-use crate::cdg::Cdg;
+use crate::cdg::{Cdg, CdgDelta};
 use crate::cost::{cost_table, CostTable, Direction};
-use crate::report::{BreakStep, RemovalReport};
+use crate::report::{BreakStep, CdgDeltaStats, RemovalReport};
+use noc_graph::cycles::IncrementalCycleFinder;
 use noc_routing::RouteSet;
-use noc_topology::{Channel, Topology, TopologyError};
+use noc_topology::{Channel, FlowId, Topology, TopologyError};
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
@@ -41,6 +52,22 @@ pub enum CycleOrder {
     FirstFound,
 }
 
+/// How the loop maintains the CDG between cycle breaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CdgMode {
+    /// Build the CDG once and patch it per iteration with the dependencies
+    /// of the re-routed flows, seeding the next smallest-cycle search from
+    /// the touched vertices.  The default — same answers as
+    /// [`FullRebuild`](Self::FullRebuild), far less work per iteration.
+    #[default]
+    Incremental,
+    /// Rebuild the CDG from the topology and routes every iteration — the
+    /// reference path the incremental engine is checked against, and the
+    /// path the cycle-order ablations always take (their bounded cycle
+    /// enumeration is not incremental).
+    FullRebuild,
+}
+
 /// Configuration of a removal run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RemovalConfig {
@@ -50,6 +77,8 @@ pub struct RemovalConfig {
     pub cycle_order: CycleOrder,
     /// Safety bound on the number of cycles broken before giving up.
     pub max_iterations: usize,
+    /// CDG maintenance mode (default = incremental).
+    pub cdg_mode: CdgMode,
 }
 
 impl Default for RemovalConfig {
@@ -58,6 +87,7 @@ impl Default for RemovalConfig {
             direction: DirectionPolicy::Both,
             cycle_order: CycleOrder::SmallestFirst,
             max_iterations: 100_000,
+            cdg_mode: CdgMode::Incremental,
         }
     }
 }
@@ -130,9 +160,22 @@ pub fn remove_deadlocks(
 ) -> Result<RemovalReport, RemovalError> {
     let mut report = RemovalReport::default();
 
+    // The incremental engine only serves the smallest-cycle order: the
+    // ablation orders rank cycles via the bounded enumeration, which is not
+    // incremental, so they keep the rebuild reference path regardless of
+    // the configured mode.
+    let incremental =
+        config.cdg_mode == CdgMode::Incremental && config.cycle_order == CycleOrder::SmallestFirst;
+    let mut finder = IncrementalCycleFinder::new();
+
     // Step 2–3: build the CDG and look for an initial cycle.
     let mut cdg = Cdg::build(topology, routes);
-    let mut cycle = select_cycle(&cdg, config.cycle_order);
+    report.cdg.full_builds = 1;
+    let mut cycle = if incremental {
+        cdg.smallest_cycle_with(&mut finder)
+    } else {
+        select_cycle(&cdg, config.cycle_order)
+    };
     if cycle.is_none() {
         report.already_deadlock_free = true;
         return Ok(report);
@@ -178,7 +221,7 @@ pub fn remove_deadlocks(
         };
 
         // Steps 8–10: break the cycle by duplicating channels and re-routing.
-        let flows_rerouted = break_cycle(topology, routes, &current, pos, cost, direction)?;
+        let outcome = break_cycle(topology, routes, &current, pos, cost, direction)?;
 
         report.cycles_broken += 1;
         report.added_vcs += cost;
@@ -186,13 +229,43 @@ pub fn remove_deadlocks(
             cycle_len: current.len(),
             direction,
             vcs_added: cost,
-            flows_rerouted,
+            flows_rerouted: outcome.flows_rerouted,
         });
 
-        // Step 12–13: rebuild the CDG from the updated topology and routes,
+        // Step 12–13: bring the CDG up to date with the re-routed design,
         // then search for the next cycle.
-        cdg = Cdg::build(topology, routes);
-        cycle = select_cycle(&cdg, config.cycle_order);
+        cycle = if incremental {
+            // Only the re-routed flows' dependencies changed: apply their
+            // deltas and seed the next search from the touched vertices.
+            let mut delta = CdgDelta::default();
+            for &channel in &outcome.new_channels {
+                cdg.register_channel(channel, &mut delta);
+            }
+            for (flow, old_channels) in &outcome.rerouted {
+                cdg.remove_flow_deps(*flow, old_channels, &mut delta);
+                let new_channels = routes
+                    .route(*flow)
+                    .expect("re-routed flows exist in the route set")
+                    .channels();
+                cdg.add_flow_deps(*flow, new_channels, &mut delta);
+            }
+            let touched = delta.touched_nodes();
+            let dirty_nodes = touched.len();
+            for &node in touched {
+                finder.mark_dirty(node);
+            }
+            report.cdg.step_deltas.push(CdgDeltaStats {
+                deps_removed: delta.deps_removed,
+                deps_added: delta.deps_added,
+                channels_added: delta.channels_added,
+                dirty_nodes,
+            });
+            cdg.smallest_cycle_with(&mut finder)
+        } else {
+            cdg = Cdg::build(topology, routes);
+            report.cdg.full_builds += 1;
+            select_cycle(&cdg, config.cycle_order)
+        };
     }
 
     Ok(report)
@@ -215,10 +288,22 @@ fn select_cycle(cdg: &Cdg, order: CycleOrder) -> Option<Vec<Channel>> {
     }
 }
 
+/// What one [`break_cycle`] call did, with the bookkeeping the incremental
+/// CDG update needs: which flows moved (and the route each had *before* the
+/// move) and which channels were created.
+struct BreakOutcome {
+    /// Number of flows that were re-routed.
+    flows_rerouted: usize,
+    /// Each re-routed flow with its pre-break channel list; the post-break
+    /// list is the flow's current route.
+    rerouted: Vec<(FlowId, Vec<Channel>)>,
+    /// The VCs this break added, in creation order.
+    new_channels: Vec<Channel>,
+}
+
 /// Breaks the dependency `pos` of `cycle` in the given direction
 /// (`BreakCycleForward` / `BreakCycleBackward`): adds `cost` VCs, re-routes
 /// every offending flow onto them and thereby removes the dependency edge.
-/// Returns the number of flows that were re-routed.
 fn break_cycle(
     topology: &mut Topology,
     routes: &mut RouteSet,
@@ -226,7 +311,7 @@ fn break_cycle(
     pos: usize,
     cost: usize,
     direction: Direction,
-) -> Result<usize, RemovalError> {
+) -> Result<BreakOutcome, RemovalError> {
     let len = cycle.len();
     let from = cycle[pos];
     let to = cycle[(pos + 1) % len];
@@ -245,9 +330,11 @@ fn break_cycle(
 
     // Add one new VC per duplicated channel.
     let mut duplicates: HashMap<Channel, Channel> = HashMap::with_capacity(cost);
+    let mut new_channels = Vec::with_capacity(cost);
     for &channel in &to_duplicate {
         let new_channel = topology.add_vc(channel.link)?;
         duplicates.insert(channel, new_channel);
+        new_channels.push(new_channel);
     }
 
     // Re-route every flow that creates the removed dependency.  A route may
@@ -256,12 +343,13 @@ fn break_cycle(
     // dependency edge survives the break and the loop re-breaks the same
     // cycle, burning extra VCs.
     let offending = offending_flows(routes, from, to);
-    let mut flows_rerouted = 0;
+    let mut rerouted: Vec<(FlowId, Vec<Channel>)> = Vec::with_capacity(offending.len());
     for &flow in &offending {
         let route = routes
             .route_mut(flow)
             .expect("offending flows exist in the route set");
         let channels = route.channels_mut();
+        let old_channels = channels.to_vec();
         let mut modified = false;
         // Scan for every position of the `from -> to` pair.  Replacements
         // only ever rewrite channels at or before (forward) / after
@@ -305,10 +393,14 @@ fn break_cycle(
             p += 1;
         }
         if modified {
-            flows_rerouted += 1;
+            rerouted.push((flow, old_channels));
         }
     }
-    Ok(flows_rerouted)
+    Ok(BreakOutcome {
+        flows_rerouted: rerouted.len(),
+        rerouted,
+        new_channels,
+    })
 }
 
 /// The flows whose route contains the channel pair `from` immediately
@@ -511,9 +603,15 @@ mod tests {
         let (a, b, c) = (channels[0], channels[1], channels[2]);
         // Break the dependency A -> B of the cycle [A, B, C] forward at
         // cost 1 (duplicate A only).
-        let rerouted =
+        let outcome =
             break_cycle(&mut topo, &mut routes, &[a, b, c], 0, 1, Direction::Forward).unwrap();
-        assert_eq!(rerouted, 1, "one flow crosses A -> B (twice)");
+        assert_eq!(outcome.flows_rerouted, 1, "one flow crosses A -> B (twice)");
+        assert_eq!(outcome.new_channels.len(), 1, "cost 1 adds one VC");
+        assert_eq!(outcome.rerouted.len(), 1);
+        assert_eq!(
+            outcome.rerouted[0].1[0], a,
+            "the captured route is the pre-break one"
+        );
         // Both occurrences must have moved off the pair, otherwise the
         // dependency edge survives the break.
         assert!(

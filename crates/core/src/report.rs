@@ -15,6 +15,60 @@ pub struct BreakStep {
     pub flows_rerouted: usize,
 }
 
+/// The CDG delta one incremental update (one cycle break) applied — the
+/// per-iteration stats of the incremental maintenance engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CdgDeltaStats {
+    /// Dependency edges removed because their last flow was re-routed away.
+    pub deps_removed: usize,
+    /// Dependency edges created by the re-routed flows (new channel pairs).
+    pub deps_added: usize,
+    /// Channel vertices created (the VCs this break added).
+    pub channels_added: usize,
+    /// Vertices incident to changed edges — the dirty region the next
+    /// smallest-cycle query was seeded from.
+    pub dirty_nodes: usize,
+}
+
+/// How the CDG was maintained across the removal loop.
+///
+/// In incremental mode the CDG is built once and patched per iteration
+/// ([`step_deltas`](Self::step_deltas) has one entry per break); in
+/// full-rebuild mode it is rebuilt from scratch every iteration and
+/// `step_deltas` stays empty.  These stats are diagnostics: two runs that
+/// agree on every outcome field may legitimately differ here, which is why
+/// [`RemovalReport::same_outcome`] ignores them.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CdgMaintenanceStats {
+    /// Number of from-scratch `Cdg::build` calls (1 in incremental mode,
+    /// iterations + 1 in full-rebuild mode).
+    pub full_builds: usize,
+    /// Per-break deltas, in break order; empty in full-rebuild mode.
+    pub step_deltas: Vec<CdgDeltaStats>,
+}
+
+impl CdgMaintenanceStats {
+    /// Total dependency edges removed across all incremental updates.
+    pub fn deps_removed(&self) -> usize {
+        self.step_deltas.iter().map(|d| d.deps_removed).sum()
+    }
+
+    /// Total dependency edges added across all incremental updates.
+    pub fn deps_added(&self) -> usize {
+        self.step_deltas.iter().map(|d| d.deps_added).sum()
+    }
+
+    /// Total channel vertices created across all incremental updates.
+    pub fn channels_added(&self) -> usize {
+        self.step_deltas.iter().map(|d| d.channels_added).sum()
+    }
+
+    /// `true` when the run maintained the CDG incrementally.
+    pub fn incremental(&self) -> bool {
+        !self.step_deltas.is_empty()
+    }
+}
+
 /// Aggregate report returned by [`remove_deadlocks`](crate::removal::remove_deadlocks).
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct RemovalReport {
@@ -27,9 +81,23 @@ pub struct RemovalReport {
     /// `true` when the input CDG was already acyclic and nothing was done —
     /// the common case the paper highlights for D26_media.
     pub already_deadlock_free: bool,
+    /// CDG maintenance diagnostics (builds, per-iteration deltas).
+    pub cdg: CdgMaintenanceStats,
 }
 
 impl RemovalReport {
+    /// `true` when `other` describes the same algorithmic outcome: same VCs,
+    /// same breaks (length, direction, cost, re-routes, in the same order)
+    /// and the same deadlock-freedom verdict.  CDG maintenance diagnostics
+    /// are ignored, so an incremental run and a full-rebuild reference run
+    /// can be compared directly — the equivalence the incremental engine is
+    /// tested against.
+    pub fn same_outcome(&self, other: &RemovalReport) -> bool {
+        self.added_vcs == other.added_vcs
+            && self.cycles_broken == other.cycles_broken
+            && self.already_deadlock_free == other.already_deadlock_free
+            && self.steps == other.steps
+    }
     /// Number of steps broken in the forward direction.
     pub fn forward_breaks(&self) -> usize {
         self.steps
@@ -71,6 +139,7 @@ mod tests {
                 },
             ],
             already_deadlock_free: false,
+            cdg: CdgMaintenanceStats::default(),
         };
         assert_eq!(report.forward_breaks(), 1);
         assert_eq!(report.backward_breaks(), 1);
@@ -83,5 +152,44 @@ mod tests {
         assert_eq!(report.cycles_broken, 0);
         assert!(!report.already_deadlock_free);
         assert!(report.steps.is_empty());
+        assert_eq!(report.cdg.full_builds, 0);
+        assert!(!report.cdg.incremental());
+    }
+
+    #[test]
+    fn same_outcome_ignores_cdg_maintenance_stats() {
+        let mut a = RemovalReport {
+            added_vcs: 1,
+            cycles_broken: 1,
+            steps: vec![BreakStep {
+                cycle_len: 4,
+                direction: Direction::Forward,
+                vcs_added: 1,
+                flows_rerouted: 2,
+            }],
+            already_deadlock_free: false,
+            cdg: CdgMaintenanceStats {
+                full_builds: 1,
+                step_deltas: vec![CdgDeltaStats {
+                    deps_removed: 2,
+                    deps_added: 3,
+                    channels_added: 1,
+                    dirty_nodes: 5,
+                }],
+            },
+        };
+        let mut b = a.clone();
+        b.cdg = CdgMaintenanceStats {
+            full_builds: 2,
+            step_deltas: Vec::new(),
+        };
+        assert!(a.same_outcome(&b));
+        assert_ne!(a, b, "derived equality still sees the diagnostics");
+        assert_eq!(a.cdg.deps_removed(), 2);
+        assert_eq!(a.cdg.deps_added(), 3);
+        assert_eq!(a.cdg.channels_added(), 1);
+        assert!(a.cdg.incremental());
+        a.added_vcs = 9;
+        assert!(!a.same_outcome(&b));
     }
 }

@@ -123,6 +123,58 @@ pub(crate) fn run_sharded(
         .collect())
 }
 
+/// Maps every item through `f` on a pool of scoped worker threads (atomic
+/// index claiming, like the sweep executor) and returns the results in
+/// input order.  `threads == 0` auto-sizes to the machine's available
+/// parallelism; the pool never exceeds the item count.
+///
+/// This is the shared scatter/gather primitive behind the `--threads` knob
+/// of harness entry points that are not `FlowSweep` grids (per-benchmark
+/// simulation sharding, timed-design preparation, equivalence-test grids).
+/// A panic in `f` propagates when the scope joins its workers.
+///
+/// # Example
+///
+/// ```
+/// let squares = noc_flow::executor::parallel_map_ordered(&[1, 2, 3], 2, |&x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9]);
+/// ```
+pub fn parallel_map_ordered<T: Sync, R: Send>(
+    items: &[T],
+    threads: usize,
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    let workers = worker_count(threads, items.len());
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    let mut slots: Vec<Option<R>> = Vec::new();
+    slots.resize_with(items.len(), || None);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(index) else {
+                    break;
+                };
+                if tx.send((index, f(item))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (index, result) in rx {
+            slots[index] = Some(result);
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every item was mapped exactly once"))
+        .collect()
+}
+
 /// Resolves the configured thread count: `0` auto-sizes to the machine's
 /// available parallelism; the pool never exceeds the grid size and is at
 /// least one thread.

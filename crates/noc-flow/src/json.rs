@@ -4,7 +4,7 @@
 //! serde this module provides the small slice of JSON the suite needs:
 //!
 //! * [`ToJson`] — a writer trait implemented for the sweep result types
-//!   ([`SweepPoint`], [`StrategyOutcome`](crate::StrategyOutcome),
+//!   ([`SweepPoint`], [`StrategyOutcome`],
 //!   [`RemovalReport`]) and the primitives they are built from, with an
 //!   escaping-correct string encoder,
 //! * [`JsonValue`] — a tiny parsed representation with a strict parser,
@@ -17,7 +17,7 @@
 
 use crate::sweep::{StrategyOutcome, SweepPoint};
 use noc_deadlock::cost::Direction;
-use noc_deadlock::report::{BreakStep, RemovalReport};
+use noc_deadlock::report::{BreakStep, CdgMaintenanceStats, RemovalReport};
 use noc_topology::benchmarks::Benchmark;
 use std::fmt;
 
@@ -203,6 +203,19 @@ impl ToJson for RemovalReport {
             .field("cycles_broken", &self.cycles_broken)
             .field("already_deadlock_free", &self.already_deadlock_free)
             .field("steps", &self.steps)
+            .field("cdg", &self.cdg)
+            .finish();
+    }
+}
+
+impl ToJson for CdgMaintenanceStats {
+    fn write_json(&self, out: &mut String) {
+        ObjectWriter::new(out)
+            .field("incremental", &self.incremental())
+            .field("full_builds", &self.full_builds)
+            .field("deps_removed", &self.deps_removed())
+            .field("deps_added", &self.deps_added())
+            .field("channels_added", &self.channels_added())
             .finish();
     }
 }
@@ -728,11 +741,23 @@ mod tests {
                 flows_rerouted: 3,
             }],
             already_deadlock_free: false,
+            cdg: CdgMaintenanceStats {
+                full_builds: 1,
+                step_deltas: vec![noc_deadlock::report::CdgDeltaStats {
+                    deps_removed: 2,
+                    deps_added: 1,
+                    channels_added: 2,
+                    dirty_nodes: 4,
+                }],
+            },
         };
         let json = report.to_json();
         let value = JsonValue::parse(&json).expect("valid JSON");
         assert_eq!(value.get("added_vcs").unwrap().as_number(), Some(2.0));
         let steps = value.get("steps").unwrap().as_array().unwrap();
         assert_eq!(steps[0].get("direction").unwrap().as_str(), Some("forward"));
+        let cdg = value.get("cdg").unwrap();
+        assert_eq!(cdg.get("incremental"), Some(&JsonValue::Bool(true)));
+        assert_eq!(cdg.get("deps_removed").unwrap().as_number(), Some(2.0));
     }
 }

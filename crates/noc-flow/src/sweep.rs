@@ -9,7 +9,7 @@
 //! scoped worker threads: [`FlowSweep::run_parallel`] and
 //! [`FlowSweep::run_streaming`] shard the grid across
 //! [`worker_threads`](FlowSweep::worker_threads) workers (see
-//! [`executor`](crate::executor)) and still return points in deterministic
+//! [`executor`]) and still return points in deterministic
 //! grid order, byte-identical to the serial [`run`](FlowSweep::run).
 
 use crate::error::FlowError;

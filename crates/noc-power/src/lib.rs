@@ -1,6 +1,6 @@
 //! ORION-style analytical area and power models for NoC switches and links.
 //!
-//! The paper estimates switch power and area with ORION 2.0 (its ref. [20]).
+//! The paper estimates switch power and area with ORION 2.0 (its ref. \[20\]).
 //! ORION itself is a C++ tool that is not vendored here, so this crate
 //! provides an analytical substitute with the same structure: per-component
 //! (input buffers, crossbar, arbiter, output links) area and energy terms,

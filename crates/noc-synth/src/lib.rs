@@ -1,7 +1,7 @@
 //! Application-specific NoC topology synthesis.
 //!
 //! The paper generates its input topologies with the floorplan-aware
-//! synthesis tool of its reference [9], which is not publicly available.
+//! synthesis tool of its reference \[9\], which is not publicly available.
 //! This crate provides a functional substitute with the same interface
 //! contract: given a communication graph and a target switch count it
 //! produces an application-specific (usually irregular) topology, a core

@@ -105,7 +105,7 @@ impl From<TopologyError> for SynthesisError {
 /// Synthesizes an application-specific topology, core attachment and
 /// deadlock-oblivious routes for `comm`.
 ///
-/// This is the substitute for the paper's external synthesis tool [9]: the
+/// This is the substitute for the paper's external synthesis tool \[9\]: the
 /// deadlock-removal algorithm and the resource-ordering baseline only care
 /// that they receive *some* application-specific `TG(S, L)`, `G(V, E)`
 /// mapping and route set per switch count.

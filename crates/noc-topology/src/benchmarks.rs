@@ -1,6 +1,6 @@
 //! Synthetic SoC benchmark suite.
 //!
-//! The paper evaluates on six SoC benchmarks taken from ref. [21]
+//! The paper evaluates on six SoC benchmarks taken from ref. \[21\]
 //! (D26_media, D36_4, D36_6, D36_8, D35_bott, D38_tvopd).  Those
 //! communication specifications were never released publicly, so this module
 //! provides **deterministic synthetic substitutes** that match the published
