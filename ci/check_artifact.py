@@ -1,0 +1,280 @@
+#!/usr/bin/env python3
+"""Schema and invariant checks for the JSON artifacts of the figure binaries.
+
+Every binary of `crates/bench` writes a versioned envelope::
+
+    {"figure": "<name>", "schema": 2, "data": ...}
+
+and this script knows, per figure name, what shape and invariants the
+payload must satisfy.  CI runs it over every artifact, so a serializer
+regression, a schema drift, or a broken experimental invariant (e.g. "the
+removal algorithm never needs more VCs than resource ordering") fails the
+build instead of silently producing unusable artifacts.
+
+Usage:
+    ci/check_artifact.py ARTIFACT.json [--timing-tolerance T]
+
+`--timing-tolerance` applies only to the `cdg_incremental` artifact: it is
+the timing-regression guard, failing when the incremental CDG maintenance
+engine is slower than the full-rebuild reference by more than the given
+fraction (incremental/rebuild > 1 + T).
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA_VERSION = 2
+
+STRATEGY_MATRIX_NAMES = [
+    "cycle-breaking",
+    "resource-ordering",
+    "escape-channel",
+    "recovery-reconfig",
+]
+
+
+class CheckError(Exception):
+    pass
+
+
+def require(condition, message):
+    if not condition:
+        raise CheckError(message)
+
+
+def require_keys(obj, keys, what):
+    require(isinstance(obj, dict), f"{what} must be an object, got {type(obj).__name__}")
+    missing = [k for k in keys if k not in obj]
+    require(not missing, f"{what} is missing keys: {missing}")
+
+
+def check_vc_sweep(data, figure):
+    require(isinstance(data, list) and data, f"{figure} data must be a non-empty list")
+    for point in data:
+        require_keys(
+            point,
+            ["switch_count", "resource_ordering_vcs", "deadlock_removal_vcs", "cycles_broken"],
+            f"{figure} point",
+        )
+        require(
+            point["deadlock_removal_vcs"] <= point["resource_ordering_vcs"],
+            f"{figure} @ {point['switch_count']} switches: removal needs "
+            f"{point['deadlock_removal_vcs']} VCs > ordering's {point['resource_ordering_vcs']}",
+        )
+
+
+def check_power_comparison(comparison, what):
+    require_keys(
+        comparison,
+        [
+            "benchmark",
+            "original_power_mw",
+            "removal_power_mw",
+            "ordering_power_mw",
+            "original_area_um2",
+            "removal_area_um2",
+            "ordering_area_um2",
+            "removal_vcs",
+            "ordering_vcs",
+            "normalised_ordering_power",
+        ],
+        what,
+    )
+    require(
+        comparison["normalised_ordering_power"] >= 1.0,
+        f"{what}: resource ordering must cost at least as much power as removal "
+        f"(got {comparison['normalised_ordering_power']})",
+    )
+    require(comparison["removal_vcs"] <= comparison["ordering_vcs"], f"{what}: VC comparison inverted")
+
+
+def check_fig10(data):
+    require(isinstance(data, list) and data, "fig10 data must be a non-empty list")
+    for comparison in data:
+        check_power_comparison(comparison, f"fig10 {comparison.get('benchmark', '?')}")
+
+
+def check_summary(data):
+    require_keys(data, ["comparisons", "summary"], "summary_table data")
+    require(
+        isinstance(data["comparisons"], list) and data["comparisons"],
+        "summary_table comparisons must be a non-empty list",
+    )
+    for comparison in data["comparisons"]:
+        check_power_comparison(comparison, f"summary {comparison.get('benchmark', '?')}")
+    require_keys(
+        data["summary"],
+        [
+            "mean_vc_saving",
+            "mean_area_saving",
+            "mean_power_saving",
+            "mean_power_overhead",
+            "mean_area_overhead",
+        ],
+        "summary aggregates",
+    )
+    require(0.0 < data["summary"]["mean_vc_saving"] <= 1.0, "mean VC saving out of range")
+
+
+def check_sim_validation(data):
+    require(isinstance(data, list) and data, "sim_validation data must be a non-empty list")
+    for validation in data:
+        require_keys(
+            validation,
+            [
+                "benchmark",
+                "original_cdg_cyclic",
+                "original_deadlocked",
+                "fixed_deadlocked",
+                "fixed_delivered",
+                "fixed_mean_latency",
+            ],
+            f"sim_validation {validation.get('benchmark', '?')}",
+        )
+        require(
+            validation["fixed_deadlocked"] is False,
+            f"{validation['benchmark']}: the repaired design deadlocked in simulation",
+        )
+        require(
+            validation["fixed_delivered"] > 0,
+            f"{validation['benchmark']}: the repaired design delivered no packets",
+        )
+
+
+def check_cdg_incremental(data, timing_tolerance):
+    require_keys(
+        data,
+        ["runs_per_mode", "total_rebuild_ms", "total_incremental_ms", "overall_speedup", "points"],
+        "cdg_incremental data",
+    )
+    points = data["points"]
+    require(isinstance(points, list) and points, "cdg_incremental must contain timed grid points")
+    for point in points:
+        require_keys(
+            point,
+            [
+                "benchmark",
+                "switch_count",
+                "cycles_broken",
+                "deps_removed",
+                "deps_added",
+                "rebuild_ms",
+                "incremental_ms",
+                "speedup",
+            ],
+            "cdg_incremental point",
+        )
+    require(
+        any(p["cycles_broken"] > 0 for p in points),
+        "cdg_incremental grid has no cycle-heavy points — the timing would be vacuous",
+    )
+    # The binary asserts outcome equality between the two modes internally;
+    # here we only guard the artifact shape and, optionally, the timing.
+    if timing_tolerance is not None:
+        rebuild = data["total_rebuild_ms"]
+        incremental = data["total_incremental_ms"]
+        require(rebuild > 0.0, "cdg_incremental rebuild total must be positive")
+        ratio = incremental / rebuild
+        require(
+            ratio <= 1.0 + timing_tolerance,
+            "timing regression: incremental CDG maintenance took "
+            f"{incremental:.2f} ms vs {rebuild:.2f} ms rebuild "
+            f"(ratio {ratio:.3f} > allowed {1.0 + timing_tolerance:.3f})",
+        )
+
+
+def check_strategy_matrix(data):
+    require_keys(data, ["strategies", "points"], "fig_strategy_matrix data")
+    require(
+        data["strategies"] == STRATEGY_MATRIX_NAMES,
+        f"strategy list must be {STRATEGY_MATRIX_NAMES}, got {data['strategies']}",
+    )
+    points = data["points"]
+    require(isinstance(points, list) and points, "fig_strategy_matrix must contain sweep points")
+    benchmarks = {p["benchmark"] for p in points}
+    require(
+        {"D26_media", "D36_8"} <= benchmarks,
+        f"the matrix must cover the Figure 8 and Figure 9 benchmarks, got {sorted(benchmarks)}",
+    )
+    for point in points:
+        require_keys(
+            point,
+            ["benchmark", "switch_count", "active_flows", "mean_hops", "outcomes"],
+            "fig_strategy_matrix point",
+        )
+        where = f"{point['benchmark']} @ {point['switch_count']} switches"
+        outcomes = {o["strategy"]: o for o in point["outcomes"]}
+        require(
+            sorted(outcomes) == sorted(STRATEGY_MATRIX_NAMES),
+            f"{where}: expected one outcome per strategy, got {sorted(outcomes)}",
+        )
+        for outcome in point["outcomes"]:
+            require_keys(
+                outcome,
+                ["strategy", "kind", "added_vcs", "cycles_broken", "mean_hops"],
+                f"{where} outcome",
+            )
+        require(
+            outcomes["escape-channel"]["cycles_broken"] == 0,
+            f"{where}: escape-channel avoidance must break zero cycles",
+        )
+        require(
+            outcomes["recovery-reconfig"]["added_vcs"] == 0,
+            f"{where}: recovery reconfiguration must add zero VCs",
+        )
+        require(
+            outcomes["cycle-breaking"]["added_vcs"] <= outcomes["resource-ordering"]["added_vcs"],
+            f"{where}: removal must not need more VCs than resource ordering",
+        )
+        require(
+            outcomes["recovery-reconfig"]["mean_hops"] >= point["mean_hops"] - 1e-9,
+            f"{where}: recovery routes cannot be shorter than the shortest-path input",
+        )
+
+
+CHECKS = {
+    "fig8_d26_media": lambda data, _: check_vc_sweep(data, "fig8"),
+    "fig9_d36_8": lambda data, _: check_vc_sweep(data, "fig9"),
+    "fig10_power": lambda data, _: check_fig10(data),
+    "summary_table": lambda data, _: check_summary(data),
+    "sim_validation": lambda data, _: check_sim_validation(data),
+    "cdg_incremental": check_cdg_incremental,
+    "fig_strategy_matrix": lambda data, _: check_strategy_matrix(data),
+}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("artifact", help="path to a figure JSON artifact")
+    parser.add_argument(
+        "--timing-tolerance",
+        type=float,
+        default=None,
+        metavar="T",
+        help="for cdg_incremental: fail if incremental/rebuild exceeds 1 + T",
+    )
+    args = parser.parse_args()
+
+    with open(args.artifact) as handle:
+        artifact = json.load(handle)
+
+    try:
+        require_keys(artifact, ["figure", "schema", "data"], "artifact envelope")
+        figure = artifact["figure"]
+        require(
+            artifact["schema"] == SCHEMA_VERSION,
+            f"schema version {artifact['schema']} != expected {SCHEMA_VERSION}",
+        )
+        check = CHECKS.get(figure)
+        require(check is not None, f"unknown figure name {figure!r}; known: {sorted(CHECKS)}")
+        check(artifact["data"], args.timing_tolerance)
+    except CheckError as error:
+        print(f"{args.artifact}: FAIL — {error}", file=sys.stderr)
+        return 1
+    print(f"{args.artifact}: ok ({artifact['figure']}, schema {artifact['schema']})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

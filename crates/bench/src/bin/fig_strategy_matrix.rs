@@ -1,0 +1,82 @@
+//! The strategy matrix (beyond the paper): all four `DeadlockStrategy`
+//! implementations — cycle breaking (removal), resource ordering
+//! (prevention), escape channels (avoidance) and recovery reconfiguration
+//! (recovery) — compared on the Figure 8 (D26_media) and Figure 9 (D36_8)
+//! benchmark grids.
+//!
+//! Per grid point the table reports each scheme's VC overhead plus the two
+//! scheme-specific costs the VC column cannot show: the cycles the removal
+//! algorithm broke and the hop inflation of the recovery routes.  Pass
+//! `--threads <n>` to pin the executor worker count (the sweep shards down
+//! to individual (point × strategy) tasks) and `--json <path>` to write the
+//! full sweep as a JSON artifact.
+
+use noc_bench::artifact::FigureArgs;
+use noc_bench::{artifact, strategy_matrix_sweep, STRATEGY_MATRIX_NAMES};
+use noc_flow::json::{ObjectWriter, ToJson};
+use noc_flow::SweepPoint;
+
+/// The artifact payload: the strategy list plus every sweep point.
+struct MatrixArtifact {
+    strategies: Vec<String>,
+    points: Vec<SweepPoint>,
+}
+
+impl ToJson for MatrixArtifact {
+    fn write_json(&self, out: &mut String) {
+        ObjectWriter::new(out)
+            .field("strategies", &self.strategies)
+            .field("points", &self.points)
+            .finish();
+    }
+}
+
+fn main() {
+    let args = FigureArgs::parse("fig_strategy_matrix");
+    println!("# Strategy matrix — extra VCs per deadlock strategy, Figure 8/9 grids");
+    println!(
+        "{:>12} {:>10} {:>16} {:>18} {:>16} {:>18} {:>8} {:>12}",
+        "benchmark",
+        "switches",
+        "cycle_breaking",
+        "resource_ordering",
+        "escape_channel",
+        "recovery_reconfig",
+        "breaks",
+        "extra_hops"
+    );
+    let points = strategy_matrix_sweep(args.threads, |progress| {
+        eprintln!(
+            "[{}/{}] {} @ {} switches done",
+            progress.completed,
+            progress.total,
+            progress.point.benchmark,
+            progress.point.switch_count
+        );
+    });
+    for point in &points {
+        let [removal, ordering, escape, recovery] =
+            STRATEGY_MATRIX_NAMES.map(|name| point.outcome(name).expect("strategy ran"));
+        // Recovery's cost is hops, not VCs: report the total extra hops its
+        // re-routed flows pay versus the shortest-path input routing.
+        let extra_hops = (recovery.mean_hops - point.mean_hops) * point.active_flows as f64;
+        println!(
+            "{:>12} {:>10} {:>16} {:>18} {:>16} {:>18} {:>8} {:>12.0}",
+            point.benchmark.name(),
+            point.switch_count,
+            removal.added_vcs,
+            ordering.added_vcs,
+            escape.added_vcs,
+            recovery.added_vcs,
+            removal.cycles_broken,
+            extra_hops.max(0.0)
+        );
+    }
+    if let Some(path) = args.json {
+        let data = MatrixArtifact {
+            strategies: STRATEGY_MATRIX_NAMES.map(str::to_string).to_vec(),
+            points,
+        };
+        artifact::write_json_artifact(&path, "fig_strategy_matrix", &data);
+    }
+}

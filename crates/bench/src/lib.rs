@@ -13,6 +13,7 @@
 //! | Figure 10 (normalised power, 6 benchmarks @ 14 switches) | [`power_comparison`] | `fig10_power` |
 //! | 88 % VC / 66 % area / 8.6 % power savings, < 5 % overhead | [`summary`] | `summary_table` |
 //! | dynamic deadlock validation (beyond the paper) | [`simulate_before_after`] | `sim_validation` |
+//! | four-way strategy comparison (beyond the paper) | [`strategy_matrix_sweep`] | `fig_strategy_matrix` |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,8 +22,8 @@ use noc_deadlock::removal::RemovalConfig;
 use noc_deadlock::report::RemovalReport;
 use noc_flow::json::{ObjectWriter, ToJson};
 use noc_flow::{
-    CycleBreaking, DeadlockStrategy, DesignFlow, FlowSweep, ResourceOrdering, RoutedStage,
-    SweepPoint, SweepProgress,
+    CycleBreaking, DeadlockStrategy, DesignFlow, EscapeChannel, FlowSweep, RecoveryReconfig,
+    ResourceOrdering, RoutedStage, SweepPoint, SweepProgress,
 };
 use noc_sim::{SimConfig, TrafficConfig};
 use noc_synth::{synthesize, SynthesisConfig, SynthesisError, SynthesizedDesign};
@@ -353,6 +354,52 @@ pub fn simulate_before_after_all(
     })
 }
 
+/// The names of the four deadlock strategies of the comparison matrix,
+/// derived from `StrategyKind::ALL` so the two can never drift apart.
+pub const STRATEGY_MATRIX_NAMES: [&str; 4] = [
+    noc_flow::StrategyKind::ALL[0].name(),
+    noc_flow::StrategyKind::ALL[1].name(),
+    noc_flow::StrategyKind::ALL[2].name(),
+    noc_flow::StrategyKind::ALL[3].name(),
+];
+
+/// Sweeps **all four** deadlock strategies — the paper's cycle breaking and
+/// resource ordering plus escape-channel avoidance and recovery-based
+/// reconfiguration — over the Figure 8 (D26_media) and Figure 9 (D36_8)
+/// benchmark grids, the data behind the `fig_strategy_matrix` binary.
+///
+/// Each grid point charges every strategy against the same routed design;
+/// the executor shards the (point × strategy) tasks across `threads` worker
+/// threads (`0` auto-sizes).  Progress streams to `observer` per completed
+/// point, per figure grid; the returned points are the Figure 8 grid
+/// followed by the Figure 9 grid, each in switch-count order.
+pub fn strategy_matrix_sweep(
+    threads: usize,
+    mut observer: impl FnMut(SweepProgress<'_>),
+) -> Vec<SweepPoint> {
+    let cycle_breaking = CycleBreaking::default();
+    let ordering = ResourceOrdering;
+    let escape = EscapeChannel::default();
+    let recovery = RecoveryReconfig::default();
+    let strategies: [&dyn DeadlockStrategy; 4] = [&cycle_breaking, &ordering, &escape, &recovery];
+
+    let mut points = Vec::new();
+    for (benchmark, counts) in [
+        (Benchmark::D26Media, sweeps::FIG8_SWITCH_COUNTS),
+        (Benchmark::D36x8, sweeps::FIG9_SWITCH_COUNTS),
+    ] {
+        let grid = FlowSweep::new()
+            .benchmark(benchmark)
+            .switch_counts(counts)
+            .power_estimates(false)
+            .worker_threads(threads)
+            .run_streaming(&strategies, &mut observer)
+            .unwrap_or_else(|e| panic!("strategy matrix failed for {benchmark}: {e}"));
+        points.extend(grid);
+    }
+    points
+}
+
 /// Synthesizes and routes a benchmark through the flow API (shared entry
 /// point of the harness functions and the `cdg_incremental` timing binary).
 ///
@@ -491,13 +538,21 @@ pub mod artifact {
             .unwrap_or_else(|_| panic!("{figure}: --threads expects a number, got {value:?}"))
     }
 
-    /// Renders a figure artifact — `{"figure": ..., "data": ...}` — and
-    /// writes it to `path`, re-parsing the output first so a serializer bug
-    /// can never produce an unreadable artifact.
+    /// Version of the artifact envelope and the per-figure payload schemas,
+    /// checked by `ci/check_artifact.py`.  Bump it whenever a payload field
+    /// is added, removed or changes meaning (v2 added the envelope `schema`
+    /// field itself, the per-outcome `kind`/`mean_hops` fields of sweep
+    /// points, and the `fig_strategy_matrix` artifact).
+    pub const SCHEMA_VERSION: usize = 2;
+
+    /// Renders a figure artifact — `{"figure": ..., "schema": ..., "data":
+    /// ...}` — and writes it to `path`, re-parsing the output first so a
+    /// serializer bug can never produce an unreadable artifact.
     pub fn write_json_artifact(path: &std::path::Path, figure: &str, data: &dyn ToJson) {
         let mut out = String::new();
         ObjectWriter::new(&mut out)
             .field("figure", &figure)
+            .field("schema", &SCHEMA_VERSION)
             .field("data", data)
             .finish();
         out.push('\n');

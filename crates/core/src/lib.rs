@@ -12,10 +12,16 @@
 //!   adds virtual channels and re-routes flows until the CDG is acyclic,
 //! * [`resource_ordering`] implements the baseline the paper compares
 //!   against (ascending channel classes along every route),
+//! * [`escape`] implements escape-channel *avoidance* (VC layers restricted
+//!   to the up*/down* subgraph — the CDG is acyclic by construction),
+//! * [`recovery`] implements DBR-style *recovery* (detect cyclic SCCs,
+//!   drain their flows onto up*/down* routes; no VCs, hop inflation and
+//!   reconfiguration events instead),
 //! * [`verify`] checks deadlock freedom and route integrity after any of the
 //!   transformations,
 //! * [`report`] summarises what a removal run did (VCs added, cycles broken,
-//!   direction choices) for the experiment harness.
+//!   direction choices) for the experiment harness, and names the strategy
+//!   taxonomy ([`report::StrategyKind`]) the comparison sweeps use.
 //!
 //! # Quick start
 //!
@@ -71,14 +77,18 @@
 
 pub mod cdg;
 pub mod cost;
+pub mod escape;
+pub mod recovery;
 pub mod removal;
 pub mod report;
 pub mod resource_ordering;
 pub mod verify;
 
 pub use cdg::{Cdg, CdgDelta};
+pub use escape::{apply_escape_channels, EscapeChannelResult, EscapeError};
+pub use recovery::{apply_recovery_reconfig, RecoveryError, RecoveryResult, RecoveryStep};
 pub use removal::{
     remove_deadlocks, CdgMode, CycleOrder, DirectionPolicy, RemovalConfig, RemovalError,
 };
-pub use report::{CdgDeltaStats, CdgMaintenanceStats, RemovalReport};
+pub use report::{CdgDeltaStats, CdgMaintenanceStats, RemovalReport, StrategyKind};
 pub use resource_ordering::{apply_resource_ordering, ResourceOrderingResult};

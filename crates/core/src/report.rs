@@ -1,6 +1,67 @@
-//! Summary of what a deadlock-removal run did.
+//! Summary of what a deadlock-removal run did, and the taxonomy of
+//! deadlock-handling strategies ([`StrategyKind`]) the comparison harness
+//! sweeps over.
 
 use crate::cost::Direction;
+use std::fmt;
+
+/// The deadlock-handling schemes this suite implements, one per
+/// `DeadlockStrategy` implementation of the pipeline crate.
+///
+/// The four kinds span the design space the strategy-comparison sweeps
+/// explore: *removal* (the paper's cycle breaking), *prevention by
+/// construction* (resource ordering), *avoidance* (escape channels) and
+/// *recovery* (drain-and-reconfigure).  Custom strategies should pick the
+/// kind whose cost model matches theirs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StrategyKind {
+    /// The paper's Algorithm 1: break CDG cycles with minimal extra VCs.
+    CycleBreaking,
+    /// Dally & Towles ascending channel classes along every route.
+    ResourceOrdering,
+    /// Escape-VC layers restricted to the up*/down* subgraph
+    /// ([`crate::escape`]): the CDG is acyclic by construction, zero cycles
+    /// are ever broken.
+    EscapeChannel,
+    /// DBR-style recovery ([`crate::recovery`]): detect cyclic SCCs, drain
+    /// their flows onto up*/down* routes; costs reconfiguration events and
+    /// hop inflation instead of VCs.
+    RecoveryReconfig,
+}
+
+impl StrategyKind {
+    /// All four kinds, in the canonical comparison order of the
+    /// `fig_strategy_matrix` sweep.
+    pub const ALL: [StrategyKind; 4] = [
+        StrategyKind::CycleBreaking,
+        StrategyKind::ResourceOrdering,
+        StrategyKind::EscapeChannel,
+        StrategyKind::RecoveryReconfig,
+    ];
+
+    /// Stable kebab-case name used in sweep output and JSON artifacts.
+    pub const fn name(self) -> &'static str {
+        match self {
+            StrategyKind::CycleBreaking => "cycle-breaking",
+            StrategyKind::ResourceOrdering => "resource-ordering",
+            StrategyKind::EscapeChannel => "escape-channel",
+            StrategyKind::RecoveryReconfig => "recovery-reconfig",
+        }
+    }
+
+    /// `true` for the one scheme that attacks individual CDG cycles (cycle
+    /// breaking); the other kinds restructure wholesale and always report
+    /// zero cycles broken.
+    pub fn breaks_cycles(self) -> bool {
+        matches!(self, StrategyKind::CycleBreaking)
+    }
+}
+
+impl fmt::Display for StrategyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 /// One cycle-breaking step of Algorithm 1.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -143,6 +204,24 @@ mod tests {
         };
         assert_eq!(report.forward_breaks(), 1);
         assert_eq!(report.backward_breaks(), 1);
+    }
+
+    #[test]
+    fn strategy_kind_names_are_stable() {
+        assert_eq!(StrategyKind::ALL.len(), 4);
+        let names: Vec<&str> = StrategyKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "cycle-breaking",
+                "resource-ordering",
+                "escape-channel",
+                "recovery-reconfig"
+            ]
+        );
+        assert_eq!(StrategyKind::EscapeChannel.to_string(), "escape-channel");
+        assert!(StrategyKind::CycleBreaking.breaks_cycles());
+        assert!(!StrategyKind::RecoveryReconfig.breaks_cycles());
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! The unified error type of the pipeline API.
 
+use noc_deadlock::escape::EscapeError;
+use noc_deadlock::recovery::RecoveryError;
 use noc_deadlock::removal::RemovalError;
 use noc_deadlock::verify::DeadlockCycle;
 use noc_routing::RouteError;
@@ -21,8 +23,17 @@ pub enum FlowError {
     Routing(RouteError),
     /// The deadlock-removal algorithm failed.
     Removal(RemovalError),
+    /// The escape-channel avoidance scheme failed.
+    Escape(EscapeError),
+    /// The recovery-based reconfiguration scheme failed.
+    Recovery(RecoveryError),
     /// An underlying topology-model error.
     Topology(TopologyError),
+    /// A [`FlowSweep`](crate::FlowSweep) run was started with an empty
+    /// strategy list.  A sweep with no strategies would silently produce
+    /// points with empty outcome vectors, so it is rejected up front; pass
+    /// at least one [`DeadlockStrategy`](crate::DeadlockStrategy).
+    EmptyStrategySet,
     /// A stage that must produce a deadlock-free design left a CDG cycle —
     /// evidence that a [`DeadlockStrategy`](crate::DeadlockStrategy)
     /// implementation is broken.
@@ -40,7 +51,13 @@ impl fmt::Display for FlowError {
             FlowError::Synthesis(e) => write!(f, "synthesis stage failed: {e}"),
             FlowError::Routing(e) => write!(f, "routing stage failed: {e}"),
             FlowError::Removal(e) => write!(f, "deadlock-removal stage failed: {e}"),
+            FlowError::Escape(e) => write!(f, "escape-channel strategy failed: {e}"),
+            FlowError::Recovery(e) => write!(f, "recovery-reconfig strategy failed: {e}"),
             FlowError::Topology(e) => write!(f, "topology error: {e}"),
+            FlowError::EmptyStrategySet => write!(
+                f,
+                "sweep was given an empty strategy list; pass at least one DeadlockStrategy"
+            ),
             FlowError::StillCyclic(c) => {
                 write!(f, "deadlock strategy left a cyclic CDG: {c}")
             }
@@ -58,9 +75,11 @@ impl Error for FlowError {
             FlowError::Synthesis(e) => Some(e),
             FlowError::Routing(e) => Some(e),
             FlowError::Removal(e) => Some(e),
+            FlowError::Escape(e) => Some(e),
+            FlowError::Recovery(e) => Some(e),
             FlowError::Topology(e) => Some(e),
             FlowError::StillCyclic(c) => Some(c),
-            FlowError::NoDefaultRoutes => None,
+            FlowError::NoDefaultRoutes | FlowError::EmptyStrategySet => None,
         }
     }
 }
@@ -89,6 +108,18 @@ impl From<TopologyError> for FlowError {
     }
 }
 
+impl From<EscapeError> for FlowError {
+    fn from(e: EscapeError) -> Self {
+        FlowError::Escape(e)
+    }
+}
+
+impl From<RecoveryError> for FlowError {
+    fn from(e: RecoveryError) -> Self {
+        FlowError::Recovery(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -101,5 +132,22 @@ mod tests {
         assert!(e.source().is_some());
         assert!(FlowError::NoDefaultRoutes.source().is_none());
         assert!(FlowError::NoDefaultRoutes.to_string().contains("Router"));
+    }
+
+    #[test]
+    fn strategy_error_variants_wrap_their_sources() {
+        let e: FlowError =
+            EscapeError::Topology(TopologyError::UnknownLink(LinkId::from_index(1))).into();
+        assert!(e.to_string().contains("escape-channel"));
+        assert!(e.source().is_some());
+
+        let e: FlowError = RecoveryError::Stalled { round: 2 }.into();
+        assert!(e.to_string().contains("recovery-reconfig"));
+        assert!(e.source().is_some());
+
+        assert!(FlowError::EmptyStrategySet.source().is_none());
+        assert!(FlowError::EmptyStrategySet
+            .to_string()
+            .contains("empty strategy list"));
     }
 }

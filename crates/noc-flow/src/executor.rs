@@ -1,12 +1,24 @@
 //! Sharded execution of [`FlowSweep`] grids on scoped worker threads.
 //!
 //! The paper's evaluation (Figures 8–10) is a grid of fully independent
-//! (benchmark × switch-count) design points, so the sweep parallelizes
-//! trivially: workers claim grid indices from a shared atomic counter,
-//! compute their point, and send `(index, point)` back over a channel.  The
-//! coordinating thread streams completions to an observer as they arrive and
-//! slots each point into its grid position, so the returned vector is in
-//! deterministic grid order no matter how the workers interleave.
+//! (benchmark × switch-count) design points, and *within* a point the
+//! deadlock strategies are independent too (each one repairs its own clone
+//! of the point's routed design).  The work unit is therefore the
+//! **(grid point × strategy) pair**: workers claim flattened work indices
+//! from a shared atomic counter, lazily prepare the point's routed design
+//! through a per-point mutexed once-slot (whichever worker reaches the
+//! point first synthesizes and routes it; others block only if they hit the
+//! same point mid-preparation, and the coordinator frees the design as soon
+//! as the point is assembled), charge their strategy, and send
+//! `(work index, outcome)` back over a channel.  The coordinating thread
+//! assembles each point as its last strategy outcome arrives, streams it to
+//! the observer, and slots it into its grid position — so the returned
+//! vector is in deterministic grid order and byte-identical to the serial
+//! run, no matter how the workers interleave.
+//!
+//! This is what makes a sweep with few grid points but many strategies
+//! (e.g. the `fig_strategy_matrix` four-way comparison) scale with cores:
+//! previously the strategies of a point ran sequentially on one worker.
 //!
 //! Built on `std::thread::scope` + `std::sync::mpsc` only — the offline
 //! build environment has no external dependencies (no rayon/crossbeam).
@@ -14,9 +26,10 @@
 use crate::error::FlowError;
 use crate::router::Router;
 use crate::strategy::DeadlockStrategy;
-use crate::sweep::{FlowSweep, SweepPoint};
+use crate::sweep::{FlowSweep, PointSeed, StrategyOutcome, SweepPoint};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
 
 /// A progress notification handed to the observer of
 /// [`FlowSweep::run_streaming`] each time a worker finishes a grid point.
@@ -35,34 +48,65 @@ pub struct SweepProgress<'a> {
     pub point: &'a SweepPoint,
 }
 
-/// Runs the sweep grid across scoped worker threads and streams completions
-/// through `observer`; returns the points in grid order.
+/// A per-point once-slot: `None` until the first worker prepares the
+/// point's design, then the shared seed (or its preparation error) until
+/// the coordinator takes it on point completion.
+type SeedSlot = Mutex<Option<Result<Arc<PointSeed>, FlowError>>>;
+
+/// Runs the sweep grid across scoped worker threads — one task per
+/// (grid point × strategy) pair — and streams completed points through
+/// `observer`; returns the points in grid order.
 ///
 /// The worker count is the sweep's
 /// [`worker_threads`](FlowSweep::worker_threads) setting, auto-sized to the
 /// machine's available parallelism when unset and never larger than the
-/// grid.  When a point fails, remaining work is abandoned (claimed points
-/// still finish) and the error of the failed point earliest in grid order
-/// is returned.
+/// flattened work-item count.  When a task fails, remaining work is
+/// abandoned (claimed tasks still finish) and the error earliest in the
+/// serial execution order — grid order, then strategy order within a point,
+/// with a point's preparation failure surfacing before any of its strategy
+/// results — is returned, matching what the serial run would have reported.
 pub(crate) fn run_sharded(
     sweep: &FlowSweep,
     router: Option<&dyn Router>,
     strategies: &[&dyn DeadlockStrategy],
     mut observer: impl FnMut(SweepProgress<'_>),
 ) -> Result<Vec<SweepPoint>, FlowError> {
+    if strategies.is_empty() {
+        return Err(FlowError::EmptyStrategySet);
+    }
     let grid = sweep.grid();
     let total = grid.len();
-    let workers = worker_count(sweep.requested_threads(), total);
+    let per_point = strategies.len();
+    let work_total = total * per_point;
+    let workers = worker_count(sweep.requested_threads(), work_total);
 
     let next = AtomicUsize::new(0);
     let abort = AtomicBool::new(false);
-    let (tx, rx) = mpsc::channel::<(usize, Result<SweepPoint, FlowError>)>();
+    let (tx, rx) = mpsc::channel::<(usize, Result<StrategyOutcome, FlowError>)>();
 
-    let mut slots: Vec<Option<SweepPoint>> = Vec::new();
-    slots.resize_with(total, || None);
-    // Errors are kept with their grid index: if several in-flight points
-    // fail, the one earliest in grid order wins, matching what the serial
-    // run would have reported.
+    // One lazily prepared design per grid point, shared by its strategy
+    // tasks.  The slot's mutex doubles as the once-guard: the first worker
+    // to reach a point prepares it while holding the lock (same-point
+    // workers block exactly like `OnceLock::get_or_init`), and the
+    // coordinator *takes* the seed once the point is assembled, so a large
+    // sweep only ever retains the in-flight designs, not the whole grid's.
+    let mut seeds: Vec<SeedSlot> = Vec::new();
+    seeds.resize_with(total, || Mutex::new(None));
+    let seeds = &seeds;
+
+    let mut outcome_slots: Vec<Vec<Option<StrategyOutcome>>> = Vec::new();
+    outcome_slots.resize_with(total, || {
+        let mut row = Vec::new();
+        row.resize_with(per_point, || None);
+        row
+    });
+    let mut pending: Vec<usize> = vec![per_point; total];
+    let mut points: Vec<Option<SweepPoint>> = Vec::new();
+    points.resize_with(total, || None);
+    // Errors are kept with their flattened work index: if several in-flight
+    // tasks fail, the one earliest in serial order wins.  A preparation
+    // failure reaches every strategy slot of its point, so the point's
+    // first slot carries it — exactly where the serial run fails.
     let mut first_error: Option<(usize, FlowError)> = None;
     let mut completed = 0usize;
 
@@ -76,15 +120,29 @@ pub(crate) fn run_sharded(
                 if abort.load(Ordering::Relaxed) {
                     break;
                 }
-                let index = next.fetch_add(1, Ordering::Relaxed);
-                let Some(&(benchmark, switch_count)) = grid.get(index) else {
+                let work = next.fetch_add(1, Ordering::Relaxed);
+                if work >= work_total {
                     break;
+                }
+                let (point_index, strategy_index) = (work / per_point, work % per_point);
+                let (benchmark, switch_count) = grid[point_index];
+                let seed = {
+                    let mut slot = seeds[point_index].lock().expect("seed lock");
+                    slot.get_or_insert_with(|| {
+                        sweep
+                            .prepare_point(benchmark, switch_count, router)
+                            .map(Arc::new)
+                    })
+                    .clone()
                 };
-                let result = sweep.compute_point(benchmark, switch_count, router, strategies);
+                let result = match seed {
+                    Ok(seed) => sweep.strategy_outcome(&seed, strategies[strategy_index]),
+                    Err(error) => Err(error),
+                };
                 if result.is_err() {
                     abort.store(true, Ordering::Relaxed);
                 }
-                if tx.send((index, result)).is_err() {
+                if tx.send((work, result)).is_err() {
                     break;
                 }
             });
@@ -93,21 +151,41 @@ pub(crate) fn run_sharded(
         // once every worker has exited.
         drop(tx);
 
-        for (index, result) in rx {
+        for (work, result) in rx {
+            let (point_index, strategy_index) = (work / per_point, work % per_point);
             match result {
-                Ok(point) => {
+                Ok(outcome) => {
+                    outcome_slots[point_index][strategy_index] = Some(outcome);
+                    pending[point_index] -= 1;
+                    if pending[point_index] > 0 {
+                        continue;
+                    }
+                    // Last strategy of the point: assemble and stream it,
+                    // taking the seed so the routed design is dropped now
+                    // instead of living until the sweep ends.
+                    let outcomes = outcome_slots[point_index]
+                        .iter_mut()
+                        .map(|slot| slot.take().expect("all strategy outcomes arrived"))
+                        .collect();
+                    let seed = seeds[point_index]
+                        .lock()
+                        .expect("seed lock")
+                        .take()
+                        .expect("a completed point was prepared")
+                        .expect("a point with outcomes was prepared successfully");
+                    let point = seed.point(outcomes);
                     completed += 1;
                     observer(SweepProgress {
-                        index,
+                        index: point_index,
                         completed,
                         total,
                         point: &point,
                     });
-                    slots[index] = Some(point);
+                    points[point_index] = Some(point);
                 }
                 Err(error) => {
-                    if first_error.as_ref().is_none_or(|(i, _)| index < *i) {
-                        first_error = Some((index, error));
+                    if first_error.as_ref().is_none_or(|(w, _)| work < *w) {
+                        first_error = Some((work, error));
                     }
                 }
             }
@@ -117,9 +195,9 @@ pub(crate) fn run_sharded(
     if let Some((_, error)) = first_error {
         return Err(error);
     }
-    Ok(slots
+    Ok(points
         .into_iter()
-        .map(|slot| slot.expect("every grid index was computed exactly once"))
+        .map(|slot| slot.expect("every grid point was computed exactly once"))
         .collect())
 }
 

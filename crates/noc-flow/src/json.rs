@@ -17,7 +17,9 @@
 
 use crate::sweep::{StrategyOutcome, SweepPoint};
 use noc_deadlock::cost::Direction;
-use noc_deadlock::report::{BreakStep, CdgMaintenanceStats, RemovalReport};
+use noc_deadlock::escape::EscapeChannelResult;
+use noc_deadlock::recovery::{RecoveryResult, RecoveryStep};
+use noc_deadlock::report::{BreakStep, CdgMaintenanceStats, RemovalReport, StrategyKind};
 use noc_topology::benchmarks::Benchmark;
 use std::fmt;
 
@@ -220,12 +222,57 @@ impl ToJson for CdgMaintenanceStats {
     }
 }
 
+impl ToJson for StrategyKind {
+    fn write_json(&self, out: &mut String) {
+        write_escaped(out, self.name());
+    }
+}
+
+impl ToJson for EscapeChannelResult {
+    fn write_json(&self, out: &mut String) {
+        ObjectWriter::new(out)
+            .field("added_vcs", &self.added_vcs)
+            .field("layers", &self.layers)
+            .field("escaped_flows", &self.escaped_flows)
+            .field("escape_hops", &self.escape_hops)
+            .field("root", &self.root.index())
+            .finish();
+    }
+}
+
+impl ToJson for RecoveryStep {
+    fn write_json(&self, out: &mut String) {
+        ObjectWriter::new(out)
+            .field("sccs", &self.sccs)
+            .field("scc_channels", &self.scc_channels)
+            .field("flows_drained", &self.flows_drained)
+            .field("hops_before", &self.hops_before)
+            .field("hops_after", &self.hops_after)
+            .finish();
+    }
+}
+
+impl ToJson for RecoveryResult {
+    fn write_json(&self, out: &mut String) {
+        ObjectWriter::new(out)
+            .field("reconfigurations", &self.reconfigurations)
+            .field("flows_reconfigured", &self.flows_reconfigured)
+            .field("extra_hops", &self.extra_hops())
+            .field("already_deadlock_free", &self.already_deadlock_free)
+            .field("root", &self.root.index())
+            .field("steps", &self.steps)
+            .finish();
+    }
+}
+
 impl ToJson for StrategyOutcome {
     fn write_json(&self, out: &mut String) {
         ObjectWriter::new(out)
             .field("strategy", &self.strategy)
+            .field("kind", &self.kind)
             .field("added_vcs", &self.added_vcs)
             .field("cycles_broken", &self.cycles_broken)
+            .field("mean_hops", &self.mean_hops)
             .field("power_mw", &self.power_mw)
             .field("area_um2", &self.area_um2)
             .finish();
@@ -727,6 +774,46 @@ mod tests {
         let rendered = value.to_json();
         assert_eq!(JsonValue::parse(&rendered).unwrap(), value);
         assert_eq!(rendered, doc);
+    }
+
+    #[test]
+    fn strategy_stat_blocks_serialize() {
+        use noc_topology::SwitchId;
+        assert_eq!(StrategyKind::EscapeChannel.to_json(), "\"escape-channel\"");
+
+        let escape = EscapeChannelResult {
+            added_vcs: 3,
+            layers: 2,
+            escaped_flows: 4,
+            escape_hops: 7,
+            root: SwitchId::from_index(0),
+        };
+        let value = JsonValue::parse(&escape.to_json()).unwrap();
+        assert_eq!(value.get("added_vcs").unwrap().as_number(), Some(3.0));
+        assert_eq!(value.get("layers").unwrap().as_number(), Some(2.0));
+        assert_eq!(value.get("root").unwrap().as_number(), Some(0.0));
+
+        let recovery = RecoveryResult {
+            reconfigurations: 1,
+            flows_reconfigured: 5,
+            steps: vec![RecoveryStep {
+                sccs: 2,
+                scc_channels: 9,
+                flows_drained: 5,
+                hops_before: 10,
+                hops_after: 14,
+            }],
+            already_deadlock_free: false,
+            root: SwitchId::from_index(1),
+        };
+        let value = JsonValue::parse(&recovery.to_json()).unwrap();
+        assert_eq!(value.get("extra_hops").unwrap().as_number(), Some(4.0));
+        let steps = value.get("steps").unwrap().as_array().unwrap();
+        assert_eq!(steps[0].get("sccs").unwrap().as_number(), Some(2.0));
+        assert_eq!(
+            value.get("already_deadlock_free"),
+            Some(&JsonValue::Bool(false))
+        );
     }
 
     #[test]

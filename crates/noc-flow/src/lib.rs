@@ -12,17 +12,20 @@
 //!   matching `validate_*`/`verify` check on entry,
 //! * [`Router`] is the pluggable routing seam
 //!   ([`ShortestPathRouter`], [`XyRouter`], [`UpDownRouter`]),
-//! * [`DeadlockStrategy`] is the pluggable deadlock-handling seam
-//!   ([`CycleBreaking`] — the paper's Algorithm 1 — and
-//!   [`ResourceOrdering`] — its baseline), so swapping schemes is a
+//! * [`DeadlockStrategy`] is the pluggable deadlock-handling seam, with one
+//!   implementation per point of the deadlock design space:
+//!   [`CycleBreaking`] (the paper's Algorithm 1 — removal),
+//!   [`ResourceOrdering`] (its baseline — prevention), [`EscapeChannel`]
+//!   (up*/down* escape-VC layers — avoidance) and [`RecoveryReconfig`]
+//!   (DBR-style drain-and-reconfigure — recovery); swapping schemes is a
 //!   one-line change,
 //! * [`FlowSweep`] drives (benchmark × switch-count × strategy) grids, the
 //!   shape of the paper's Figures 8–10 — serially via
 //!   [`run`](FlowSweep::run) or sharded across scoped worker threads via
 //!   [`run_parallel`](FlowSweep::run_parallel) /
-//!   [`run_streaming`](FlowSweep::run_streaming), which stream completed
-//!   points to an observer and still return them in deterministic grid
-//!   order,
+//!   [`run_streaming`](FlowSweep::run_streaming), which shard down to
+//!   individual (grid point × strategy) tasks, stream completed points to
+//!   an observer and still return them in deterministic grid order,
 //! * [`json`] is a dependency-free JSON writer/parser ([`ToJson`],
 //!   [`JsonValue`]) so sweep results can be exported and plotted outside
 //!   Rust.
@@ -59,7 +62,11 @@ pub mod sweep;
 pub use error::FlowError;
 pub use executor::SweepProgress;
 pub use json::{JsonParseError, JsonValue, ToJson};
+pub use noc_deadlock::report::StrategyKind;
 pub use router::{Router, ShortestPathRouter, UpDownRouter, XyRouter};
 pub use stage::{DeadlockFreeStage, DesignFlow, RoutedStage, SimulatedStage, SynthesizedStage};
-pub use strategy::{CycleBreaking, DeadlockResolution, DeadlockStrategy, ResourceOrdering};
+pub use strategy::{
+    CycleBreaking, DeadlockResolution, DeadlockStrategy, EscapeChannel, RecoveryReconfig,
+    ResourceOrdering,
+};
 pub use sweep::{FlowSweep, StrategyOutcome, SweepPoint};

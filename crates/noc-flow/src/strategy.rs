@@ -3,31 +3,67 @@
 //! The paper's evaluation is a comparison between two ways of making the
 //! same routed design deadlock-free: its cycle-breaking algorithm
 //! (Algorithm 1) and the resource-ordering baseline.  [`DeadlockStrategy`]
-//! captures that seam so the two schemes — and any future one, e.g. the
-//! recovery-based reconfiguration of arXiv:1211.5747 — are interchangeable
-//! one-line swaps in a flow.
+//! captures that seam, and the suite now ships the full strategy matrix
+//! across the deadlock design space — one implementation per
+//! [`StrategyKind`]:
+//!
+//! | Strategy | Kind | Mechanism | Cost model |
+//! |---|---|---|---|
+//! | [`CycleBreaking`] | removal | break CDG cycles (Algorithm 1) | few extra VCs |
+//! | [`ResourceOrdering`] | prevention | ascending channel classes | many extra VCs |
+//! | [`EscapeChannel`] | avoidance | escape-VC layers over the up*/down* subgraph | moderate extra VCs, zero cycles ever broken |
+//! | [`RecoveryReconfig`] | recovery | drain cyclic SCCs onto up*/down* routes (DBR-style) | zero VCs, hop inflation + reconfiguration events |
+//!
+//! All four are interchangeable one-line swaps in a flow and run side by
+//! side in [`FlowSweep`](crate::FlowSweep) grids (the `fig_strategy_matrix`
+//! experiment).
 
 use crate::FlowError;
+use noc_deadlock::escape::{apply_escape_channels, EscapeChannelResult};
+use noc_deadlock::recovery::{apply_recovery_reconfig, RecoveryResult};
 use noc_deadlock::removal::{remove_deadlocks, RemovalConfig};
-use noc_deadlock::report::RemovalReport;
+use noc_deadlock::report::{RemovalReport, StrategyKind};
 use noc_deadlock::resource_ordering::{apply_resource_ordering, ResourceOrderingResult};
 use noc_routing::RouteSet;
-use noc_topology::Topology;
+use noc_topology::{SwitchId, Topology};
 
 /// What a [`DeadlockStrategy`] did to a design.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DeadlockResolution {
     /// Name of the strategy that produced this resolution.
     pub strategy: String,
+    /// Which point of the deadlock design space the strategy occupies.
+    pub kind: StrategyKind,
     /// Total VCs added on top of the single VC every link starts with.
     pub added_vcs: usize,
-    /// CDG cycles broken (0 for schemes that restructure wholesale, like
-    /// resource ordering).
+    /// CDG cycles broken (0 for schemes that restructure wholesale —
+    /// resource ordering, escape channels, recovery).
     pub cycles_broken: usize,
     /// Detailed report when the strategy was the paper's removal algorithm.
     pub removal: Option<RemovalReport>,
     /// Detailed result when the strategy was resource ordering.
     pub ordering: Option<ResourceOrderingResult>,
+    /// Detailed result when the strategy was escape-channel avoidance.
+    pub escape: Option<EscapeChannelResult>,
+    /// Detailed result when the strategy was recovery reconfiguration.
+    pub recovery: Option<RecoveryResult>,
+}
+
+impl DeadlockResolution {
+    /// An empty resolution scaffold for `strategy`/`kind`: zero VCs, zero
+    /// cycles, no detail block.  Strategy impls fill in what they did.
+    pub fn new(strategy: impl Into<String>, kind: StrategyKind) -> Self {
+        DeadlockResolution {
+            strategy: strategy.into(),
+            kind,
+            added_vcs: 0,
+            cycles_broken: 0,
+            removal: None,
+            ordering: None,
+            escape: None,
+            recovery: None,
+        }
+    }
 }
 
 /// A scheme that mutates a routed design until its CDG is acyclic.
@@ -38,9 +74,11 @@ pub struct DeadlockResolution {
 /// [`FlowError::StillCyclic`] instead of leaking unsafe designs downstream.
 ///
 /// Strategies are shared by reference across the worker threads of a
-/// parallel [`FlowSweep`](crate::FlowSweep), hence the `Sync` bound; the
-/// design being repaired is owned per grid point, so implementations only
-/// need immutable configuration.
+/// parallel [`FlowSweep`](crate::FlowSweep) — which shards the strategies of
+/// one grid point across workers, so two strategies may run concurrently
+/// against clones of the same routed design — hence the `Sync` bound; the
+/// design being repaired is owned per task, so implementations only need
+/// immutable configuration.
 pub trait DeadlockStrategy: Sync {
     /// Human-readable scheme name (used in sweep output and diagnostics).
     fn name(&self) -> &str;
@@ -96,11 +134,10 @@ impl DeadlockStrategy for CycleBreaking {
     ) -> Result<DeadlockResolution, FlowError> {
         let report = remove_deadlocks(topology, routes, &self.config)?;
         Ok(DeadlockResolution {
-            strategy: self.name().to_string(),
             added_vcs: report.added_vcs,
             cycles_broken: report.cycles_broken,
             removal: Some(report),
-            ordering: None,
+            ..DeadlockResolution::new(self.name(), StrategyKind::CycleBreaking)
         })
     }
 }
@@ -122,11 +159,101 @@ impl DeadlockStrategy for ResourceOrdering {
     ) -> Result<DeadlockResolution, FlowError> {
         let result = apply_resource_ordering(topology, routes)?;
         Ok(DeadlockResolution {
-            strategy: self.name().to_string(),
             added_vcs: result.added_vcs,
-            cycles_broken: 0,
-            removal: None,
             ordering: Some(result),
+            ..DeadlockResolution::new(self.name(), StrategyKind::ResourceOrdering)
+        })
+    }
+}
+
+/// Escape-channel *avoidance*: routes keep their physical links but climb
+/// one VC layer at every turn the up*/down* order forbids, so every layer is
+/// a deadlock-free subgraph and the CDG is acyclic by construction
+/// ([`noc_deadlock::escape`]).  Zero cycles are ever broken; the cost is the
+/// escape VCs reserved, reported through the same
+/// [`RemovalReport`]-style path as the other strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EscapeChannel {
+    /// Root of the BFS spanning tree defining the up*/down* order.
+    pub root: SwitchId,
+}
+
+impl Default for EscapeChannel {
+    fn default() -> Self {
+        EscapeChannel {
+            root: SwitchId::from_index(0),
+        }
+    }
+}
+
+impl EscapeChannel {
+    /// Escape channels over the up*/down* order rooted at `root` (the
+    /// default uses switch 0, which always exists in a non-empty design).
+    pub fn rooted_at(root: SwitchId) -> Self {
+        EscapeChannel { root }
+    }
+}
+
+impl DeadlockStrategy for EscapeChannel {
+    fn name(&self) -> &str {
+        "escape-channel"
+    }
+
+    fn resolve(
+        &self,
+        topology: &mut Topology,
+        routes: &mut RouteSet,
+    ) -> Result<DeadlockResolution, FlowError> {
+        let result = apply_escape_channels(topology, routes, self.root)?;
+        Ok(DeadlockResolution {
+            added_vcs: result.added_vcs,
+            escape: Some(result),
+            ..DeadlockResolution::new(self.name(), StrategyKind::EscapeChannel)
+        })
+    }
+}
+
+/// Recovery-based reconfiguration (DBR-style, [`noc_deadlock::recovery`]):
+/// cyclic CDG regions are detected as strongly-connected components and
+/// their flows are drained onto up*/down* routes, whole SCCs at a time,
+/// until the CDG is acyclic.  Adds zero VCs — the cost is reconfiguration
+/// events and the hop inflation of the recovery routes, reported in the
+/// resolution's [`RecoveryResult`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReconfig {
+    /// Root of the BFS spanning tree of the recovery routing function.
+    pub root: SwitchId,
+}
+
+impl Default for RecoveryReconfig {
+    fn default() -> Self {
+        RecoveryReconfig {
+            root: SwitchId::from_index(0),
+        }
+    }
+}
+
+impl RecoveryReconfig {
+    /// Recovery routing over the up*/down* order rooted at `root`.
+    pub fn rooted_at(root: SwitchId) -> Self {
+        RecoveryReconfig { root }
+    }
+}
+
+impl DeadlockStrategy for RecoveryReconfig {
+    fn name(&self) -> &str {
+        "recovery-reconfig"
+    }
+
+    fn resolve(
+        &self,
+        topology: &mut Topology,
+        routes: &mut RouteSet,
+    ) -> Result<DeadlockResolution, FlowError> {
+        let result = apply_recovery_reconfig(topology, routes, self.root)?;
+        Ok(DeadlockResolution {
+            recovery: Some(result),
+            ..DeadlockResolution::new(self.name(), StrategyKind::RecoveryReconfig)
         })
     }
 }

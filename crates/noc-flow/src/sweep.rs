@@ -5,19 +5,22 @@
 //! number of deadlock strategies, one pass that synthesizes each design once
 //! and charges every strategy against the same routed input.
 //!
-//! Grid points are independent, so the sweep can run them on a pool of
-//! scoped worker threads: [`FlowSweep::run_parallel`] and
-//! [`FlowSweep::run_streaming`] shard the grid across
-//! [`worker_threads`](FlowSweep::worker_threads) workers (see
-//! [`executor`]) and still return points in deterministic
-//! grid order, byte-identical to the serial [`run`](FlowSweep::run).
+//! Grid points are independent — and within a point, the strategies are
+//! too, because every strategy is charged against its own clone of the same
+//! routed design — so the sweep can run on a pool of scoped worker threads:
+//! [`FlowSweep::run_parallel`] and [`FlowSweep::run_streaming`] shard the
+//! (grid point × strategy) work items across
+//! [`worker_threads`](FlowSweep::worker_threads) workers (see [`executor`])
+//! and still return points in deterministic grid order, byte-identical to
+//! the serial [`run`](FlowSweep::run).
 
 use crate::error::FlowError;
 use crate::executor;
 pub use crate::executor::SweepProgress;
 use crate::router::Router;
-use crate::stage::DesignFlow;
+use crate::stage::{DesignFlow, RoutedStage};
 use crate::strategy::DeadlockStrategy;
+use noc_deadlock::report::StrategyKind;
 use noc_power::TechParams;
 use noc_synth::SynthesisConfig;
 use noc_topology::benchmarks::Benchmark;
@@ -27,10 +30,17 @@ use noc_topology::benchmarks::Benchmark;
 pub struct StrategyOutcome {
     /// Strategy name ([`DeadlockStrategy::name`]).
     pub strategy: String,
+    /// Which point of the deadlock design space the strategy occupies.
+    pub kind: StrategyKind,
     /// VCs the strategy added.
     pub added_vcs: usize,
     /// CDG cycles it broke.
     pub cycles_broken: usize,
+    /// Mean hop count of the repaired design's active flows.  Differs from
+    /// the point's input [`mean_hops`](SweepPoint::mean_hops) only for
+    /// strategies that change physical routes (recovery reconfiguration);
+    /// the difference is that strategy's hop-inflation cost.
+    pub mean_hops: f64,
     /// Total power of the repaired design in mW
     /// (`None` when [`FlowSweep::power_estimates`] is disabled).
     pub power_mw: Option<f64>,
@@ -189,6 +199,12 @@ impl FlowSweep {
     /// design once — keeping the routes the synthesizer computed under the
     /// template's `link_cost`, the paper's input routing — then charges
     /// every strategy against that same routed design.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::EmptyStrategySet`] if `strategies` is empty (a sweep
+    /// with no strategies would silently yield points with no outcomes);
+    /// otherwise the first stage error of the grid.
     pub fn run(&self, strategies: &[&dyn DeadlockStrategy]) -> Result<Vec<SweepPoint>, FlowError> {
         self.run_inner(None, strategies)
     }
@@ -204,14 +220,21 @@ impl FlowSweep {
         self.run_inner(Some(router), strategies)
     }
 
-    /// Runs the grid on a pool of scoped worker threads, one grid point per
-    /// task, and returns the points in the same deterministic grid order as
-    /// [`run`](Self::run) — the two are interchangeable, the parallel path
-    /// is just faster on multi-core machines.
+    /// Runs the grid on a pool of scoped worker threads — one task per
+    /// (grid point × strategy) pair, so even a single grid point with
+    /// several strategies parallelizes — and returns the points in the same
+    /// deterministic grid order as [`run`](Self::run): the two are
+    /// interchangeable, the parallel path is just faster on multi-core
+    /// machines.
+    ///
+    /// The routed design of a point is prepared once, by whichever worker
+    /// reaches the point first; the point's strategies then run against
+    /// clones of it, exactly like the serial path.
     ///
     /// The pool size comes from [`worker_threads`](Self::worker_threads)
-    /// (auto-sized by default).  On the first failing grid point the sweep
-    /// stops handing out work and returns that error.
+    /// (auto-sized by default).  On the first failing task the sweep stops
+    /// handing out work and returns the error that the serial run would
+    /// have reported.
     pub fn run_parallel(
         &self,
         strategies: &[&dyn DeadlockStrategy],
@@ -297,16 +320,16 @@ impl FlowSweep {
         self.threads
     }
 
-    /// Computes one grid point: synthesize, route, charge every strategy.
-    /// Shared by the serial and the sharded executor so both produce
-    /// identical points.
-    pub(crate) fn compute_point(
+    /// Prepares one grid point: synthesize, route, estimate the original
+    /// design.  The returned [`PointSeed`] is what every strategy task of
+    /// the point is charged against — shared by the serial path and the
+    /// sharded executor so both produce identical points.
+    pub(crate) fn prepare_point(
         &self,
         benchmark: Benchmark,
         switch_count: usize,
         router: Option<&dyn Router>,
-        strategies: &[&dyn DeadlockStrategy],
-    ) -> Result<SweepPoint, FlowError> {
+    ) -> Result<PointSeed, FlowError> {
         let config = SynthesisConfig {
             switch_count,
             ..self.template.clone()
@@ -317,28 +340,33 @@ impl FlowSweep {
             None => stage.route_default()?,
         };
         let original = self.estimate_power.then(|| routed.power(self.tech.clone()));
-
-        let mut outcomes = Vec::with_capacity(strategies.len());
-        for &strategy in strategies {
-            let fixed = routed.resolve_deadlocks(strategy)?;
-            let estimate = self.estimate_power.then(|| fixed.power(self.tech.clone()));
-            let resolution = fixed.resolution();
-            outcomes.push(StrategyOutcome {
-                strategy: resolution.strategy.clone(),
-                added_vcs: resolution.added_vcs,
-                cycles_broken: resolution.cycles_broken,
-                power_mw: estimate.as_ref().map(|e| e.total_power_mw),
-                area_um2: estimate.as_ref().map(|e| e.total_area_um2),
-            });
-        }
-        Ok(SweepPoint {
+        Ok(PointSeed {
             benchmark,
             switch_count,
-            active_flows: routed.active_flow_count(),
-            mean_hops: routed.routes().mean_hops(),
             original_power_mw: original.as_ref().map(|e| e.total_power_mw),
             original_area_um2: original.as_ref().map(|e| e.total_area_um2),
-            outcomes,
+            routed,
+        })
+    }
+
+    /// Charges one strategy against a prepared point (on a clone of the
+    /// routed design, so outcomes are independent of execution order).
+    pub(crate) fn strategy_outcome(
+        &self,
+        seed: &PointSeed,
+        strategy: &dyn DeadlockStrategy,
+    ) -> Result<StrategyOutcome, FlowError> {
+        let fixed = seed.routed.resolve_deadlocks(strategy)?;
+        let estimate = self.estimate_power.then(|| fixed.power(self.tech.clone()));
+        let resolution = fixed.resolution();
+        Ok(StrategyOutcome {
+            strategy: resolution.strategy.clone(),
+            kind: resolution.kind,
+            added_vcs: resolution.added_vcs,
+            cycles_broken: resolution.cycles_broken,
+            mean_hops: fixed.routes().mean_hops(),
+            power_mw: estimate.as_ref().map(|e| e.total_power_mw),
+            area_um2: estimate.as_ref().map(|e| e.total_area_um2),
         })
     }
 
@@ -347,12 +375,47 @@ impl FlowSweep {
         router: Option<&dyn Router>,
         strategies: &[&dyn DeadlockStrategy],
     ) -> Result<Vec<SweepPoint>, FlowError> {
+        if strategies.is_empty() {
+            return Err(FlowError::EmptyStrategySet);
+        }
         self.grid()
             .into_iter()
             .map(|(benchmark, switch_count)| {
-                self.compute_point(benchmark, switch_count, router, strategies)
+                let seed = self.prepare_point(benchmark, switch_count, router)?;
+                let outcomes = strategies
+                    .iter()
+                    .map(|&strategy| self.strategy_outcome(&seed, strategy))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(seed.point(outcomes))
             })
             .collect()
+    }
+}
+
+/// A prepared grid point: the routed design every strategy of the point is
+/// charged against, plus the point-level metadata the final [`SweepPoint`]
+/// carries.
+pub(crate) struct PointSeed {
+    benchmark: Benchmark,
+    switch_count: usize,
+    original_power_mw: Option<f64>,
+    original_area_um2: Option<f64>,
+    routed: RoutedStage,
+}
+
+impl PointSeed {
+    /// Assembles the final point from the per-strategy outcomes (in
+    /// strategy declaration order).
+    pub(crate) fn point(&self, outcomes: Vec<StrategyOutcome>) -> SweepPoint {
+        SweepPoint {
+            benchmark: self.benchmark,
+            switch_count: self.switch_count,
+            active_flows: self.routed.active_flow_count(),
+            mean_hops: self.routed.routes().mean_hops(),
+            original_power_mw: self.original_power_mw,
+            original_area_um2: self.original_area_um2,
+            outcomes,
+        }
     }
 }
 

@@ -202,13 +202,10 @@ fn stage_rejects_strategies_that_leave_cycles() {
             _topology: &mut Topology,
             _routes: &mut noc_routing::RouteSet,
         ) -> Result<noc_flow::DeadlockResolution, noc_flow::FlowError> {
-            Ok(noc_flow::DeadlockResolution {
-                strategy: "do-nothing".to_string(),
-                added_vcs: 0,
-                cycles_broken: 0,
-                removal: None,
-                ordering: None,
-            })
+            Ok(noc_flow::DeadlockResolution::new(
+                "do-nothing",
+                noc_flow::StrategyKind::CycleBreaking,
+            ))
         }
     }
 

@@ -116,7 +116,7 @@ pub fn route_all_updown(
             routes.set_route(flow_id, Route::empty());
             continue;
         }
-        let links = updown_path(topology, &labels, src, dst).ok_or(RouteError::Unroutable {
+        let links = updown_route(topology, &labels, src, dst).ok_or(RouteError::Unroutable {
             flow: flow_id,
             from: src,
             to: dst,
@@ -126,8 +126,18 @@ pub fn route_all_updown(
     Ok(routes)
 }
 
-/// BFS over `(switch, has_gone_down)` states respecting the up*/down* rule.
-fn updown_path(
+/// A shortest legal up*/down* route from `src` to `dst` under `labels`, as a
+/// link list, or `None` when no legal route exists.
+///
+/// This is the per-pair primitive behind [`route_all_updown`], exposed for
+/// callers that re-route individual flows onto the up*/down* subgraph (e.g.
+/// recovery-based deadlock reconfiguration, which drains the flows of a
+/// cyclic dependency region and moves only those onto up*/down* paths).
+/// `src == dst` yields an empty route.
+///
+/// The search is a BFS over `(switch, has_gone_down)` states respecting the
+/// up*/down* rule, so the result is deterministic for a given topology.
+pub fn updown_route(
     topology: &Topology,
     labels: &UpDownLabels,
     src: SwitchId,
@@ -235,6 +245,23 @@ mod tests {
             assert_eq!(labels.level(sw), Some(i));
         }
         assert_eq!(labels.root(), generated.switches[0]);
+    }
+
+    #[test]
+    fn updown_route_finds_legal_paths_and_reports_dead_ends() {
+        // Unidirectional 4-ring, tree rooted at SW0: the only physical path
+        // SW1 -> SW3 (1→2→3) turns down→up, so no legal route exists, while
+        // SW0 -> SW2 (0→1→2) is all-down and legal.
+        let mut t = Topology::new();
+        let sw: Vec<_> = (0..4).map(|i| t.add_switch(format!("s{i}"))).collect();
+        for i in 0..4 {
+            t.add_link(sw[i], sw[(i + 1) % 4], 1.0);
+        }
+        let labels = UpDownLabels::new(&t, sw[0]);
+        let legal = updown_route(&t, &labels, sw[0], sw[2]).unwrap();
+        assert_eq!(legal.len(), 2);
+        assert!(updown_route(&t, &labels, sw[1], sw[3]).is_none());
+        assert_eq!(updown_route(&t, &labels, sw[2], sw[2]), Some(Vec::new()));
     }
 
     #[test]
