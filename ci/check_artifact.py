@@ -24,12 +24,21 @@ import argparse
 import json
 import sys
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 STRATEGY_MATRIX_NAMES = [
     "cycle-breaking",
     "resource-ordering",
     "escape-channel",
+    "recovery-reconfig",
+]
+
+SIM_STRATEGY_POLICIES = [
+    "unsafe-single-vc",
+    "cycle-breaking",
+    "resource-ordering",
+    "escape-channel",
+    "escape-channel-adaptive",
     "recovery-reconfig",
 ]
 
@@ -129,6 +138,7 @@ def check_sim_validation(data):
                 "fixed_deadlocked",
                 "fixed_delivered",
                 "fixed_mean_latency",
+                "fixed_p95_latency",
             ],
             f"sim_validation {validation.get('benchmark', '?')}",
         )
@@ -212,7 +222,7 @@ def check_strategy_matrix(data):
         for outcome in point["outcomes"]:
             require_keys(
                 outcome,
-                ["strategy", "kind", "added_vcs", "cycles_broken", "mean_hops"],
+                ["strategy", "kind", "added_vcs", "cycles_broken", "mean_hops", "sim"],
                 f"{where} outcome",
             )
         require(
@@ -233,6 +243,125 @@ def check_strategy_matrix(data):
         )
 
 
+def check_sim_strategies(data):
+    require_keys(data, ["injection_gaps", "policies", "points"], "fig_sim_strategies data")
+    require(
+        data["policies"] == SIM_STRATEGY_POLICIES,
+        f"policy list must be {SIM_STRATEGY_POLICIES}, got {data['policies']}",
+    )
+    gaps = data["injection_gaps"]
+    require(isinstance(gaps, list) and gaps, "injection_gaps must be a non-empty list")
+    points = data["points"]
+    require(isinstance(points, list) and points, "fig_sim_strategies must contain sweep points")
+    benchmarks = {p["benchmark"] for p in points}
+    require(
+        {"D26_media", "D36_8"} <= benchmarks,
+        f"the sweep must cover the Figure 8 and Figure 9 benchmarks, got {sorted(benchmarks)}",
+    )
+    baseline_deadlock_points = 0
+    for point in points:
+        require_keys(
+            point,
+            [
+                "benchmark",
+                "switch_count",
+                "active_flows",
+                "baseline_cdg_cyclic",
+                "stress_flows",
+                "series",
+            ],
+            "fig_sim_strategies point",
+        )
+        where = f"{point['benchmark']} @ {point['switch_count']} switches"
+        series = {s["policy"]: s for s in point["series"]}
+        require(
+            sorted(series) == sorted(SIM_STRATEGY_POLICIES),
+            f"{where}: expected one series per policy, got {sorted(series)}",
+        )
+        for entry in point["series"]:
+            require(
+                [r["mean_gap_cycles"] for r in entry["rates"]] == gaps,
+                f"{where} {entry['policy']}: rates must cover every swept gap",
+            )
+            for rate in entry["rates"]:
+                require_keys(
+                    rate,
+                    [
+                        "mean_gap_cycles",
+                        "stats",
+                        "detected_by",
+                        "recovery_events",
+                        "packets_drained",
+                        "flows_reconfigured",
+                    ],
+                    f"{where} {entry['policy']} rate",
+                )
+                require_keys(
+                    rate["stats"],
+                    [
+                        "injected",
+                        "delivered",
+                        "deadlocked",
+                        "mean_latency",
+                        "p50_latency",
+                        "p95_latency",
+                        "p99_latency",
+                        "max_latency",
+                        "throughput",
+                        "cycles",
+                    ],
+                    f"{where} {entry['policy']} stats",
+                )
+        # The headline invariant: every deadlock-handling policy delivers
+        # 100% of packets deadlock-free at every swept injection rate.
+        for policy, entry in series.items():
+            if policy == "unsafe-single-vc":
+                continue
+            for rate in entry["rates"]:
+                stats = rate["stats"]
+                require(
+                    stats["deadlocked"] is False,
+                    f"{where}: {policy} deadlocked at gap {rate['mean_gap_cycles']}",
+                )
+                require(
+                    stats["delivered"] == stats["injected"],
+                    f"{where}: {policy} delivered {stats['delivered']}/{stats['injected']} "
+                    f"at gap {rate['mean_gap_cycles']}",
+                )
+        # The control group: the unsafe baseline can only deadlock where
+        # the base CDG is cyclic, every deadlock must be established by the
+        # exact wait-for-graph detector, and wherever it deadlocks the
+        # DBR-style drain must have fired (and still delivered 100%).
+        unsafe = series["unsafe-single-vc"]
+        recovery = series["recovery-reconfig"]
+        deadlocked_rates = [r for r in unsafe["rates"] if r["stats"]["deadlocked"]]
+        if not point["baseline_cdg_cyclic"]:
+            require(
+                not deadlocked_rates,
+                f"{where}: acyclic baseline CDG cannot deadlock, but the unsafe run did",
+            )
+        for rate in deadlocked_rates:
+            require(
+                rate["detected_by"] == "wait-for-graph",
+                f"{where}: unsafe deadlock at gap {rate['mean_gap_cycles']} "
+                f"was established by {rate['detected_by']}, not the exact detector",
+            )
+        for unsafe_rate, recovery_rate in zip(unsafe["rates"], recovery["rates"]):
+            if unsafe_rate["stats"]["deadlocked"]:
+                require(
+                    recovery_rate["recovery_events"] >= 1,
+                    f"{where}: unsafe run deadlocked at gap "
+                    f"{unsafe_rate['mean_gap_cycles']} but the dynamic drain never fired",
+                )
+        if deadlocked_rates:
+            baseline_deadlock_points += 1
+    require(
+        baseline_deadlock_points > 0,
+        "no grid point shows the unsafe single-VC baseline deadlocking — "
+        "the experiment's control group is vacuous",
+    )
+
+
 CHECKS = {
     "fig8_d26_media": lambda data, _: check_vc_sweep(data, "fig8"),
     "fig9_d36_8": lambda data, _: check_vc_sweep(data, "fig9"),
@@ -241,6 +370,7 @@ CHECKS = {
     "sim_validation": lambda data, _: check_sim_validation(data),
     "cdg_incremental": check_cdg_incremental,
     "fig_strategy_matrix": lambda data, _: check_strategy_matrix(data),
+    "fig_sim_strategies": lambda data, _: check_sim_strategies(data),
 }
 
 

@@ -1,0 +1,118 @@
+//! The dynamic half of the strategy comparison (beyond the paper): every
+//! deadlock-handling strategy simulated on the VC-fidelity wormhole engine
+//! over the Figure 8 (D26_media) and Figure 9 (D36_8) grids, swept across
+//! injection rates.
+//!
+//! Six policies run the *same* workload per (grid point × rate) — uniform
+//! traffic plus a cycle-stress prefix that presses on the unrepaired
+//! design's cyclic CDG SCCs:
+//!
+//! * `unsafe-single-vc` — the control group: the unrepaired design with
+//!   every VC assignment discarded; must deadlock (caught by the exact
+//!   wait-for-graph detector) wherever the dynamic trap is realisable;
+//! * `cycle-breaking`, `resource-ordering`, `escape-channel` — repaired
+//!   designs honouring their VC assignments;
+//! * `escape-channel-adaptive` — the escape design under the
+//!   Duato-adaptive policy (any VC, escape always reachable);
+//! * `recovery-reconfig` — the unrepaired design with the DBR-style
+//!   dynamic drain executing the recovery strategy at runtime.
+//!
+//! Pass `--threads <n>` to pin the executor worker count and
+//! `--json <path>` to write the full sweep as a JSON artifact.
+
+use noc_bench::artifact::FigureArgs;
+use noc_bench::{
+    artifact, sim_strategy_sweep, SimSweepPoint, SIM_INJECTION_GAPS, SIM_STRATEGY_POLICIES,
+};
+use noc_flow::json::{ObjectWriter, ToJson};
+
+/// The artifact payload: both sweep axes plus every grid point.
+struct SimStrategiesArtifact {
+    injection_gaps: Vec<usize>,
+    policies: Vec<String>,
+    points: Vec<SimSweepPoint>,
+}
+
+impl ToJson for SimStrategiesArtifact {
+    fn write_json(&self, out: &mut String) {
+        ObjectWriter::new(out)
+            .field("injection_gaps", &self.injection_gaps)
+            .field("policies", &self.policies)
+            .field("points", &self.points)
+            .finish();
+    }
+}
+
+fn main() {
+    let args = FigureArgs::parse("fig_sim_strategies");
+    println!("# VC-aware wormhole simulation — per-strategy delivery/latency, Figure 8/9 grids");
+    println!(
+        "{:>12} {:>9} {:>7} {:>16} {:>10} {:>11} {:>11} {:>11} {:>9}",
+        "benchmark",
+        "switches",
+        "cyclic",
+        "unsafe_deadlock",
+        "delivered",
+        "p50_cycles",
+        "p95_cycles",
+        "p99_cycles",
+        "drains"
+    );
+    let points = sim_strategy_sweep(args.threads);
+    for point in &points {
+        let unsafe_series = point
+            .series(SIM_STRATEGY_POLICIES[0])
+            .expect("baseline series present");
+        // The gaps at which the unsafe baseline deadlocked, e.g. "0,8".
+        let deadlock_gaps: Vec<String> = unsafe_series
+            .rates
+            .iter()
+            .filter(|r| r.stats.deadlocked)
+            .map(|r| r.mean_gap_cycles.to_string())
+            .collect();
+        let deadlock_gaps = if deadlock_gaps.is_empty() {
+            "-".to_string()
+        } else {
+            format!("gap {}", deadlock_gaps.join(","))
+        };
+        // Saturation-point latency of the paper's strategy, and the total
+        // drain events of the recovery policy across all rates.
+        let removal = &point.series(SIM_STRATEGY_POLICIES[1]).unwrap().rates[0];
+        let drains: usize = point
+            .series(SIM_STRATEGY_POLICIES[5])
+            .unwrap()
+            .rates
+            .iter()
+            .map(|r| r.recovery_events)
+            .sum();
+        let strategies_deliver = point
+            .series
+            .iter()
+            .skip(1) // everything but the unsafe baseline
+            .all(|s| {
+                s.rates
+                    .iter()
+                    .all(|r| !r.stats.deadlocked && r.stats.delivered == r.stats.injected)
+            });
+        println!(
+            "{:>12} {:>9} {:>7} {:>16} {:>10} {:>11} {:>11} {:>11} {:>9}",
+            point.benchmark,
+            point.switch_count,
+            point.baseline_cdg_cyclic,
+            deadlock_gaps,
+            if strategies_deliver { "100%" } else { "FAIL" },
+            removal.stats.p50_latency,
+            removal.stats.p95_latency,
+            removal.stats.p99_latency,
+            drains
+        );
+    }
+    if let Some(path) = args.json {
+        let data = SimStrategiesArtifact {
+            injection_gaps: SIM_INJECTION_GAPS.iter().map(|&g| g as usize).collect(),
+            policies: SIM_STRATEGY_POLICIES.map(str::to_string).to_vec(),
+            points,
+        };
+        artifact::write_json_artifact(&path, "fig_sim_strategies", &data);
+    }
+}

@@ -2,6 +2,11 @@
 //! each benchmark design before and after deadlock removal under a
 //! high-pressure wormhole workload and report whether deadlocks occur.
 //!
+//! Both runs use the VC-fidelity engine (`noc_sim::vc_engine`) with the
+//! `AssignedVc` policy, so the "after" run actually rides the VCs the
+//! removal algorithm assigned, and deadlock is decided by the exact
+//! wait-for-graph detector rather than a timeout guess.
+//!
 //! The per-benchmark simulations run sharded across worker threads; pass
 //! `--threads <n>` to pin the worker count (default: auto-size to the
 //! machine) and `--json <path>` to write the per-benchmark outcomes as a
@@ -15,25 +20,27 @@ fn main() {
     let args = FigureArgs::parse("sim_validation");
     println!("# Wormhole simulation: deadlock behaviour before/after removal (10-switch designs)");
     println!(
-        "{:>12} {:>14} {:>20} {:>18} {:>16} {:>16}",
+        "{:>12} {:>14} {:>20} {:>18} {:>16} {:>16} {:>12}",
         "benchmark",
         "cdg_cyclic",
         "original_deadlock",
         "fixed_deadlock",
         "fixed_delivered",
-        "fixed_latency"
+        "fixed_latency",
+        "fixed_p95"
     );
     let validations: Vec<SimValidation> =
         simulate_before_after_all(&Benchmark::ALL, 10, args.threads);
     for v in &validations {
         println!(
-            "{:>12} {:>14} {:>20} {:>18} {:>16} {:>16.1}",
+            "{:>12} {:>14} {:>20} {:>18} {:>16} {:>16.1} {:>12}",
             v.benchmark,
             v.original_cdg_cyclic,
             v.original_deadlocked,
             v.fixed_deadlocked,
             v.fixed_delivered,
-            v.fixed_mean_latency
+            v.fixed_mean_latency,
+            v.fixed_p95_latency
         );
     }
     if let Some(path) = args.json {

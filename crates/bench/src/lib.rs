@@ -14,20 +14,28 @@
 //! | 88 % VC / 66 % area / 8.6 % power savings, < 5 % overhead | [`summary`] | `summary_table` |
 //! | dynamic deadlock validation (beyond the paper) | [`simulate_before_after`] | `sim_validation` |
 //! | four-way strategy comparison (beyond the paper) | [`strategy_matrix_sweep`] | `fig_strategy_matrix` |
+//! | VC-aware per-strategy simulation sweep (beyond the paper) | [`sim_strategy_sweep`] | `fig_sim_strategies` |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use noc_deadlock::cdg::Cdg;
 use noc_deadlock::removal::RemovalConfig;
 use noc_deadlock::report::RemovalReport;
 use noc_flow::json::{ObjectWriter, ToJson};
 use noc_flow::{
     CycleBreaking, DeadlockStrategy, DesignFlow, EscapeChannel, FlowSweep, RecoveryReconfig,
-    ResourceOrdering, RoutedStage, SweepPoint, SweepProgress,
+    ResourceOrdering, RoutedStage, StrategySimStats, SweepPoint, SweepProgress,
 };
-use noc_sim::{SimConfig, TrafficConfig};
+use noc_routing::updown::route_all_updown;
+use noc_sim::traffic::{generate_workload, Workload};
+use noc_sim::{
+    AdaptiveEscape, AssignedVc, Packet, PacketId, SingleVc, TrafficConfig, VcSimConfig,
+    VcSimOutcome, VcSimulator,
+};
 use noc_synth::{synthesize, SynthesisConfig, SynthesisError, SynthesizedDesign};
 use noc_topology::benchmarks::Benchmark;
+use noc_topology::{FlowId, SwitchId};
 
 /// One point of the Figure 8 / Figure 9 sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -300,42 +308,50 @@ pub struct SimValidation {
     pub fixed_delivered: usize,
     /// Mean packet latency of the fixed design in cycles.
     pub fixed_mean_latency: f64,
+    /// 95th-percentile packet latency of the fixed design in cycles.
+    pub fixed_p95_latency: u64,
 }
 
 /// Simulates a benchmark design before and after deadlock removal under a
 /// high-pressure workload (the experiment behind the `sim_validation`
 /// binary; the paper argues this analytically, we also check it dynamically).
+///
+/// Both runs use the VC-fidelity engine with the [`AssignedVc`] policy and
+/// exact wait-for-graph detection, so the "after" run genuinely rides the
+/// VCs the removal algorithm assigned (per-(link × VC) buffers, credit
+/// backpressure), not just the physical links.
 pub fn simulate_before_after(benchmark: Benchmark, switch_count: usize) -> SimValidation {
     let routed = routed_benchmark(benchmark, switch_count);
-    let sim_config = SimConfig {
+    let sim_config = VcSimConfig {
         buffer_depth: 1,
-        deadlock_threshold: 500,
         max_cycles: 400_000,
+        ..VcSimConfig::default()
     };
     let traffic = TrafficConfig {
         packets_per_flow: 6,
         packet_length: 8,
         mean_gap_cycles: 0,
         seed: 7,
+        ..TrafficConfig::default()
     };
 
     let original_cdg_cyclic = !routed.is_deadlock_free();
-    let original = routed.simulate_with(&sim_config, &traffic);
+    let original = routed.simulate_vc(&AssignedVc, &sim_config, &traffic);
 
     let fixed = routed
         .resolve_deadlocks(&CycleBreaking::default())
         .expect("removal succeeds on the benchmark suite")
-        .simulate_with(&sim_config, &traffic)
-        .expect("repaired design is consistent")
-        .into_outcome();
+        .simulate_vc(&AssignedVc, &sim_config, &traffic)
+        .expect("repaired design is consistent");
 
     SimValidation {
         benchmark: benchmark.name().to_string(),
         original_cdg_cyclic,
         original_deadlocked: original.deadlocked,
-        fixed_deadlocked: fixed.deadlocked,
-        fixed_delivered: fixed.stats.delivered_packets,
-        fixed_mean_latency: fixed.stats.mean_latency(),
+        fixed_deadlocked: fixed.outcome().deadlocked,
+        fixed_delivered: fixed.outcome().stats.delivered_packets,
+        fixed_mean_latency: fixed.outcome().stats.mean_latency(),
+        fixed_p95_latency: fixed.outcome().stats.p95_latency(),
     }
 }
 
@@ -398,6 +414,242 @@ pub fn strategy_matrix_sweep(
         points.extend(grid);
     }
     points
+}
+
+/// The simulation-policy axis of the `fig_sim_strategies` experiment, in
+/// sweep order: the deliberately unsafe single-VC baseline (on the
+/// unrepaired design), the four deadlock strategies honouring their VC
+/// assignments (escape channels twice — static and Duato-adaptive), and the
+/// unrepaired design under the DBR-style dynamic drain.
+pub const SIM_STRATEGY_POLICIES: [&str; 6] = [
+    "unsafe-single-vc",
+    "cycle-breaking",
+    "resource-ordering",
+    "escape-channel",
+    "escape-channel-adaptive",
+    "recovery-reconfig",
+];
+
+/// The injection-rate axis of the `fig_sim_strategies` experiment: mean
+/// inter-arrival gaps in cycles, from saturation (0) to light load.
+pub const SIM_INJECTION_GAPS: [u64; 3] = [0, 8, 32];
+
+/// One simulated operating point: a policy at one injection rate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimRatePoint {
+    /// Mean inter-arrival gap of the swept workload (0 = saturation).
+    pub mean_gap_cycles: u64,
+    /// Delivery / latency / throughput summary.
+    pub stats: StrategySimStats,
+    /// How the deadlock (if any) was established
+    /// (`"wait-for-graph"` / `"idle-timeout"`).
+    pub detected_by: Option<String>,
+    /// DBR drain events executed (recovery policy only).
+    pub recovery_events: usize,
+    /// Packets drained across those events.
+    pub packets_drained: usize,
+    /// Flows permanently switched onto the recovery routing function.
+    pub flows_reconfigured: usize,
+}
+
+impl SimRatePoint {
+    fn from_outcome(mean_gap_cycles: u64, outcome: &VcSimOutcome) -> Self {
+        SimRatePoint {
+            mean_gap_cycles,
+            stats: StrategySimStats::from_outcome(outcome),
+            detected_by: outcome.detection.map(|e| e.kind.name().to_string()),
+            recovery_events: outcome.drain.events,
+            packets_drained: outcome.drain.packets_drained,
+            flows_reconfigured: outcome.drain.flows_reconfigured,
+        }
+    }
+}
+
+/// The injection-rate series of one policy on one grid point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimPolicySeries {
+    /// Policy name ([`SIM_STRATEGY_POLICIES`]).
+    pub policy: String,
+    /// One entry per swept gap, in [`SIM_INJECTION_GAPS`] order.
+    pub rates: Vec<SimRatePoint>,
+}
+
+/// One grid point of the VC-aware simulation sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimSweepPoint {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Switch count of the synthesized topology.
+    pub switch_count: usize,
+    /// Flows that actually enter the switch network.
+    pub active_flows: usize,
+    /// Whether the unrepaired design's CDG is cyclic — the precondition for
+    /// the unsafe baseline to be able to deadlock at all.
+    pub baseline_cdg_cyclic: bool,
+    /// Flows inside cyclic CDG SCCs (the cycle-stress set; empty when
+    /// acyclic).
+    pub stress_flows: usize,
+    /// Per-policy series, in [`SIM_STRATEGY_POLICIES`] order.
+    pub series: Vec<SimPolicySeries>,
+}
+
+impl SimSweepPoint {
+    /// The series of the given policy, if present.
+    pub fn series(&self, policy: &str) -> Option<&SimPolicySeries> {
+        self.series.iter().find(|s| s.policy == policy)
+    }
+}
+
+/// Builds the workload of the VC-aware simulation sweep: the uniform
+/// workload of `traffic` plus a *cycle-stress prefix* — `stress_packets`
+/// packets of `stress_length` flits on every flow of `stress_flows`, all
+/// created at cycle 0 — so the flows that can form a runtime deadlock
+/// (the flows inside cyclic CDG SCCs, [`Cdg::cyclic_flows`]) actually press
+/// on the cycle simultaneously.  A cyclic CDG is necessary but not
+/// *sufficient* for a runtime deadlock; without the stress prefix most
+/// benchmark workloads drain before the trap ever closes.
+pub fn cycle_stress_workload(
+    comm: &noc_topology::CommGraph,
+    traffic: &TrafficConfig,
+    stress_flows: &[FlowId],
+    stress_packets: usize,
+    stress_length: usize,
+) -> Workload {
+    let mut packets: Vec<Packet> = stress_flows
+        .iter()
+        .flat_map(|&flow| {
+            (0..stress_packets).map(move |_| Packet {
+                id: PacketId(0),
+                flow,
+                length: stress_length.max(1),
+                created_at: 0,
+            })
+        })
+        .collect();
+    packets.extend(generate_workload(comm, traffic).packets);
+    for (index, packet) in packets.iter_mut().enumerate() {
+        packet.id = PacketId(index);
+    }
+    packets.sort_by_key(|p| (p.created_at, p.id.0));
+    Workload { packets }
+}
+
+/// The engine configuration of the VC-aware simulation sweep: minimal
+/// buffers (the configuration most prone to deadlock), exact wait-for-graph
+/// detection.
+fn sim_sweep_config() -> VcSimConfig {
+    VcSimConfig {
+        buffer_depth: 1,
+        max_cycles: 600_000,
+        ..VcSimConfig::default()
+    }
+}
+
+/// Simulates every policy × injection rate of the `fig_sim_strategies`
+/// experiment on one synthesized grid point.
+///
+/// All policies at a given rate run the *same workload* (uniform traffic
+/// plus the cycle-stress prefix derived from the unrepaired design's CDG),
+/// so the comparison is apples-to-apples: the unsafe baseline deadlocking
+/// while every strategy delivers 100 % is a property of the VC handling,
+/// not of the traffic.
+pub fn sim_strategy_point(benchmark: Benchmark, switch_count: usize) -> SimSweepPoint {
+    let routed = routed_benchmark(benchmark, switch_count);
+    let comm = routed.comm();
+    let cdg = Cdg::build(routed.topology(), routed.routes());
+    let stress = cdg.cyclic_flows();
+
+    // The repaired designs, one per VC-assigning strategy (the escape
+    // design serves both the static and the Duato-adaptive policy).
+    let broken = routed
+        .resolve_deadlocks(&CycleBreaking::default())
+        .expect("cycle breaking succeeds on the benchmark suite");
+    let ordered = routed
+        .resolve_deadlocks(&ResourceOrdering)
+        .expect("resource ordering succeeds on the benchmark suite");
+    let escaped = routed
+        .resolve_deadlocks(&EscapeChannel::default())
+        .expect("escape channels succeed on the benchmark suite");
+    let recovery_routes = route_all_updown(
+        routed.topology(),
+        comm,
+        routed.core_map(),
+        SwitchId::from_index(0),
+    )
+    .expect("up*/down* recovery routes exist on the benchmark suite");
+
+    let base_map = routed.vc_map();
+    let broken_map = broken.vc_map();
+    let ordered_map = ordered.vc_map();
+    let escaped_map = escaped.vc_map();
+    let config = sim_sweep_config();
+
+    let mut series: Vec<SimPolicySeries> = SIM_STRATEGY_POLICIES
+        .iter()
+        .map(|&policy| SimPolicySeries {
+            policy: policy.to_string(),
+            rates: Vec::new(),
+        })
+        .collect();
+    for gap in SIM_INJECTION_GAPS {
+        let traffic = TrafficConfig {
+            packets_per_flow: 4,
+            packet_length: 8,
+            mean_gap_cycles: gap,
+            seed: 0xF1C5,
+            ..TrafficConfig::default()
+        };
+        let workload = cycle_stress_workload(comm, &traffic, &stress, 4, 8);
+        let outcomes = [
+            VcSimulator::new(comm, routed.routes(), &base_map, &SingleVc, &config)
+                .run_workload(&workload),
+            VcSimulator::new(comm, broken.routes(), &broken_map, &AssignedVc, &config)
+                .run_workload(&workload),
+            VcSimulator::new(comm, ordered.routes(), &ordered_map, &AssignedVc, &config)
+                .run_workload(&workload),
+            VcSimulator::new(comm, escaped.routes(), &escaped_map, &AssignedVc, &config)
+                .run_workload(&workload),
+            VcSimulator::new(
+                comm,
+                escaped.routes(),
+                &escaped_map,
+                &AdaptiveEscape,
+                &config,
+            )
+            .run_workload(&workload),
+            VcSimulator::new(comm, routed.routes(), &base_map, &AssignedVc, &config)
+                .with_recovery(recovery_routes.clone())
+                .run_workload(&workload),
+        ];
+        for (entry, outcome) in series.iter_mut().zip(outcomes.iter()) {
+            entry.rates.push(SimRatePoint::from_outcome(gap, outcome));
+        }
+    }
+    SimSweepPoint {
+        benchmark: benchmark.name().to_string(),
+        switch_count,
+        active_flows: routed.active_flow_count(),
+        baseline_cdg_cyclic: !stress.is_empty(),
+        stress_flows: stress.len(),
+        series,
+    }
+}
+
+/// The full `fig_sim_strategies` sweep: every feasible Figure 8 (D26_media)
+/// and Figure 9 (D36_8) grid point, sharded across `threads` worker threads
+/// via the existing executor (`0` auto-sizes); points come back in grid
+/// order.
+pub fn sim_strategy_sweep(threads: usize) -> Vec<SimSweepPoint> {
+    let mut grid: Vec<(Benchmark, usize)> = Vec::new();
+    for count in sweeps::FIG8_SWITCH_COUNTS {
+        grid.push((Benchmark::D26Media, count));
+    }
+    for count in sweeps::FIG9_SWITCH_COUNTS {
+        grid.push((Benchmark::D36x8, count));
+    }
+    noc_flow::executor::parallel_map_ordered(&grid, threads, |&(benchmark, switch_count)| {
+        sim_strategy_point(benchmark, switch_count)
+    })
 }
 
 /// Synthesizes and routes a benchmark through the flow API (shared entry
@@ -476,6 +728,42 @@ impl ToJson for SimValidation {
             .field("fixed_deadlocked", &self.fixed_deadlocked)
             .field("fixed_delivered", &self.fixed_delivered)
             .field("fixed_mean_latency", &self.fixed_mean_latency)
+            .field("fixed_p95_latency", &self.fixed_p95_latency)
+            .finish();
+    }
+}
+
+impl ToJson for SimRatePoint {
+    fn write_json(&self, out: &mut String) {
+        ObjectWriter::new(out)
+            .field("mean_gap_cycles", &self.mean_gap_cycles)
+            .field("stats", &self.stats)
+            .field("detected_by", &self.detected_by)
+            .field("recovery_events", &self.recovery_events)
+            .field("packets_drained", &self.packets_drained)
+            .field("flows_reconfigured", &self.flows_reconfigured)
+            .finish();
+    }
+}
+
+impl ToJson for SimPolicySeries {
+    fn write_json(&self, out: &mut String) {
+        ObjectWriter::new(out)
+            .field("policy", &self.policy)
+            .field("rates", &self.rates)
+            .finish();
+    }
+}
+
+impl ToJson for SimSweepPoint {
+    fn write_json(&self, out: &mut String) {
+        ObjectWriter::new(out)
+            .field("benchmark", &self.benchmark)
+            .field("switch_count", &self.switch_count)
+            .field("active_flows", &self.active_flows)
+            .field("baseline_cdg_cyclic", &self.baseline_cdg_cyclic)
+            .field("stress_flows", &self.stress_flows)
+            .field("series", &self.series)
             .finish();
     }
 }
@@ -542,8 +830,10 @@ pub mod artifact {
     /// checked by `ci/check_artifact.py`.  Bump it whenever a payload field
     /// is added, removed or changes meaning (v2 added the envelope `schema`
     /// field itself, the per-outcome `kind`/`mean_hops` fields of sweep
-    /// points, and the `fig_strategy_matrix` artifact).
-    pub const SCHEMA_VERSION: usize = 2;
+    /// points, and the `fig_strategy_matrix` artifact; v3 added the
+    /// `fig_sim_strategies` artifact, the per-outcome `sim` block, and the
+    /// `fixed_p95_latency` column of `sim_validation`).
+    pub const SCHEMA_VERSION: usize = 3;
 
     /// Renders a figure artifact — `{"figure": ..., "schema": ..., "data":
     /// ...}` — and writes it to `path`, re-parsing the output first so a
@@ -665,6 +955,80 @@ mod tests {
         let v = simulate_before_after(Benchmark::D38Tvopd, 10);
         assert!(!v.fixed_deadlocked);
         assert!(v.fixed_delivered > 0);
+        assert!(v.fixed_p95_latency as f64 >= v.fixed_mean_latency.floor());
+    }
+
+    #[test]
+    fn cycle_stress_workload_prepends_the_stress_packets() {
+        let comm = Benchmark::D36x8.comm_graph();
+        let stress: Vec<FlowId> = (0..3).map(FlowId::from_index).collect();
+        let traffic = TrafficConfig {
+            packets_per_flow: 2,
+            packet_length: 4,
+            ..TrafficConfig::default()
+        };
+        let workload = cycle_stress_workload(&comm, &traffic, &stress, 5, 8);
+        let flow_count = comm.flows().count();
+        assert_eq!(workload.len(), 3 * 5 + flow_count * 2);
+        // Ids are unique and the list is sorted by creation time.
+        let mut ids: Vec<usize> = workload.packets.iter().map(|p| p.id.0).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), workload.len());
+        assert!(workload
+            .packets
+            .windows(2)
+            .all(|w| w[0].created_at <= w[1].created_at));
+        // The stress packets are long worms on the stress flows at cycle 0.
+        let stressed: Vec<_> = workload.packets.iter().filter(|p| p.length == 8).collect();
+        assert_eq!(stressed.len(), 15);
+        assert!(stressed
+            .iter()
+            .all(|p| p.created_at == 0 && stress.contains(&p.flow)));
+    }
+
+    #[test]
+    fn sim_strategy_point_pins_the_headline_acceptance() {
+        // The smallest Figure 9 grid point where the dynamic trap is
+        // realisable: the unsafe single-VC baseline deadlocks (established
+        // by the exact wait-for-graph detector), every deadlock strategy
+        // delivers 100 % of the same workloads, and the DBR drain fires
+        // wherever the baseline died.
+        let point = sim_strategy_point(Benchmark::D36x8, 18);
+        assert!(point.baseline_cdg_cyclic);
+        assert!(point.stress_flows > 0);
+        assert_eq!(point.series.len(), SIM_STRATEGY_POLICIES.len());
+
+        let unsafe_series = point.series("unsafe-single-vc").unwrap();
+        assert!(
+            unsafe_series.rates.iter().any(|r| r.stats.deadlocked),
+            "the unsafe baseline must deadlock at some swept injection rate"
+        );
+        for rate in &unsafe_series.rates {
+            if rate.stats.deadlocked {
+                assert_eq!(rate.detected_by.as_deref(), Some("wait-for-graph"));
+            }
+        }
+        for series in &point.series {
+            if series.policy == "unsafe-single-vc" {
+                continue;
+            }
+            for rate in &series.rates {
+                assert!(!rate.stats.deadlocked, "policy {}", series.policy);
+                assert_eq!(
+                    rate.stats.delivered, rate.stats.injected,
+                    "policy {}",
+                    series.policy
+                );
+            }
+        }
+        let recovery = point.series("recovery-reconfig").unwrap();
+        for (unsafe_rate, recovery_rate) in unsafe_series.rates.iter().zip(&recovery.rates) {
+            if unsafe_rate.stats.deadlocked {
+                assert!(recovery_rate.recovery_events >= 1);
+                assert!(recovery_rate.flows_reconfigured >= 1);
+            }
+        }
     }
 
     #[test]

@@ -273,6 +273,38 @@ impl Cdg {
     pub fn graph(&self) -> &DiGraph<Channel, Vec<FlowId>> {
         &self.graph
     }
+
+    /// The flows that contribute a dependency *inside* a cyclic
+    /// strongly-connected component — the flows whose packets can
+    /// participate in a runtime deadlock (and the set a cycle-exercising
+    /// stress workload should press on).  Empty iff the CDG is acyclic.
+    /// Sorted, deduplicated.
+    pub fn cyclic_flows(&self) -> Vec<FlowId> {
+        let components = noc_graph::scc::cyclic_components(&self.graph);
+        if components.is_empty() {
+            return Vec::new();
+        }
+        let mut component_of: HashMap<NodeId, usize> = HashMap::new();
+        for (index, component) in components.iter().enumerate() {
+            for &node in component {
+                component_of.insert(node, index);
+            }
+        }
+        let mut flows: Vec<FlowId> = self
+            .graph
+            .edges()
+            .filter(|e| {
+                matches!(
+                    (component_of.get(&e.source), component_of.get(&e.target)),
+                    (Some(a), Some(b)) if a == b
+                )
+            })
+            .flat_map(|e| e.weight.iter().copied())
+            .collect();
+        flows.sort();
+        flows.dedup();
+        flows
+    }
 }
 
 #[cfg(test)]
@@ -349,6 +381,28 @@ mod tests {
         let cdg = Cdg::build(&topo, &routes);
         assert!(cdg.is_acyclic());
         assert_eq!(cdg.channel_count(), 5);
+    }
+
+    #[test]
+    fn cyclic_flows_names_every_flow_of_the_ring_knot() {
+        let (topo, routes) = figure_1_design();
+        let cdg = Cdg::build(&topo, &routes);
+        // All four channels are one cyclic SCC; every flow contributes a
+        // dependency inside it.
+        assert_eq!(
+            cdg.cyclic_flows(),
+            (0..4).map(FlowId::from_index).collect::<Vec<_>>()
+        );
+        // After the paper's manual fix the CDG is acyclic: no flow can
+        // participate in a deadlock.
+        let (mut topo, mut routes) = figure_1_design();
+        let new_channel = topo.add_vc(LinkId::from_index(0)).unwrap();
+        routes
+            .route_mut(FlowId::from_index(2))
+            .unwrap()
+            .channels_mut()[1] = new_channel;
+        let cdg = Cdg::build(&topo, &routes);
+        assert!(cdg.cyclic_flows().is_empty());
     }
 
     #[test]

@@ -19,6 +19,9 @@
 //!   reconfiguration events instead),
 //! * [`verify`] checks deadlock freedom and route integrity after any of the
 //!   transformations,
+//! * [`vcmap`] snapshots the VC assignment a strategy produced (per-link VC
+//!   counts + per-hop flow assignments) as the [`VcMap`] the VC-fidelity
+//!   simulator consumes,
 //! * [`report`] summarises what a removal run did (VCs added, cycles broken,
 //!   direction choices) for the experiment harness, and names the strategy
 //!   taxonomy ([`report::StrategyKind`]) the comparison sweeps use.
@@ -82,6 +85,7 @@ pub mod recovery;
 pub mod removal;
 pub mod report;
 pub mod resource_ordering;
+pub mod vcmap;
 pub mod verify;
 
 pub use cdg::{Cdg, CdgDelta};
@@ -92,3 +96,4 @@ pub use removal::{
 };
 pub use report::{CdgDeltaStats, CdgMaintenanceStats, RemovalReport, StrategyKind};
 pub use resource_ordering::{apply_resource_ordering, ResourceOrderingResult};
+pub use vcmap::VcMap;

@@ -15,11 +15,12 @@
 //! numbers through Rust's `Display` (which never produces exponent
 //! notation), non-finite floats as `null`.
 
-use crate::sweep::{StrategyOutcome, SweepPoint};
+use crate::sweep::{StrategyOutcome, StrategySimStats, SweepPoint};
 use noc_deadlock::cost::Direction;
 use noc_deadlock::escape::EscapeChannelResult;
 use noc_deadlock::recovery::{RecoveryResult, RecoveryStep};
 use noc_deadlock::report::{BreakStep, CdgMaintenanceStats, RemovalReport, StrategyKind};
+use noc_sim::{DrainStats, LatencyBucket, SimStats};
 use noc_topology::benchmarks::Benchmark;
 use std::fmt;
 
@@ -67,6 +68,12 @@ impl ToJson for bool {
 }
 
 impl ToJson for usize {
+    fn write_json(&self, out: &mut String) {
+        out.push_str(&self.to_string());
+    }
+}
+
+impl ToJson for u64 {
     fn write_json(&self, out: &mut String) {
         out.push_str(&self.to_string());
     }
@@ -265,6 +272,66 @@ impl ToJson for RecoveryResult {
     }
 }
 
+impl ToJson for LatencyBucket {
+    fn write_json(&self, out: &mut String) {
+        ObjectWriter::new(out)
+            .field("lower", &self.lower)
+            .field("upper", &self.upper)
+            .field("count", &self.count)
+            .finish();
+    }
+}
+
+impl ToJson for SimStats {
+    fn write_json(&self, out: &mut String) {
+        let percentiles = self.latency_percentiles(&[50.0, 95.0, 99.0]);
+        ObjectWriter::new(out)
+            .field("injected_packets", &self.injected_packets)
+            .field("delivered_packets", &self.delivered_packets)
+            .field("delivered_flits", &self.delivered_flits)
+            .field("cycles", &self.cycles)
+            .field("mean_latency", &self.mean_latency())
+            .field("p50_latency", &percentiles[0])
+            .field("p95_latency", &percentiles[1])
+            .field("p99_latency", &percentiles[2])
+            .field("max_latency", &self.max_latency_cycles)
+            .field(
+                "throughput_flits_per_cycle",
+                &self.throughput_flits_per_cycle(),
+            )
+            .field("delivery_ratio", &self.delivery_ratio())
+            .field("latency_histogram", &self.latency_histogram())
+            .finish();
+    }
+}
+
+impl ToJson for DrainStats {
+    fn write_json(&self, out: &mut String) {
+        ObjectWriter::new(out)
+            .field("events", &self.events)
+            .field("packets_drained", &self.packets_drained)
+            .field("flows_reconfigured", &self.flows_reconfigured)
+            .finish();
+    }
+}
+
+impl ToJson for StrategySimStats {
+    fn write_json(&self, out: &mut String) {
+        ObjectWriter::new(out)
+            .field("injected", &self.injected)
+            .field("delivered", &self.delivered)
+            .field("deadlocked", &self.deadlocked)
+            .field("mean_latency", &self.mean_latency)
+            .field("p50_latency", &self.p50_latency)
+            .field("p95_latency", &self.p95_latency)
+            .field("p99_latency", &self.p99_latency)
+            .field("max_latency", &self.max_latency)
+            .field("throughput", &self.throughput)
+            .field("cycles", &self.cycles)
+            .finish();
+    }
+}
+
 impl ToJson for StrategyOutcome {
     fn write_json(&self, out: &mut String) {
         ObjectWriter::new(out)
@@ -275,6 +342,7 @@ impl ToJson for StrategyOutcome {
             .field("mean_hops", &self.mean_hops)
             .field("power_mw", &self.power_mw)
             .field("area_um2", &self.area_um2)
+            .field("sim", &self.sim)
             .finish();
     }
 }

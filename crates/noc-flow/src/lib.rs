@@ -64,9 +64,11 @@ pub use executor::SweepProgress;
 pub use json::{JsonParseError, JsonValue, ToJson};
 pub use noc_deadlock::report::StrategyKind;
 pub use router::{Router, ShortestPathRouter, UpDownRouter, XyRouter};
-pub use stage::{DeadlockFreeStage, DesignFlow, RoutedStage, SimulatedStage, SynthesizedStage};
+pub use stage::{
+    DeadlockFreeStage, DesignFlow, RoutedStage, SimulatedStage, SynthesizedStage, VcRunDetails,
+};
 pub use strategy::{
     CycleBreaking, DeadlockResolution, DeadlockStrategy, EscapeChannel, RecoveryReconfig,
     ResourceOrdering,
 };
-pub use sweep::{FlowSweep, StrategyOutcome, SweepPoint};
+pub use sweep::{FlowSweep, StrategyOutcome, StrategySimStats, SweepPoint, VcSweepSim};

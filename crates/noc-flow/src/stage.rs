@@ -15,15 +15,20 @@
 use crate::error::FlowError;
 use crate::router::{Router, ShortestPathRouter};
 use crate::strategy::{DeadlockResolution, DeadlockStrategy};
+use noc_deadlock::vcmap::VcMap;
 use noc_deadlock::verify::{check_deadlock_free, DeadlockCycle};
 use noc_power::{NetworkEstimate, NetworkPowerModel, TechParams};
+use noc_routing::updown::route_all_updown;
 use noc_routing::validate::validate_routes;
 use noc_routing::RouteSet;
-use noc_sim::{SimConfig, SimOutcome, Simulator, TrafficConfig};
+use noc_sim::{
+    DeadlockEvent, DrainStats, SimConfig, SimOutcome, Simulator, TrafficConfig, VcPolicy,
+    VcSimConfig, VcSimOutcome, VcSimulator,
+};
 use noc_synth::{synthesize, SynthesisConfig};
 use noc_topology::benchmarks::Benchmark;
 use noc_topology::validate::validate_design;
-use noc_topology::{CommGraph, CoreMap, Topology};
+use noc_topology::{CommGraph, CoreMap, SwitchId, Topology};
 
 /// Entry point of the pipeline: a communication specification waiting for a
 /// topology.
@@ -311,6 +316,52 @@ impl RoutedStage {
         Simulator::new(&self.topology, &self.comm, &self.routes, sim).run(traffic)
     }
 
+    /// The VC assignment of the routed design (all base VCs before any
+    /// deadlock strategy ran), as the simulator's [`VcMap`] seam.
+    pub fn vc_map(&self) -> VcMap {
+        VcMap::from_design(&self.topology, &self.routes)
+    }
+
+    /// Simulates the routed design on the VC-fidelity engine under the
+    /// given [`VcPolicy`] — the diagnostic counterpart of
+    /// [`simulate`](Self::simulate), with exact wait-for-graph deadlock
+    /// detection instead of the timeout heuristic.
+    pub fn simulate_vc(
+        &self,
+        policy: &dyn VcPolicy,
+        sim: &VcSimConfig,
+        traffic: &TrafficConfig,
+    ) -> VcSimOutcome {
+        let vc_map = self.vc_map();
+        VcSimulator::new(&self.comm, &self.routes, &vc_map, policy, sim).run(traffic)
+    }
+
+    /// Simulates the routed design on the VC-fidelity engine with the
+    /// DBR-style dynamic drain armed: detected deadlocks are drained onto
+    /// the up*/down* recovery routing function rooted at `root` — the
+    /// runtime execution of the
+    /// [`RecoveryReconfig`](crate::RecoveryReconfig) strategy.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Routing`] when the recovery routing function cannot
+    /// serve the design (e.g. a flow with no up*/down* path).
+    pub fn simulate_vc_recovering(
+        &self,
+        policy: &dyn VcPolicy,
+        sim: &VcSimConfig,
+        traffic: &TrafficConfig,
+        root: SwitchId,
+    ) -> Result<VcSimOutcome, FlowError> {
+        let recovery = route_all_updown(&self.topology, &self.comm, &self.core_map, root)?;
+        let vc_map = self.vc_map();
+        Ok(
+            VcSimulator::new(&self.comm, &self.routes, &vc_map, policy, sim)
+                .with_recovery(recovery)
+                .run(traffic),
+        )
+    }
+
     /// Area/power estimate of the design as routed (the "original" bars of
     /// Figure 10).
     pub fn power(&self, params: TechParams) -> NetworkEstimate {
@@ -389,7 +440,33 @@ impl DeadlockFreeStage {
         Ok(SimulatedStage {
             stage: self.clone(),
             outcome,
+            vc: None,
         })
+    }
+
+    /// The strategy's VC assignment (per-link VC counts, per-hop flow
+    /// assignments) as the [`VcMap`] the VC-fidelity simulator consumes.
+    pub fn vc_map(&self) -> VcMap {
+        VcMap::from_design(&self.topology, &self.routes)
+    }
+
+    /// Simulates the repaired design on the VC-fidelity engine: buffers per
+    /// (link × VC) sized from the strategy's [`VcMap`], credit-based flow
+    /// control, the given [`VcPolicy`] deciding how the assignment is used
+    /// at runtime, and exact wait-for-graph deadlock detection.
+    ///
+    /// The returned stage carries the usual [`SimOutcome`] view plus the
+    /// VC-run details ([`SimulatedStage::vc_details`]).
+    pub fn simulate_vc(
+        &self,
+        policy: &dyn VcPolicy,
+        sim: &VcSimConfig,
+        traffic: &TrafficConfig,
+    ) -> Result<SimulatedStage, FlowError> {
+        validate_routes(&self.topology, &self.comm, &self.core_map, &self.routes)?;
+        let vc_map = self.vc_map();
+        let outcome = VcSimulator::new(&self.comm, &self.routes, &vc_map, policy, sim).run(traffic);
+        Ok(SimulatedStage::from_vc_outcome(self.clone(), outcome))
     }
 
     /// Area/power estimate of the repaired design (the "removal" /
@@ -399,17 +476,57 @@ impl DeadlockFreeStage {
     }
 }
 
+/// What the VC-fidelity engine adds on top of the plain [`SimOutcome`]:
+/// which policy ran, how a deadlock (if any) was established, and the
+/// dynamic-drain statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VcRunDetails {
+    /// Name of the [`VcPolicy`] the run used.
+    pub policy: String,
+    /// The first deadlock detection, if any.
+    pub detection: Option<DeadlockEvent>,
+    /// DBR-style drain statistics (all zero without recovery routes).
+    pub drain: DrainStats,
+}
+
 /// A deadlock-free design plus the outcome of simulating it.
 #[derive(Debug, Clone)]
 pub struct SimulatedStage {
     stage: DeadlockFreeStage,
     outcome: SimOutcome,
+    /// VC-fidelity run details when the stage came from
+    /// [`DeadlockFreeStage::simulate_vc`]; `None` for the original engine.
+    vc: Option<VcRunDetails>,
 }
 
 impl SimulatedStage {
+    /// Wraps a VC-fidelity outcome, exposing its stats through the common
+    /// [`SimOutcome`] view and keeping the engine-specific details aside.
+    pub(crate) fn from_vc_outcome(stage: DeadlockFreeStage, outcome: VcSimOutcome) -> Self {
+        SimulatedStage {
+            stage,
+            outcome: SimOutcome {
+                stats: outcome.stats,
+                deadlocked: outcome.deadlocked,
+                stranded_packets: outcome.stranded_packets,
+            },
+            vc: Some(VcRunDetails {
+                policy: outcome.policy,
+                detection: outcome.detection,
+                drain: outcome.drain,
+            }),
+        }
+    }
+
     /// The simulation outcome (stats, deadlock flag, stranded packets).
     pub fn outcome(&self) -> &SimOutcome {
         &self.outcome
+    }
+
+    /// VC-fidelity details (policy, detection, drain) when the stage was
+    /// produced by [`DeadlockFreeStage::simulate_vc`].
+    pub fn vc_details(&self) -> Option<&VcRunDetails> {
+        self.vc.as_ref()
     }
 
     /// The design that was simulated.

@@ -22,8 +22,73 @@ use crate::stage::{DesignFlow, RoutedStage};
 use crate::strategy::DeadlockStrategy;
 use noc_deadlock::report::StrategyKind;
 use noc_power::TechParams;
+use noc_sim::{AssignedVc, TrafficConfig, VcSimConfig, VcSimOutcome};
 use noc_synth::SynthesisConfig;
 use noc_topology::benchmarks::Benchmark;
+
+/// Per-strategy VC-fidelity simulation summary, attached to a
+/// [`StrategyOutcome`] when the sweep enables
+/// [`FlowSweep::vc_simulation`].  The repaired design is simulated with the
+/// [`AssignedVc`] policy — honouring exactly the VC assignment the
+/// strategy paid for.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StrategySimStats {
+    /// Packets handed to source queues.
+    pub injected: usize,
+    /// Packets fully delivered.
+    pub delivered: usize,
+    /// `true` if the run ended in an unrecovered deadlock (must stay
+    /// `false` for correctly repaired designs).
+    pub deadlocked: bool,
+    /// Mean packet latency in cycles.
+    pub mean_latency: f64,
+    /// Median packet latency (nearest-rank p50).
+    pub p50_latency: u64,
+    /// 95th-percentile packet latency.
+    pub p95_latency: u64,
+    /// 99th-percentile packet latency.
+    pub p99_latency: u64,
+    /// Worst packet latency.
+    pub max_latency: u64,
+    /// Delivered flits per simulated cycle.
+    pub throughput: f64,
+    /// Cycles simulated.
+    pub cycles: u64,
+}
+
+impl StrategySimStats {
+    /// Summarises a VC-engine outcome.
+    pub fn from_outcome(outcome: &VcSimOutcome) -> Self {
+        Self::from_stats(&outcome.stats, outcome.deadlocked)
+    }
+
+    /// Summarises raw run statistics plus the deadlock verdict.
+    pub fn from_stats(stats: &noc_sim::SimStats, deadlocked: bool) -> Self {
+        let percentiles = stats.latency_percentiles(&[50.0, 95.0, 99.0]);
+        StrategySimStats {
+            injected: stats.injected_packets,
+            delivered: stats.delivered_packets,
+            deadlocked,
+            mean_latency: stats.mean_latency(),
+            p50_latency: percentiles[0],
+            p95_latency: percentiles[1],
+            p99_latency: percentiles[2],
+            max_latency: stats.max_latency_cycles,
+            throughput: stats.throughput_flits_per_cycle(),
+            cycles: stats.cycles,
+        }
+    }
+}
+
+/// The VC-fidelity simulation a sweep optionally runs against every
+/// repaired design ([`FlowSweep::vc_simulation`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VcSweepSim {
+    /// Engine parameters (buffer depth, credits, detection).
+    pub sim: VcSimConfig,
+    /// Workload parameters.
+    pub traffic: TrafficConfig,
+}
 
 /// What one strategy did to one design of the sweep grid.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,6 +112,9 @@ pub struct StrategyOutcome {
     /// Total switch area of the repaired design in µm²
     /// (`None` when [`FlowSweep::power_estimates`] is disabled).
     pub area_um2: Option<f64>,
+    /// VC-fidelity simulation summary of the repaired design
+    /// (`None` unless [`FlowSweep::vc_simulation`] is enabled).
+    pub sim: Option<StrategySimStats>,
 }
 
 /// One grid point of a [`FlowSweep`]: a synthesized design plus the outcome
@@ -113,6 +181,7 @@ pub struct FlowSweep {
     tech: TechParams,
     estimate_power: bool,
     threads: usize,
+    vc_sim: Option<VcSweepSim>,
 }
 
 impl Default for FlowSweep {
@@ -132,6 +201,7 @@ impl FlowSweep {
             tech: TechParams::default(),
             estimate_power: true,
             threads: 0,
+            vc_sim: None,
         }
     }
 
@@ -192,6 +262,16 @@ impl FlowSweep {
     /// whole-network power-model passes per grid point.
     pub fn power_estimates(mut self, enabled: bool) -> Self {
         self.estimate_power = enabled;
+        self
+    }
+
+    /// Additionally simulates every repaired design on the VC-fidelity
+    /// engine (the [`AssignedVc`] policy, honouring the strategy's exact
+    /// assignment) and attaches a [`StrategySimStats`] summary to each
+    /// [`StrategyOutcome`].  Off by default — simulation costs far more
+    /// than the repair itself.
+    pub fn vc_simulation(mut self, spec: VcSweepSim) -> Self {
+        self.vc_sim = Some(spec);
         self
     }
 
@@ -358,6 +438,17 @@ impl FlowSweep {
     ) -> Result<StrategyOutcome, FlowError> {
         let fixed = seed.routed.resolve_deadlocks(strategy)?;
         let estimate = self.estimate_power.then(|| fixed.power(self.tech.clone()));
+        let sim = match &self.vc_sim {
+            Some(spec) => {
+                let simulated = fixed.simulate_vc(&AssignedVc, &spec.sim, &spec.traffic)?;
+                let outcome = simulated.outcome();
+                Some(StrategySimStats::from_stats(
+                    &outcome.stats,
+                    outcome.deadlocked,
+                ))
+            }
+            None => None,
+        };
         let resolution = fixed.resolution();
         Ok(StrategyOutcome {
             strategy: resolution.strategy.clone(),
@@ -367,6 +458,7 @@ impl FlowSweep {
             mean_hops: fixed.routes().mean_hops(),
             power_mw: estimate.as_ref().map(|e| e.total_power_mw),
             area_um2: estimate.as_ref().map(|e| e.total_area_um2),
+            sim,
         })
     }
 

@@ -218,3 +218,62 @@ fn stage_rejects_strategies_that_leave_cycles() {
     let err = routed.resolve_deadlocks(&DoNothing).unwrap_err();
     assert!(matches!(err, noc_flow::FlowError::StillCyclic(_)));
 }
+
+/// The VC-aware stage path: `simulate_vc` exposes the run through the
+/// common `SimOutcome` view plus `vc_details`, honouring the strategy's
+/// VC assignment; `simulate_vc_recovering` arms the DBR-style drain on a
+/// deadlock-prone routed design and still delivers everything.
+#[test]
+fn vc_aware_simulation_paths_work_end_to_end() {
+    use noc_sim::{AssignedVc, SingleVc, TrafficConfig, VcSimConfig};
+
+    let routed = DesignFlow::from_benchmark(Benchmark::D36x8)
+        .synthesize(SynthesisConfig::with_switches(12))
+        .unwrap()
+        .route_default()
+        .unwrap();
+    assert!(!routed.is_deadlock_free(), "the input design is cyclic");
+    assert!(routed.vc_map().is_single_vc(), "input routing rides VC 0");
+
+    let sim = VcSimConfig {
+        buffer_depth: 1,
+        ..VcSimConfig::default()
+    };
+    let traffic = TrafficConfig {
+        packets_per_flow: 2,
+        packet_length: 4,
+        ..TrafficConfig::default()
+    };
+
+    // Diagnostic run on the routed stage (deadlock-prone design as-is).
+    let diagnostic = routed.simulate_vc(&SingleVc, &sim, &traffic);
+    assert_eq!(diagnostic.policy, "unsafe-single-vc");
+
+    // The repaired design through the staged path.
+    let fixed = routed.resolve_deadlocks(&CycleBreaking::default()).unwrap();
+    assert!(!fixed.vc_map().is_single_vc(), "removal assigned extra VCs");
+    let simulated = fixed.simulate_vc(&AssignedVc, &sim, &traffic).unwrap();
+    assert!(!simulated.outcome().deadlocked);
+    assert_eq!(
+        simulated.outcome().stats.delivered_packets,
+        simulated.outcome().stats.injected_packets
+    );
+    let details = simulated.vc_details().expect("vc path records details");
+    assert_eq!(details.policy, "assigned-vc");
+    assert!(details.detection.is_none());
+    assert_eq!(details.drain.events, 0);
+
+    // The legacy engine path carries no VC details.
+    let legacy = fixed.simulate(&traffic).unwrap();
+    assert!(legacy.vc_details().is_none());
+
+    // The drain-armed run on the unrepaired design delivers everything.
+    let recovered = routed
+        .simulate_vc_recovering(&AssignedVc, &sim, &traffic, SwitchId::from_index(0))
+        .unwrap();
+    assert!(!recovered.deadlocked);
+    assert_eq!(
+        recovered.stats.delivered_packets,
+        recovered.stats.injected_packets
+    );
+}

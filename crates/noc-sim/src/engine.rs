@@ -150,9 +150,7 @@ impl<'a> Simulator<'a> {
                     // Same-switch flow: delivered immediately.
                     stats.delivered_packets += 1;
                     stats.delivered_flits += packet.length;
-                    let latency = cycle.saturating_sub(packet.created_at);
-                    stats.total_latency_cycles += latency;
-                    stats.max_latency_cycles = stats.max_latency_cycles.max(latency);
+                    stats.record_latency(cycle.saturating_sub(packet.created_at));
                     continue;
                 }
                 let state = PacketState {
@@ -347,9 +345,7 @@ impl<'a> Simulator<'a> {
                     if state.ejected == state.packet.length {
                         delivered += 1;
                         stats.delivered_packets += 1;
-                        let latency = cycle.saturating_sub(state.packet.created_at) + 1;
-                        stats.total_latency_cycles += latency;
-                        stats.max_latency_cycles = stats.max_latency_cycles.max(latency);
+                        stats.record_latency(cycle.saturating_sub(state.packet.created_at) + 1);
                     }
                 }
             }
@@ -446,6 +442,7 @@ mod tests {
             packet_length: 6,
             mean_gap_cycles: 0,
             seed: 1,
+            ..TrafficConfig::default()
         });
         assert!(
             outcome.deadlocked,
@@ -489,6 +486,7 @@ mod tests {
             packet_length: 6,
             mean_gap_cycles: 0,
             seed: 1,
+            ..TrafficConfig::default()
         });
         assert!(!outcome.deadlocked);
         assert_eq!(

@@ -20,6 +20,15 @@
 //! * routes are static per flow (table-based), exactly the routes the
 //!   deadlock analysis saw.
 //!
+//! Two engines share that model.  [`engine`] is the original VC-oblivious
+//! walker with timeout-based detection; [`vc_engine`] is the VC-fidelity
+//! subsystem: per-(link × VC) buffers sized from a strategy's
+//! [`VcMap`](noc_deadlock::vcmap::VcMap), explicit [`credit`]-based flow
+//! control, pluggable VC-allocation [`policy`]s (static assignment,
+//! Duato-adaptive escape, and a deliberately unsafe single-VC baseline),
+//! exact wait-for-graph deadlock [`detect`]ion, and an optional DBR-style
+//! dynamic drain onto a recovery routing function.
+//!
 //! # Example
 //!
 //! ```
@@ -47,12 +56,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod credit;
+pub mod detect;
 pub mod engine;
 pub mod packet;
+pub mod policy;
 pub mod stats;
 pub mod traffic;
+pub mod vc_engine;
 
 pub use engine::{SimConfig, SimOutcome, Simulator};
 pub use packet::{Flit, FlitKind, Packet, PacketId};
-pub use stats::SimStats;
-pub use traffic::TrafficConfig;
+pub use policy::{AdaptiveEscape, AssignedVc, SingleVc, VcChoice, VcPolicy};
+pub use stats::{LatencyBucket, SimStats};
+pub use traffic::{TrafficConfig, TrafficPattern};
+pub use vc_engine::{
+    DeadlockEvent, DetectionKind, DrainStats, VcSimConfig, VcSimOutcome, VcSimulator,
+};

@@ -1,6 +1,24 @@
 //! Simulation statistics.
 
+/// One bucket of the per-flit latency histogram: every delivered packet
+/// whose latency `l` satisfies `lower <= l <= upper` is counted here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyBucket {
+    /// Inclusive lower bound of the bucket, in cycles.
+    pub lower: u64,
+    /// Inclusive upper bound of the bucket, in cycles.
+    pub upper: u64,
+    /// Packets whose latency falls into the bucket.
+    pub count: usize,
+}
+
 /// Latency / throughput statistics of a simulation run.
+///
+/// Per-packet network latencies are recorded individually
+/// ([`record_latency`](Self::record_latency)), so besides the mean the run
+/// reports order statistics ([`latency_percentile`](Self::latency_percentile)
+/// — p50/p95/p99 in the artifacts) and a log₂-bucketed histogram
+/// ([`latency_histogram`](Self::latency_histogram)).
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct SimStats {
     /// Packets handed to source queues.
@@ -15,9 +33,20 @@ pub struct SimStats {
     pub max_latency_cycles: u64,
     /// Number of cycles simulated.
     pub cycles: u64,
+    /// Every delivered packet's latency, in delivery order (the raw samples
+    /// behind the percentiles and the histogram).
+    pub latency_samples: Vec<u64>,
 }
 
 impl SimStats {
+    /// Records the delivery of one packet with the given network latency,
+    /// updating the sum, the maximum and the sample list together.
+    pub fn record_latency(&mut self, latency: u64) {
+        self.total_latency_cycles += latency;
+        self.max_latency_cycles = self.max_latency_cycles.max(latency);
+        self.latency_samples.push(latency);
+    }
+
     /// Average packet latency in cycles (0 when nothing was delivered).
     pub fn mean_latency(&self) -> f64 {
         if self.delivered_packets == 0 {
@@ -25,6 +54,84 @@ impl SimStats {
         } else {
             self.total_latency_cycles as f64 / self.delivered_packets as f64
         }
+    }
+
+    /// The `p`-th latency percentile (nearest-rank, `0.0 < p <= 100.0`),
+    /// or 0 when nothing was delivered.
+    ///
+    /// ```
+    /// let mut stats = noc_sim::SimStats::default();
+    /// for l in [10, 20, 30, 40] {
+    ///     stats.record_latency(l);
+    /// }
+    /// assert_eq!(stats.latency_percentile(50.0), 20);
+    /// assert_eq!(stats.latency_percentile(99.0), 40);
+    /// ```
+    pub fn latency_percentile(&self, p: f64) -> u64 {
+        self.latency_percentiles(&[p])[0]
+    }
+
+    /// Several percentiles in one pass — the samples are cloned and sorted
+    /// once, so summaries asking for p50/p95/p99 together pay a single
+    /// `O(n log n)` instead of three.
+    pub fn latency_percentiles(&self, ps: &[f64]) -> Vec<u64> {
+        if self.latency_samples.is_empty() {
+            return vec![0; ps.len()];
+        }
+        let mut sorted = self.latency_samples.clone();
+        sorted.sort_unstable();
+        ps.iter()
+            .map(|&p| {
+                let p = p.clamp(0.0, 100.0);
+                // Nearest-rank: the smallest sample with at least p% of the
+                // samples at or below it (rank ⌈p/100 · n⌉, 1-based).
+                let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+                sorted[rank.max(1) - 1]
+            })
+            .collect()
+    }
+
+    /// Median latency (nearest-rank p50).
+    pub fn p50_latency(&self) -> u64 {
+        self.latency_percentile(50.0)
+    }
+
+    /// 95th-percentile latency (nearest-rank).
+    pub fn p95_latency(&self) -> u64 {
+        self.latency_percentile(95.0)
+    }
+
+    /// 99th-percentile latency (nearest-rank).
+    pub fn p99_latency(&self) -> u64 {
+        self.latency_percentile(99.0)
+    }
+
+    /// Log₂-bucketed latency histogram: buckets `[0,0]`, `[1,1]`, `[2,3]`,
+    /// `[4,7]`, … up to the bucket containing the maximum observed latency.
+    /// Empty when nothing was delivered; buckets with zero counts between
+    /// populated ones are included so the shape plots directly.
+    pub fn latency_histogram(&self) -> Vec<LatencyBucket> {
+        if self.latency_samples.is_empty() {
+            return Vec::new();
+        }
+        let bucket_of = |latency: u64| {
+            // Bucket 0 = latency 0; bucket k>=1 covers [2^(k-1), 2^k - 1].
+            (u64::BITS - latency.leading_zeros()) as usize
+        };
+        let buckets = bucket_of(self.max_latency_cycles) + 1;
+        let mut counts = vec![0usize; buckets];
+        for &latency in &self.latency_samples {
+            counts[bucket_of(latency)] += 1;
+        }
+        counts
+            .into_iter()
+            .enumerate()
+            .map(|(k, count)| LatencyBucket {
+                lower: if k == 0 { 0 } else { 1u64 << (k - 1) },
+                upper: if k == 0 { 0 } else { (1u64 << k) - 1 },
+                count,
+            })
+            .collect()
     }
 
     /// Delivered flits per simulated cycle.
@@ -59,6 +166,7 @@ mod tests {
             total_latency_cycles: 160,
             max_latency_cycles: 40,
             cycles: 64,
+            latency_samples: Vec::new(),
         };
         assert_eq!(stats.mean_latency(), 20.0);
         assert_eq!(stats.throughput_flits_per_cycle(), 0.5);
@@ -71,5 +179,70 @@ mod tests {
         assert_eq!(stats.mean_latency(), 0.0);
         assert_eq!(stats.throughput_flits_per_cycle(), 0.0);
         assert_eq!(stats.delivery_ratio(), 0.0);
+        assert_eq!(stats.latency_percentile(50.0), 0);
+        assert!(stats.latency_histogram().is_empty());
+    }
+
+    #[test]
+    fn record_latency_updates_sum_max_and_samples() {
+        let mut stats = SimStats::default();
+        stats.record_latency(5);
+        stats.record_latency(11);
+        stats.record_latency(3);
+        assert_eq!(stats.total_latency_cycles, 19);
+        assert_eq!(stats.max_latency_cycles, 11);
+        assert_eq!(stats.latency_samples, vec![5, 11, 3]);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let mut stats = SimStats::default();
+        for l in 1..=100u64 {
+            stats.record_latency(l);
+        }
+        assert_eq!(stats.p50_latency(), 50);
+        assert_eq!(stats.p95_latency(), 95);
+        assert_eq!(stats.p99_latency(), 99);
+        assert_eq!(stats.latency_percentile(100.0), 100);
+        // One sample: every percentile is that sample.
+        let mut one = SimStats::default();
+        one.record_latency(7);
+        assert_eq!(one.p50_latency(), 7);
+        assert_eq!(one.p99_latency(), 7);
+    }
+
+    #[test]
+    fn percentiles_are_order_independent() {
+        let mut a = SimStats::default();
+        let mut b = SimStats::default();
+        for l in [9u64, 2, 7, 2, 30] {
+            a.record_latency(l);
+        }
+        for l in [30u64, 2, 2, 7, 9] {
+            b.record_latency(l);
+        }
+        for p in [10.0, 50.0, 90.0, 99.0] {
+            assert_eq!(a.latency_percentile(p), b.latency_percentile(p));
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2_and_cover_all_samples() {
+        let mut stats = SimStats::default();
+        for l in [0u64, 1, 2, 3, 4, 9, 9] {
+            stats.record_latency(l);
+        }
+        let histogram = stats.latency_histogram();
+        // Buckets: [0,0], [1,1], [2,3], [4,7], [8,15].
+        assert_eq!(histogram.len(), 5);
+        assert_eq!((histogram[0].lower, histogram[0].upper), (0, 0));
+        assert_eq!((histogram[2].lower, histogram[2].upper), (2, 3));
+        assert_eq!((histogram[4].lower, histogram[4].upper), (8, 15));
+        let counts: Vec<usize> = histogram.iter().map(|b| b.count).collect();
+        assert_eq!(counts, vec![1, 1, 2, 1, 2]);
+        assert_eq!(
+            histogram.iter().map(|b| b.count).sum::<usize>(),
+            stats.latency_samples.len()
+        );
     }
 }

@@ -1,0 +1,1278 @@
+//! The VC-fidelity wormhole simulation engine.
+//!
+//! The original [`engine`](crate::engine) walks routes channel-by-channel
+//! and is faithful enough to *reproduce* deadlocks, but it takes the VC of
+//! every hop at face value and detects deadlock with an idle-timeout guess.
+//! This engine closes the remaining fidelity gaps:
+//!
+//! * buffer space is one input buffer per **(physical link × VC)** sized
+//!   from the strategy's [`VcMap`], with
+//!   explicit credit-based flow control ([`crate::credit`]) instead of
+//!   buffer peeking;
+//! * which VC a head flit requests is a pluggable [`VcPolicy`]
+//!   ([`crate::policy`]): honour the strategy's static assignment, use it
+//!   adaptively Duato-style, or deliberately ignore it (the unsafe
+//!   single-VC baseline that makes VC budgets measurable);
+//! * deadlock is decided **exactly** from the flit wait-for graph
+//!   ([`crate::detect`]) — the check runs every
+//!   [`detect_period`](VcSimConfig::detect_period) cycles and on every
+//!   cycle without movement, so a knot is established within one period of
+//!   forming (even while unrelated traffic still moves) and never later
+//!   than the idle timeout, which is kept only as a configurable fallback;
+//! * optionally, detected deadlocks are *drained* DBR-style: the knotted
+//!   packets are pulled back to their sources, their flows are permanently
+//!   reconfigured onto a deadlock-free recovery routing function, and the
+//!   run continues — the dynamic execution of the `RecoveryReconfig`
+//!   strategy.
+
+use crate::credit::CreditBook;
+use crate::detect::{ChannelWait, InjectionWait, WaitForSnapshot, WaitTarget};
+use crate::packet::{Flit, FlitKind, Packet, PacketId};
+use crate::policy::{VcChoice, VcPolicy};
+use crate::stats::SimStats;
+use crate::traffic::{generate_workload, TrafficConfig, Workload};
+use noc_deadlock::vcmap::VcMap;
+use noc_routing::RouteSet;
+use noc_topology::{CommGraph, FlowId, LinkId};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+
+/// Parameters of a VC-fidelity simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VcSimConfig {
+    /// Depth of every per-(link × VC) input buffer, in flits.
+    pub buffer_depth: usize,
+    /// Cycles a returned credit takes to travel back upstream (0 = the
+    /// credit is usable again the next cycle).
+    pub credit_return_latency: u64,
+    /// Hard cap on simulated cycles.
+    pub max_cycles: u64,
+    /// Run the exact wait-for-graph detector every `detect_period` cycles
+    /// (it additionally runs on every cycle without any flit movement).
+    /// 0 disables the exact detector entirely, leaving only the
+    /// [`idle_timeout`](Self::idle_timeout) heuristic.
+    pub detect_period: u64,
+    /// Idle-timeout fallback: declare deadlock after this many consecutive
+    /// cycles without movement while flits are in flight.  0 disables the
+    /// heuristic entirely (the exact detector subsumes it).
+    pub idle_timeout: u64,
+}
+
+impl Default for VcSimConfig {
+    fn default() -> Self {
+        VcSimConfig {
+            buffer_depth: 2,
+            credit_return_latency: 0,
+            max_cycles: 2_000_000,
+            detect_period: 64,
+            idle_timeout: 1_024,
+        }
+    }
+}
+
+/// How a deadlock was established.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectionKind {
+    /// The exact flit wait-for-graph detector found a knot.
+    WaitForGraph,
+    /// The idle-timeout fallback tripped.
+    IdleTimeout,
+}
+
+impl DetectionKind {
+    /// Stable kebab-case name for artifacts.
+    pub const fn name(self) -> &'static str {
+        match self {
+            DetectionKind::WaitForGraph => "wait-for-graph",
+            DetectionKind::IdleTimeout => "idle-timeout",
+        }
+    }
+}
+
+/// The first deadlock detection of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadlockEvent {
+    /// Cycle at which the deadlock was established.
+    pub cycle: u64,
+    /// Detector that established it.
+    pub kind: DetectionKind,
+    /// Packets in the deadlocked set (0 for the timeout heuristic, which
+    /// cannot attribute the deadlock).
+    pub packets: usize,
+}
+
+/// Aggregate statistics of the DBR-style dynamic drain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DrainStats {
+    /// Deadlock-drain events executed.
+    pub events: usize,
+    /// Packets pulled back to their source across all events (a packet
+    /// drained twice counts twice).
+    pub packets_drained: usize,
+    /// Flows permanently switched onto the recovery routing function.
+    pub flows_reconfigured: usize,
+}
+
+/// Result of a VC-fidelity simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VcSimOutcome {
+    /// Latency / throughput statistics.
+    pub stats: SimStats,
+    /// `true` if the run ended in an unrecovered deadlock.
+    pub deadlocked: bool,
+    /// Packets still undelivered when the run ended.
+    pub stranded_packets: usize,
+    /// The first deadlock detection, if any (also set when every deadlock
+    /// was drained successfully).
+    pub detection: Option<DeadlockEvent>,
+    /// Dynamic-drain statistics (all zero when no recovery routes are
+    /// configured or no deadlock formed).
+    pub drain: DrainStats,
+    /// Name of the [`VcPolicy`] the run used.
+    pub policy: String,
+}
+
+/// Per-packet bookkeeping.
+#[derive(Debug, Clone)]
+struct PacketState {
+    packet: Packet,
+    /// Physical links of the packet's (current) route.
+    links: Vec<LinkId>,
+    /// The VC the strategy assigned at each hop.
+    assigned: Vec<usize>,
+    /// Dense channel index the head flit actually claimed at each hop so
+    /// far (`taken.len() - 1` is the head's frontier hop).
+    taken: Vec<usize>,
+    /// Flits not yet injected, front first.
+    to_inject: VecDeque<Flit>,
+    /// Number of flits already ejected at the destination.
+    ejected: usize,
+}
+
+/// A buffered flit: the flit plus the hop of its packet's route it sits at.
+#[derive(Debug, Clone, Copy)]
+struct BufFlit {
+    flit: Flit,
+    hop: usize,
+}
+
+/// One decided flit movement, applied in the second phase of a cycle.
+#[derive(Debug, Clone, Copy)]
+enum Move {
+    /// Inject the next flit of a packet into channel `to`; `claim` marks a
+    /// head flit acquiring the channel.
+    Inject {
+        packet: PacketId,
+        to: usize,
+        claim: bool,
+    },
+    /// Advance the head-of-line flit of channel `from` into channel `to`.
+    Advance { from: usize, to: usize, claim: bool },
+    /// Eject the head-of-line flit of channel `from` at the destination.
+    Eject { from: usize },
+}
+
+/// The VC-fidelity wormhole simulator.  Borrows the design it simulates.
+pub struct VcSimulator<'a> {
+    comm: &'a CommGraph,
+    routes: &'a RouteSet,
+    vc_map: &'a VcMap,
+    policy: &'a dyn VcPolicy,
+    config: VcSimConfig,
+    /// Recovery routing function for the dynamic drain (`None` = detected
+    /// deadlocks end the run).
+    recovery: Option<RouteSet>,
+    /// Dense channel indexing: `offsets[link] + vc`.
+    offsets: Vec<usize>,
+    channel_count: usize,
+    /// Input buffer of each channel (at the link's downstream switch).
+    buffers: Vec<VecDeque<BufFlit>>,
+    /// Which packet currently owns each channel (wormhole VC allocation).
+    owner: Vec<Option<PacketId>>,
+    credits: CreditBook,
+    packets: HashMap<PacketId, PacketState>,
+    /// Flows permanently switched onto the recovery routing function.
+    reconfigured: HashSet<FlowId>,
+}
+
+impl<'a> std::fmt::Debug for VcSimulator<'a> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VcSimulator")
+            .field("policy", &self.policy.name())
+            .field("channels", &self.channel_count)
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> VcSimulator<'a> {
+    /// Creates a simulator for the given design.  `vc_map` defines the
+    /// buffer space (one buffer per link × VC) and the per-hop VC
+    /// assignments the [`VcPolicy`] interprets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a route references a link or VC outside the `vc_map` —
+    /// build the map with
+    /// [`VcMap::from_design`](noc_deadlock::vcmap::VcMap::from_design) on
+    /// the same design the routes belong to.
+    pub fn new(
+        comm: &'a CommGraph,
+        routes: &'a RouteSet,
+        vc_map: &'a VcMap,
+        policy: &'a dyn VcPolicy,
+        config: &VcSimConfig,
+    ) -> Self {
+        validate_routes(routes, vc_map, "route");
+        let mut offsets = Vec::with_capacity(vc_map.link_count());
+        let mut channel_count = 0usize;
+        for link in 0..vc_map.link_count() {
+            offsets.push(channel_count);
+            channel_count += vc_map.link_vcs(LinkId::from_index(link));
+        }
+        VcSimulator {
+            comm,
+            routes,
+            vc_map,
+            policy,
+            config: config.clone(),
+            recovery: None,
+            offsets,
+            channel_count,
+            buffers: vec![VecDeque::new(); channel_count],
+            owner: vec![None; channel_count],
+            credits: CreditBook::new(
+                channel_count,
+                config.buffer_depth,
+                config.credit_return_latency,
+            ),
+            packets: HashMap::new(),
+            reconfigured: HashSet::new(),
+        }
+    }
+
+    /// Enables the DBR-style dynamic drain: when the exact detector finds a
+    /// deadlock, the knotted packets are pulled back to their sources and
+    /// their flows permanently reconfigured onto `recovery_routes` (a
+    /// deadlock-free routing function, e.g. up*/down* routes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a recovery route references a link or VC outside the
+    /// simulator's [`VcMap`].
+    pub fn with_recovery(mut self, recovery_routes: RouteSet) -> Self {
+        validate_routes(&recovery_routes, self.vc_map, "recovery route");
+        self.recovery = Some(recovery_routes);
+        self
+    }
+
+    fn channel_index(&self, link: LinkId, vc: usize) -> usize {
+        debug_assert!(vc < self.vc_map.link_vcs(link));
+        self.offsets[link.index()] + vc
+    }
+
+    /// Generates a workload from the design's communication graph and runs
+    /// it to completion, deadlock or the cycle cap.
+    pub fn run(&mut self, traffic: &TrafficConfig) -> VcSimOutcome {
+        let workload = generate_workload(self.comm, traffic);
+        self.run_workload(&workload)
+    }
+
+    /// Runs an explicit workload.
+    pub fn run_workload(&mut self, workload: &Workload) -> VcSimOutcome {
+        self.reset();
+        let mut stats = SimStats::default();
+        let mut drain = DrainStats::default();
+        let mut detection: Option<DeadlockEvent> = None;
+        let mut pending: VecDeque<Packet> = workload.packets.iter().cloned().collect();
+        // BTreeMap so decide/detect iterate flows in id order without a
+        // per-cycle sort.
+        let mut flow_queues: BTreeMap<FlowId, VecDeque<PacketId>> = BTreeMap::new();
+        let mut idle_cycles = 0u64;
+        let mut deadlocked = false;
+        // Packets admitted to the network but not yet fully ejected,
+        // maintained incrementally so the per-cycle liveness check does not
+        // scan the whole packet map.
+        let mut in_flight_packets = 0usize;
+
+        let mut cycle = 0u64;
+        while cycle < self.config.max_cycles {
+            self.credits.collect_returns(cycle);
+
+            // Admit newly created packets into their flow queue.
+            while pending.front().is_some_and(|p| p.created_at <= cycle) {
+                let packet = pending.pop_front().expect("checked non-empty");
+                stats.injected_packets += 1;
+                let route = self.current_route(packet.flow);
+                if route.is_empty() {
+                    // Same-switch flow: delivered immediately.
+                    stats.delivered_packets += 1;
+                    stats.delivered_flits += packet.length;
+                    stats.record_latency(cycle.saturating_sub(packet.created_at));
+                    continue;
+                }
+                let state = PacketState {
+                    to_inject: packet.flits().into(),
+                    links: route.iter().map(|&(link, _)| link).collect(),
+                    assigned: route.iter().map(|&(_, vc)| vc).collect(),
+                    taken: Vec::new(),
+                    ejected: 0,
+                    packet: packet.clone(),
+                };
+                flow_queues
+                    .entry(packet.flow)
+                    .or_default()
+                    .push_back(packet.id);
+                self.packets.insert(packet.id, state);
+                in_flight_packets += 1;
+            }
+
+            let moves = self.decide_moves(&flow_queues);
+            let progressed = !moves.is_empty();
+            let completed = self.apply_moves(&moves, cycle, &mut stats, &mut flow_queues);
+            in_flight_packets -= completed;
+
+            let in_flight = in_flight_packets > 0;
+            if !in_flight && pending.is_empty() {
+                cycle += 1;
+                break;
+            }
+            if progressed || !in_flight {
+                idle_cycles = 0;
+            } else {
+                idle_cycles += 1;
+            }
+
+            // Exact detection: periodically, and on every idle cycle.
+            let exact_enabled = self.config.detect_period > 0;
+            let periodic = exact_enabled && (cycle + 1).is_multiple_of(self.config.detect_period);
+            if in_flight && exact_enabled && (periodic || !progressed) {
+                let snapshot = self.wait_snapshot(&flow_queues);
+                let dead = snapshot.deadlocked_packets();
+                if !dead.is_empty() {
+                    if std::env::var_os("NOC_SIM_DEBUG_DETECT").is_some() {
+                        eprintln!("--- detection at cycle {cycle}: dead {dead:?}");
+                        for &p in &dead {
+                            let st = &self.packets[&p];
+                            eprintln!(
+                                "  {p}: flow {} links {:?} taken {:?} to_inject {} ejected {}",
+                                st.packet.flow,
+                                st.links,
+                                st.taken,
+                                st.to_inject.len(),
+                                st.ejected
+                            );
+                        }
+                        for (c, w) in snapshot.channels.iter().enumerate() {
+                            if let Some(w) = w {
+                                eprintln!(
+                                    "  ch{c} owner {:?} buf {:?}: hol {} can_move {} waits {:?}",
+                                    self.owner[c],
+                                    self.buffers[c]
+                                        .iter()
+                                        .map(|b| (b.flit.packet, b.flit.sequence, b.hop))
+                                        .collect::<Vec<_>>(),
+                                    w.packet,
+                                    w.can_move,
+                                    w.waits
+                                );
+                            }
+                        }
+                        for i in &snapshot.injections {
+                            eprintln!(
+                                "  inj {}: can_move {} waits {:?}",
+                                i.packet, i.can_move, i.waits
+                            );
+                        }
+                    }
+                    detection.get_or_insert(DeadlockEvent {
+                        cycle,
+                        kind: DetectionKind::WaitForGraph,
+                        packets: dead.len(),
+                    });
+                    if self.recovery.is_some() {
+                        self.drain_deadlocked(&dead, &mut flow_queues, &mut drain);
+                        idle_cycles = 0;
+                    } else {
+                        deadlocked = true;
+                        cycle += 1;
+                        break;
+                    }
+                }
+            }
+
+            // Idle-timeout fallback (the exact detector normally fires long
+            // before this trips).
+            if self.config.idle_timeout > 0 && idle_cycles >= self.config.idle_timeout {
+                detection.get_or_insert(DeadlockEvent {
+                    cycle,
+                    kind: DetectionKind::IdleTimeout,
+                    packets: 0,
+                });
+                deadlocked = true;
+                cycle += 1;
+                break;
+            }
+            cycle += 1;
+        }
+
+        stats.cycles = cycle;
+        drain.flows_reconfigured = self.reconfigured.len();
+        let stranded_packets = in_flight_packets;
+        debug_assert_eq!(
+            stranded_packets,
+            self.packets
+                .values()
+                .filter(|p| p.ejected < p.packet.length)
+                .count(),
+            "in-flight counter drifted from the packet map"
+        );
+        VcSimOutcome {
+            stats,
+            deadlocked,
+            stranded_packets,
+            detection,
+            drain,
+            policy: self.policy.name().to_string(),
+        }
+    }
+
+    fn reset(&mut self) {
+        for buffer in &mut self.buffers {
+            buffer.clear();
+        }
+        for owner in &mut self.owner {
+            *owner = None;
+        }
+        self.credits = CreditBook::new(
+            self.channel_count,
+            self.config.buffer_depth,
+            self.config.credit_return_latency,
+        );
+        self.packets.clear();
+        self.reconfigured.clear();
+    }
+
+    /// The `(link, assigned vc)` hops the given flow currently routes over
+    /// (the recovery route once the flow has been reconfigured).
+    fn current_route(&self, flow: FlowId) -> Vec<(LinkId, usize)> {
+        let routes = if self.reconfigured.contains(&flow) {
+            self.recovery
+                .as_ref()
+                .expect("reconfigured implies recovery")
+        } else {
+            self.routes
+        };
+        routes
+            .route(flow)
+            .map(|r| r.channels().iter().map(|c| (c.link, c.vc)).collect())
+            .unwrap_or_default()
+    }
+
+    /// The candidate dense channel indices the policy offers a head flit
+    /// entering hop `hop` of `state`'s route, in preference order.
+    fn head_candidates(&self, state: &PacketState, hop: usize) -> Vec<usize> {
+        let link = state.links[hop];
+        let mut vcs = Vec::new();
+        self.policy.candidates(
+            &VcChoice {
+                link,
+                link_vcs: self.vc_map.link_vcs(link),
+                assigned_vc: state.assigned[hop],
+                hop,
+                flow: state.packet.flow,
+            },
+            &mut vcs,
+        );
+        debug_assert!(!vcs.is_empty(), "policies must offer a candidate");
+        vcs.into_iter()
+            .map(|vc| self.channel_index(link, vc.min(self.vc_map.link_vcs(link) - 1)))
+            .collect()
+    }
+
+    /// Phase 1: decide all flit movements for this cycle based on the
+    /// start-of-cycle state.  At most one flit enters and one flit leaves
+    /// each channel per cycle.
+    fn decide_moves(&self, flow_queues: &BTreeMap<FlowId, VecDeque<PacketId>>) -> Vec<Move> {
+        let mut moves = Vec::new();
+        let mut entering = vec![false; self.channel_count];
+
+        // In-network flits first (drain before filling), iterating channels
+        // in reverse index order so downstream channels are not starved; the
+        // order does not affect correctness.
+        for from in (0..self.channel_count).rev() {
+            let Some(bf) = self.buffers[from].front() else {
+                continue;
+            };
+            let state = &self.packets[&bf.flit.packet];
+            if bf.hop + 1 == state.links.len() {
+                // Last hop: eject (destination always sinks flits).
+                moves.push(Move::Eject { from });
+                continue;
+            }
+            let extending = state.taken.len() == bf.hop + 1;
+            if extending {
+                // Head flit claiming the next hop: first candidate that is
+                // unowned (or self-owned) with a credit wins.
+                for to in self.head_candidates(state, bf.hop + 1) {
+                    if entering[to] {
+                        continue;
+                    }
+                    let claimable =
+                        self.owner[to].is_none() || self.owner[to] == Some(bf.flit.packet);
+                    if claimable && self.credits.can_send(to) {
+                        moves.push(Move::Advance {
+                            from,
+                            to,
+                            claim: true,
+                        });
+                        entering[to] = true;
+                        break;
+                    }
+                }
+            } else {
+                // Follower flit: the worm's path is established.
+                let to = state.taken[bf.hop + 1];
+                if !entering[to] && self.credits.can_send(to) {
+                    moves.push(Move::Advance {
+                        from,
+                        to,
+                        claim: false,
+                    });
+                    entering[to] = true;
+                }
+            }
+        }
+
+        // Injections: the packet at the front of each flow queue may push
+        // its next flit into the first channel of its route.
+        for queue in flow_queues.values() {
+            let Some(&packet_id) = queue.front() else {
+                continue;
+            };
+            let state = &self.packets[&packet_id];
+            if state.to_inject.is_empty() {
+                continue;
+            }
+            if state.taken.is_empty() {
+                for to in self.head_candidates(state, 0) {
+                    if entering[to] {
+                        continue;
+                    }
+                    let claimable = self.owner[to].is_none() || self.owner[to] == Some(packet_id);
+                    if claimable && self.credits.can_send(to) {
+                        moves.push(Move::Inject {
+                            packet: packet_id,
+                            to,
+                            claim: true,
+                        });
+                        entering[to] = true;
+                        break;
+                    }
+                }
+            } else {
+                let to = state.taken[0];
+                if !entering[to] && self.credits.can_send(to) {
+                    moves.push(Move::Inject {
+                        packet: packet_id,
+                        to,
+                        claim: false,
+                    });
+                    entering[to] = true;
+                }
+            }
+        }
+        moves
+    }
+
+    /// Phase 2: apply the decided moves, updating ownership, credits,
+    /// ejections and statistics.  Returns the number of packets fully
+    /// delivered this cycle.
+    fn apply_moves(
+        &mut self,
+        moves: &[Move],
+        cycle: u64,
+        stats: &mut SimStats,
+        flow_queues: &mut BTreeMap<FlowId, VecDeque<PacketId>>,
+    ) -> usize {
+        let mut completed = 0usize;
+        for &mv in moves {
+            match mv {
+                Move::Inject { packet, to, claim } => {
+                    let state = self.packets.get_mut(&packet).expect("packet exists");
+                    let flit = state.to_inject.pop_front().expect("decided with a flit");
+                    if claim {
+                        self.owner[to] = Some(packet);
+                        state.taken.push(to);
+                    } else {
+                        debug_assert_eq!(self.owner[to], Some(packet));
+                    }
+                    self.credits.consume(to);
+                    self.buffers[to].push_back(BufFlit { flit, hop: 0 });
+                    if state.to_inject.is_empty() {
+                        // The whole packet has left the source: the next
+                        // packet of this flow may start injecting.
+                        if let Some(queue) = flow_queues.get_mut(&state.packet.flow) {
+                            if queue.front() == Some(&packet) {
+                                queue.pop_front();
+                            }
+                        }
+                    }
+                }
+                Move::Advance { from, to, claim } => {
+                    let bf = self.buffers[from].pop_front().expect("decided with a flit");
+                    self.credits.give_back(from, cycle);
+                    let packet = bf.flit.packet;
+                    if claim {
+                        self.owner[to] = Some(packet);
+                        self.packets
+                            .get_mut(&packet)
+                            .expect("packet exists")
+                            .taken
+                            .push(to);
+                    }
+                    if matches!(bf.flit.kind, FlitKind::Tail | FlitKind::HeadTail)
+                        && self.owner[from] == Some(packet)
+                    {
+                        self.owner[from] = None;
+                    }
+                    self.credits.consume(to);
+                    self.buffers[to].push_back(BufFlit {
+                        flit: bf.flit,
+                        hop: bf.hop + 1,
+                    });
+                }
+                Move::Eject { from } => {
+                    let bf = self.buffers[from].pop_front().expect("decided with a flit");
+                    self.credits.give_back(from, cycle);
+                    let packet = bf.flit.packet;
+                    if matches!(bf.flit.kind, FlitKind::Tail | FlitKind::HeadTail)
+                        && self.owner[from] == Some(packet)
+                    {
+                        self.owner[from] = None;
+                    }
+                    let state = self.packets.get_mut(&packet).expect("packet exists");
+                    state.ejected += 1;
+                    stats.delivered_flits += 1;
+                    if state.ejected == state.packet.length {
+                        stats.delivered_packets += 1;
+                        completed += 1;
+                        stats.record_latency(cycle.saturating_sub(state.packet.created_at) + 1);
+                    }
+                }
+            }
+        }
+        completed
+    }
+
+    /// Classifies one pending movement (a buffered flit or an injection)
+    /// into "can move now" or a list of wait targets, for the detector.
+    fn classify_candidates(
+        &self,
+        packet: PacketId,
+        candidates: &[usize],
+        established: bool,
+    ) -> (bool, Vec<WaitTarget>) {
+        let mut waits = Vec::with_capacity(candidates.len());
+        for &to in candidates {
+            if !established {
+                if let Some(q) = self.owner[to] {
+                    if q != packet {
+                        waits.push(WaitTarget::Packet(q));
+                        continue;
+                    }
+                }
+            }
+            if self.credits.can_send(to) {
+                return (true, Vec::new());
+            }
+            if self.buffers[to].len() < self.config.buffer_depth {
+                // The buffer has room; the credit is still travelling back
+                // upstream and will arrive without anyone else moving.
+                return (true, Vec::new());
+            }
+            waits.push(WaitTarget::Channel(to));
+        }
+        (false, waits)
+    }
+
+    /// Builds the detector snapshot for the current state.
+    fn wait_snapshot(&self, flow_queues: &BTreeMap<FlowId, VecDeque<PacketId>>) -> WaitForSnapshot {
+        let mut channels = Vec::with_capacity(self.channel_count);
+        for from in 0..self.channel_count {
+            let Some(bf) = self.buffers[from].front() else {
+                channels.push(None);
+                continue;
+            };
+            let state = &self.packets[&bf.flit.packet];
+            let (can_move, waits) = if bf.hop + 1 == state.links.len() {
+                (true, Vec::new()) // ejection is always possible
+            } else if state.taken.len() == bf.hop + 1 {
+                let candidates = self.head_candidates(state, bf.hop + 1);
+                self.classify_candidates(bf.flit.packet, &candidates, false)
+            } else {
+                self.classify_candidates(bf.flit.packet, &[state.taken[bf.hop + 1]], true)
+            };
+            channels.push(Some(ChannelWait {
+                packet: bf.flit.packet,
+                can_move,
+                waits,
+            }));
+        }
+
+        let mut injections = Vec::new();
+        for queue in flow_queues.values() {
+            let Some(&packet_id) = queue.front() else {
+                continue;
+            };
+            let state = &self.packets[&packet_id];
+            if state.to_inject.is_empty() {
+                continue;
+            }
+            let (can_move, waits) = if state.taken.is_empty() {
+                let candidates = self.head_candidates(state, 0);
+                self.classify_candidates(packet_id, &candidates, false)
+            } else {
+                self.classify_candidates(packet_id, &[state.taken[0]], true)
+            };
+            injections.push(InjectionWait {
+                packet: packet_id,
+                can_move,
+                waits,
+                holds_channels: !state.taken.is_empty(),
+            });
+        }
+
+        let mut locations: BTreeMap<PacketId, Vec<usize>> = BTreeMap::new();
+        for (channel, buffer) in self.buffers.iter().enumerate() {
+            for bf in buffer {
+                let entry = locations.entry(bf.flit.packet).or_default();
+                if entry.last() != Some(&channel) {
+                    entry.push(channel);
+                }
+            }
+        }
+        WaitForSnapshot {
+            channels,
+            injections,
+            flit_locations: locations.into_iter().collect(),
+        }
+    }
+
+    /// Executes one DBR-style drain event: pulls every deadlocked packet's
+    /// flits out of the network, releases its channel ownerships, resyncs
+    /// the credits, and re-queues the packet at its source on the recovery
+    /// route — permanently reconfiguring its flow.
+    fn drain_deadlocked(
+        &mut self,
+        dead: &[PacketId],
+        flow_queues: &mut BTreeMap<FlowId, VecDeque<PacketId>>,
+        drain: &mut DrainStats,
+    ) {
+        let dead_set: HashSet<PacketId> = dead.iter().copied().collect();
+
+        // 1. Pull every dead flit out of the buffers (order inside each
+        // buffer is preserved for the survivors).
+        let mut removed: HashMap<PacketId, Vec<Flit>> = HashMap::new();
+        for buffer in &mut self.buffers {
+            buffer.retain(|bf| {
+                if dead_set.contains(&bf.flit.packet) {
+                    removed.entry(bf.flit.packet).or_default().push(bf.flit);
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+
+        // 2. Release the drained packets' wormhole ownerships.
+        for owner in &mut self.owner {
+            if owner.is_some_and(|p| dead_set.contains(&p)) {
+                *owner = None;
+            }
+        }
+
+        // 3. Resync credits from the post-drain occupancy (the drain is a
+        // reconfiguration event; in-flight credit returns are absorbed).
+        let occupancy: Vec<usize> = self.buffers.iter().map(VecDeque::len).collect();
+        self.credits.reset_from_occupancy(occupancy);
+
+        // 4. Rebuild each drained packet on the recovery route of its flow.
+        let mut newly_reconfigured: Vec<FlowId> = Vec::new();
+        for &packet_id in dead {
+            let state = self
+                .packets
+                .get_mut(&packet_id)
+                .expect("dead packets exist");
+            let flow = state.packet.flow;
+            let mut flits = removed.remove(&packet_id).unwrap_or_default();
+            flits.sort_by_key(|f| f.sequence);
+            flits.extend(state.to_inject.drain(..));
+            // Rebuild the flit kinds so the re-injected worm has a proper
+            // head and tail even when the original head was already ejected.
+            let remaining = flits.len();
+            debug_assert!(remaining > 0, "deadlocked packets have flits left");
+            for (index, flit) in flits.iter_mut().enumerate() {
+                flit.kind = if remaining == 1 {
+                    FlitKind::HeadTail
+                } else if index == 0 {
+                    FlitKind::Head
+                } else if index + 1 == remaining {
+                    FlitKind::Tail
+                } else {
+                    FlitKind::Body
+                };
+            }
+            state.to_inject = flits.into();
+            state.taken.clear();
+            let recovery = self.recovery.as_ref().expect("drain requires recovery");
+            let route = recovery
+                .route(flow)
+                .unwrap_or_else(|| panic!("recovery routes must cover flow {flow}"));
+            assert!(
+                !route.is_empty(),
+                "flow {flow} deadlocked but its recovery route is empty"
+            );
+            state.links = route.channels().iter().map(|c| c.link).collect();
+            state.assigned = route.channels().iter().map(|c| c.vc).collect();
+            if self.reconfigured.insert(flow) {
+                newly_reconfigured.push(flow);
+            }
+        }
+
+        // 5. Packets of reconfigured flows that have not entered the network
+        // yet switch to the recovery route as well (in-flight survivors keep
+        // the path they already hold).
+        for state in self.packets.values_mut() {
+            if self.reconfigured.contains(&state.packet.flow)
+                && state.taken.is_empty()
+                && state.ejected == 0
+                && !state.to_inject.is_empty()
+                && !dead_set.contains(&state.packet.id)
+            {
+                let recovery = self.recovery.as_ref().expect("drain requires recovery");
+                if let Some(route) = recovery.route(state.packet.flow) {
+                    state.links = route.channels().iter().map(|c| c.link).collect();
+                    state.assigned = route.channels().iter().map(|c| c.vc).collect();
+                }
+            }
+        }
+
+        // 6. Re-queue the drained packets for injection, oldest first and
+        // ahead of packets that have not started injecting — but never
+        // ahead of a surviving packet that is mid-injection.  Such a packet
+        // owns its claimed channels and can only finish from the queue
+        // front; burying it would wedge the flow forever (and hide the
+        // worm from the detector, which only sees queue fronts).
+        let mut per_flow: BTreeMap<FlowId, Vec<PacketId>> = BTreeMap::new();
+        for &packet_id in dead {
+            per_flow
+                .entry(self.packets[&packet_id].packet.flow)
+                .or_default()
+                .push(packet_id);
+        }
+        for (flow, mut ids) in per_flow {
+            ids.sort();
+            let queue = flow_queues.entry(flow).or_default();
+            queue.retain(|id| !dead_set.contains(id));
+            let insert_at = match queue.front() {
+                Some(front) if !self.packets[front].taken.is_empty() => 1,
+                _ => 0,
+            };
+            for &id in ids.iter().rev() {
+                queue.insert(insert_at, id);
+            }
+        }
+        if cfg!(debug_assertions) {
+            // Invariant: every surviving mid-injection worm is still at the
+            // front of its flow queue.
+            for queue in flow_queues.values() {
+                for (position, id) in queue.iter().enumerate() {
+                    debug_assert!(
+                        position == 0 || self.packets[id].taken.is_empty(),
+                        "mid-injection packet {id} buried at queue position {position}"
+                    );
+                }
+            }
+        }
+
+        drain.events += 1;
+        drain.packets_drained += dead.len();
+    }
+}
+
+/// Panics when a route references a link or VC outside the VC map.
+fn validate_routes(routes: &RouteSet, vc_map: &VcMap, what: &str) {
+    for (flow, route) in routes.iter() {
+        for channel in route.channels() {
+            let vcs = vc_map.link_vcs(channel.link);
+            assert!(
+                channel.vc < vcs,
+                "{what} of {flow} references unknown channel {channel} \
+                 (link has {vcs} VCs in the VC map)"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{AdaptiveEscape, AssignedVc, SingleVc};
+    use noc_deadlock::vcmap::VcMap;
+    use noc_routing::shortest::route_all_shortest;
+    use noc_routing::Route;
+    use noc_topology::{generators, CoreMap, LinkId, Topology};
+
+    fn line_design() -> (Topology, CommGraph, RouteSet) {
+        let generated = generators::chain(3, 1.0);
+        let mut comm = CommGraph::new();
+        let a = comm.add_core("a");
+        let b = comm.add_core("b");
+        comm.add_flow(a, b, 100.0);
+        let mut map = CoreMap::new(2);
+        map.assign(a, generated.switches[0]).unwrap();
+        map.assign(b, generated.switches[2]).unwrap();
+        let routes = route_all_shortest(&generated.topology, &comm, &map).unwrap();
+        (generated.topology, comm, routes)
+    }
+
+    /// The Figure 1 configuration: four flows chasing each other around a
+    /// unidirectional ring.
+    fn figure_1_ring() -> (Topology, CommGraph, RouteSet) {
+        let generated = generators::unidirectional_ring(4, 1.0);
+        let mut comm = CommGraph::new();
+        let cores: Vec<_> = (0..4).map(|i| comm.add_core(format!("c{i}"))).collect();
+        for i in 0..4 {
+            comm.add_flow(cores[i], cores[(i + 2) % 4], 100.0);
+        }
+        let links: Vec<LinkId> = (0..4).map(LinkId::from_index).collect();
+        let mut routes = RouteSet::new(4);
+        for i in 0..4 {
+            routes.set_route(
+                FlowId::from_index(i),
+                Route::from_links([links[i], links[(i + 1) % 4]]),
+            );
+        }
+        (generated.topology, comm, routes)
+    }
+
+    fn pressure_traffic() -> TrafficConfig {
+        TrafficConfig {
+            packets_per_flow: 20,
+            packet_length: 6,
+            mean_gap_cycles: 0,
+            seed: 1,
+            ..TrafficConfig::default()
+        }
+    }
+
+    #[test]
+    fn single_flow_delivers_all_packets() {
+        let (topo, comm, routes) = line_design();
+        let vc_map = VcMap::from_design(&topo, &routes);
+        let mut sim = VcSimulator::new(
+            &comm,
+            &routes,
+            &vc_map,
+            &AssignedVc,
+            &VcSimConfig::default(),
+        );
+        let outcome = sim.run(&TrafficConfig {
+            packets_per_flow: 10,
+            packet_length: 4,
+            ..TrafficConfig::default()
+        });
+        assert!(!outcome.deadlocked);
+        assert_eq!(outcome.stats.injected_packets, 10);
+        assert_eq!(outcome.stats.delivered_packets, 10);
+        assert_eq!(outcome.stats.delivered_flits, 40);
+        assert_eq!(outcome.stranded_packets, 0);
+        assert!(outcome.detection.is_none());
+        assert_eq!(outcome.drain, DrainStats::default());
+        assert_eq!(outcome.policy, "assigned-vc");
+        assert!(outcome.stats.mean_latency() >= 2.0, "2 hops minimum");
+    }
+
+    #[test]
+    fn unsafe_ring_deadlocks_and_the_exact_detector_names_the_knot() {
+        let (topo, comm, routes) = figure_1_ring();
+        let vc_map = VcMap::from_design(&topo, &routes);
+        let config = VcSimConfig {
+            buffer_depth: 1,
+            max_cycles: 100_000,
+            ..VcSimConfig::default()
+        };
+        let mut sim = VcSimulator::new(&comm, &routes, &vc_map, &SingleVc, &config);
+        let outcome = sim.run(&pressure_traffic());
+        assert!(outcome.deadlocked, "the cyclic ring must deadlock");
+        assert!(outcome.stranded_packets > 0);
+        let event = outcome.detection.expect("detection recorded");
+        assert_eq!(event.kind, DetectionKind::WaitForGraph);
+        assert!(event.packets >= 2, "a knot involves several packets");
+    }
+
+    #[test]
+    fn exact_detection_fires_no_later_than_the_timeout() {
+        let (topo, comm, routes) = figure_1_ring();
+        let vc_map = VcMap::from_design(&topo, &routes);
+        let exact = VcSimulator::new(
+            &comm,
+            &routes,
+            &vc_map,
+            &SingleVc,
+            &VcSimConfig {
+                buffer_depth: 1,
+                idle_timeout: 0,
+                ..VcSimConfig::default()
+            },
+        )
+        .run(&pressure_traffic());
+        let timeout = VcSimulator::new(
+            &comm,
+            &routes,
+            &vc_map,
+            &SingleVc,
+            &VcSimConfig {
+                buffer_depth: 1,
+                detect_period: 0, // exact detector disabled
+                idle_timeout: 200,
+                ..VcSimConfig::default()
+            },
+        )
+        .run(&pressure_traffic());
+        let exact_event = exact.detection.expect("exact detection fired");
+        let timeout_event = timeout.detection.expect("timeout detection fired");
+        assert_eq!(exact_event.kind, DetectionKind::WaitForGraph);
+        assert_eq!(timeout_event.kind, DetectionKind::IdleTimeout);
+        assert!(exact_event.cycle <= timeout_event.cycle);
+    }
+
+    #[test]
+    fn assigned_vcs_from_removal_make_the_ring_safe() {
+        let (mut topo, comm, routes) = figure_1_ring();
+        let mut routes = routes;
+        noc_deadlock::removal::remove_deadlocks(
+            &mut topo,
+            &mut routes,
+            &noc_deadlock::removal::RemovalConfig::default(),
+        )
+        .unwrap();
+        let vc_map = VcMap::from_design(&topo, &routes);
+        assert!(!vc_map.is_single_vc(), "removal bought at least one VC");
+        let config = VcSimConfig {
+            buffer_depth: 1,
+            ..VcSimConfig::default()
+        };
+        let mut sim = VcSimulator::new(&comm, &routes, &vc_map, &AssignedVc, &config);
+        let outcome = sim.run(&pressure_traffic());
+        assert!(!outcome.deadlocked);
+        assert!(outcome.detection.is_none());
+        assert_eq!(
+            outcome.stats.delivered_packets,
+            outcome.stats.injected_packets
+        );
+        assert_eq!(outcome.stranded_packets, 0);
+
+        // The same repaired design simulated VC-obliviously deadlocks
+        // again: the VC assignment is what the safety lives in.
+        let mut unsafe_sim = VcSimulator::new(&comm, &routes, &vc_map, &SingleVc, &config);
+        let unsafe_outcome = unsafe_sim.run(&pressure_traffic());
+        assert!(unsafe_outcome.deadlocked);
+    }
+
+    #[test]
+    fn adaptive_escape_delivers_on_an_escape_design() {
+        // Bidirectional ring, all-to-all flows, shortest routes: cyclic
+        // CDG; escape channels repair it, and the Duato-adaptive policy
+        // must deliver everything on the repaired design.
+        let generated = generators::bidirectional_ring(6, 1.0);
+        let n = 6;
+        let mut comm = CommGraph::new();
+        let cores: Vec<_> = (0..n).map(|i| comm.add_core(format!("c{i}"))).collect();
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    comm.add_flow(cores[i], cores[j], 50.0);
+                }
+            }
+        }
+        let mut map = CoreMap::new(n);
+        for (i, &c) in cores.iter().enumerate() {
+            map.assign(c, generated.switches[i]).unwrap();
+        }
+        let mut topo = generated.topology;
+        let mut routes = route_all_shortest(&topo, &comm, &map).unwrap();
+        noc_deadlock::escape::apply_escape_channels(
+            &mut topo,
+            &mut routes,
+            noc_topology::SwitchId::from_index(0),
+        )
+        .unwrap();
+        let vc_map = VcMap::from_design(&topo, &routes);
+        let config = VcSimConfig {
+            buffer_depth: 1,
+            ..VcSimConfig::default()
+        };
+        let traffic = TrafficConfig {
+            packets_per_flow: 6,
+            packet_length: 5,
+            ..TrafficConfig::default()
+        };
+        for policy in [&AssignedVc as &dyn VcPolicy, &AdaptiveEscape] {
+            let mut sim = VcSimulator::new(&comm, &routes, &vc_map, policy, &config);
+            let outcome = sim.run(&traffic);
+            assert!(!outcome.deadlocked, "policy {}", policy.name());
+            assert_eq!(
+                outcome.stats.delivered_packets,
+                outcome.stats.injected_packets,
+                "policy {}",
+                policy.name()
+            );
+        }
+    }
+
+    #[test]
+    fn dynamic_drain_recovers_a_deadlocked_ring() {
+        // The Figure 1 trap built on a *bidirectional* ring: the four flows
+        // are forced the long way around the clockwise links, so the run
+        // deadlocks exactly like the unidirectional ring — but legal
+        // up*/down* recovery routes exist, and with the drain armed every
+        // deadlock is resolved and the run completes.
+        let generated = generators::bidirectional_ring(4, 1.0);
+        let n = 4;
+        let mut comm = CommGraph::new();
+        let cores: Vec<_> = (0..n).map(|i| comm.add_core(format!("c{i}"))).collect();
+        for i in 0..n {
+            comm.add_flow(cores[i], cores[(i + 2) % n], 100.0);
+        }
+        let mut map = CoreMap::new(n);
+        for (i, &c) in cores.iter().enumerate() {
+            map.assign(c, generated.switches[i]).unwrap();
+        }
+        let topo = generated.topology;
+        let cw: Vec<LinkId> = (0..n)
+            .map(|i| {
+                topo.find_link(generated.switches[i], generated.switches[(i + 1) % n])
+                    .expect("ring link exists")
+            })
+            .collect();
+        let mut routes = RouteSet::new(n);
+        for i in 0..n {
+            routes.set_route(
+                FlowId::from_index(i),
+                Route::from_links([cw[i], cw[(i + 1) % n]]),
+            );
+        }
+        assert!(noc_deadlock::verify::check_deadlock_free(&topo, &routes).is_err());
+        let recovery = noc_routing::updown::route_all_updown(
+            &topo,
+            &comm,
+            &map,
+            noc_topology::SwitchId::from_index(0),
+        )
+        .unwrap();
+        let vc_map = VcMap::from_design(&topo, &routes);
+        let config = VcSimConfig {
+            buffer_depth: 1,
+            max_cycles: 500_000,
+            ..VcSimConfig::default()
+        };
+        let traffic = pressure_traffic();
+        let mut sim =
+            VcSimulator::new(&comm, &routes, &vc_map, &SingleVc, &config).with_recovery(recovery);
+        let outcome = sim.run(&traffic);
+        assert!(!outcome.deadlocked, "every deadlock must be drained");
+        assert_eq!(
+            outcome.stats.delivered_packets,
+            outcome.stats.injected_packets
+        );
+        assert_eq!(outcome.stranded_packets, 0);
+        // The run without recovery deadlocks, so the drain genuinely fired.
+        let mut bare = VcSimulator::new(&comm, &routes, &vc_map, &SingleVc, &config);
+        let bare_outcome = bare.run(&traffic);
+        assert!(bare_outcome.deadlocked);
+        assert!(outcome.drain.events >= 1);
+        assert!(outcome.drain.packets_drained >= 1);
+        assert!(outcome.drain.flows_reconfigured >= 1);
+        assert!(outcome.detection.is_some());
+    }
+
+    #[test]
+    fn credit_return_latency_throttles_but_still_delivers() {
+        let (topo, comm, routes) = line_design();
+        let vc_map = VcMap::from_design(&topo, &routes);
+        let traffic = TrafficConfig {
+            packets_per_flow: 10,
+            packet_length: 4,
+            ..TrafficConfig::default()
+        };
+        let fast = VcSimulator::new(
+            &comm,
+            &routes,
+            &vc_map,
+            &AssignedVc,
+            &VcSimConfig {
+                credit_return_latency: 0,
+                ..VcSimConfig::default()
+            },
+        )
+        .run(&traffic);
+        let slow = VcSimulator::new(
+            &comm,
+            &routes,
+            &vc_map,
+            &AssignedVc,
+            &VcSimConfig {
+                credit_return_latency: 4,
+                ..VcSimConfig::default()
+            },
+        )
+        .run(&traffic);
+        for outcome in [&fast, &slow] {
+            assert!(!outcome.deadlocked);
+            assert_eq!(
+                outcome.stats.delivered_packets,
+                outcome.stats.injected_packets
+            );
+        }
+        assert!(
+            slow.stats.cycles > fast.stats.cycles,
+            "credit latency must cost cycles ({} vs {})",
+            slow.stats.cycles,
+            fast.stats.cycles
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let (topo, comm, routes) = figure_1_ring();
+        let vc_map = VcMap::from_design(&topo, &routes);
+        let config = VcSimConfig {
+            buffer_depth: 1,
+            ..VcSimConfig::default()
+        };
+        let a =
+            VcSimulator::new(&comm, &routes, &vc_map, &SingleVc, &config).run(&pressure_traffic());
+        let b =
+            VcSimulator::new(&comm, &routes, &vc_map, &SingleVc, &config).run(&pressure_traffic());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown channel")]
+    fn routes_outside_the_vc_map_are_rejected() {
+        let (topo, comm, mut routes) = line_design();
+        let vc_map = VcMap::from_design(&topo, &routes);
+        routes
+            .route_mut(FlowId::from_index(0))
+            .unwrap()
+            .channels_mut()[0] = noc_topology::Channel::new(LinkId::from_index(0), 9);
+        let _ = VcSimulator::new(
+            &comm,
+            &routes,
+            &vc_map,
+            &AssignedVc,
+            &VcSimConfig::default(),
+        );
+    }
+}

@@ -68,6 +68,7 @@ fn xy_meshes_never_deadlock() {
             packet_length,
             mean_gap_cycles: 0,
             seed: 11,
+            ..TrafficConfig::default()
         });
         let case = format!("{rows}x{cols} len={packet_length} depth={buffer_depth}");
         assert!(!outcome.deadlocked, "{case}");
@@ -114,6 +115,7 @@ fn repaired_designs_always_drain() {
             packet_length,
             mean_gap_cycles: 0,
             seed: 3,
+            ..TrafficConfig::default()
         });
         let case = format!("switches={switches} len={packet_length} depth={buffer_depth}");
         assert!(!outcome.deadlocked, "{case}");
@@ -145,6 +147,7 @@ fn chain_latency_is_at_least_hop_count() {
                 packet_length,
                 mean_gap_cycles: 0,
                 seed: 1,
+                ..TrafficConfig::default()
             });
         let case = format!("length={length} packet_length={packet_length}");
         assert!(!outcome.deadlocked, "{case}");

@@ -36,6 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         packet_length: 5,
         mean_gap_cycles: 8,
         seed: 99,
+        ..TrafficConfig::default()
     };
 
     let before = routed.simulate_with(&sim_config, &traffic);
