@@ -24,7 +24,9 @@ import argparse
 import json
 import sys
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
+
+CERTIFY_VERDICTS = ["certified-free", "certified-deadlockable", "unknown"]
 
 STRATEGY_MATRIX_NAMES = [
     "cycle-breaking",
@@ -222,8 +224,19 @@ def check_strategy_matrix(data):
         for outcome in point["outcomes"]:
             require_keys(
                 outcome,
-                ["strategy", "kind", "added_vcs", "cycles_broken", "mean_hops", "sim"],
+                ["strategy", "kind", "added_vcs", "cycles_broken", "mean_hops", "sim", "certify"],
                 f"{where} outcome",
+            )
+            certify = outcome["certify"]
+            require_keys(
+                certify,
+                ["verdict", "cdg_cyclic", "witness_worms", "search_steps"],
+                f"{where} {outcome['strategy']} certify block",
+            )
+            require(
+                certify["verdict"] == "certified-free",
+                f"{where}: {outcome['strategy']} produced a repaired design the "
+                f"certified verifier rates {certify['verdict']!r}, not certified-free",
             )
         require(
             outcomes["escape-channel"]["cycles_broken"] == 0,
@@ -362,6 +375,119 @@ def check_sim_strategies(data):
     )
 
 
+def check_conservatism(data):
+    require_keys(data, ["benchmarks"], "fig_conservatism data")
+    groups = data["benchmarks"]
+    require(isinstance(groups, list) and groups, "fig_conservatism must contain benchmark groups")
+    names = {g.get("benchmark") for g in groups}
+    require(
+        {"D26_media", "D36_8", "random"} <= names,
+        f"the sweep must cover both figure grids plus the random population, got {sorted(names)}",
+    )
+    for group in groups:
+        require_keys(
+            group,
+            [
+                "benchmark",
+                "cyclic_points",
+                "certified_deadlockable",
+                "certified_free_cyclic",
+                "unknown",
+                "gap_vcs",
+                "witness_attempts",
+                "witness_realized",
+                "points",
+            ],
+            "fig_conservatism group",
+        )
+        name = group["benchmark"]
+        points = group["points"]
+        require(isinstance(points, list) and points, f"{name}: group has no points")
+        cyclic = [p for p in points if p["cdg_cyclic"]]
+        for point in points:
+            require_keys(
+                point,
+                [
+                    "benchmark",
+                    "switch_count",
+                    "active_flows",
+                    "cdg_cyclic",
+                    "verdict",
+                    "witness_worms",
+                    "search_steps",
+                    "removal_vcs",
+                    "runtime_deadlocked",
+                    "wait_for_graph_fired",
+                    "witness_attempted",
+                    "witness_realized",
+                ],
+                f"{name} point",
+            )
+            where = f"{name} @ {point['switch_count']} switches"
+            require(
+                point["verdict"] in CERTIFY_VERDICTS,
+                f"{where}: unknown verdict {point['verdict']!r}",
+            )
+            # The sound lattice: CDG acyclic ⇒ certified free ⇒ the exact
+            # runtime detector never fires.  Any inversion is a verifier bug.
+            if not point["cdg_cyclic"]:
+                require(
+                    point["verdict"] == "certified-free",
+                    f"{where}: acyclic CDG but verdict {point['verdict']!r}",
+                )
+            if point["verdict"] == "certified-free":
+                require(
+                    point["runtime_deadlocked"] is False,
+                    f"{where}: certified-free design deadlocked at runtime",
+                )
+                require(
+                    point["wait_for_graph_fired"] is False,
+                    f"{where}: certified-free design tripped the exact detector",
+                )
+            if point["verdict"] == "certified-deadlockable":
+                require(
+                    point["witness_worms"] >= 1,
+                    f"{where}: deadlockable verdict without witness worms",
+                )
+                require(
+                    point["witness_attempted"] is True,
+                    f"{where}: deadlockable verdict but no witness replay",
+                )
+        # Conservatism-gap accounting: counts must tile the cyclic points.
+        require(
+            0 <= group["certified_free_cyclic"] <= group["cyclic_points"],
+            f"{name}: gap count {group['certified_free_cyclic']} outside "
+            f"[0, {group['cyclic_points']}]",
+        )
+        require(
+            group["cyclic_points"] == len(cyclic),
+            f"{name}: cyclic_points {group['cyclic_points']} != recount {len(cyclic)}",
+        )
+        require(
+            group["certified_deadlockable"]
+            + group["certified_free_cyclic"]
+            + group["unknown"]
+            == group["cyclic_points"],
+            f"{name}: verdict counts do not tile the cyclic points",
+        )
+        require(group["gap_vcs"] >= 0, f"{name}: negative gap_vcs")
+        require(
+            group["witness_realized"] <= group["witness_attempts"],
+            f"{name}: more witnesses realized than replays attempted",
+        )
+    # The population must exercise the interesting region of the lattice:
+    # at least one group must contain cyclic (and deadlockable) designs,
+    # otherwise the agreement checks above are vacuous.
+    require(
+        any(g["cyclic_points"] > 0 for g in groups),
+        "no group contains a cyclic design — the conservatism sweep is vacuous",
+    )
+    require(
+        any(g["certified_deadlockable"] > 0 for g in groups),
+        "no group contains a certified-deadlockable design — the witness path is untested",
+    )
+
+
 CHECKS = {
     "fig8_d26_media": lambda data, _: check_vc_sweep(data, "fig8"),
     "fig9_d36_8": lambda data, _: check_vc_sweep(data, "fig9"),
@@ -371,6 +497,7 @@ CHECKS = {
     "cdg_incremental": check_cdg_incremental,
     "fig_strategy_matrix": lambda data, _: check_strategy_matrix(data),
     "fig_sim_strategies": lambda data, _: check_sim_strategies(data),
+    "fig_conservatism": lambda data, _: check_conservatism(data),
 }
 
 

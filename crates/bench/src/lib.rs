@@ -15,27 +15,31 @@
 //! | dynamic deadlock validation (beyond the paper) | [`simulate_before_after`] | `sim_validation` |
 //! | four-way strategy comparison (beyond the paper) | [`strategy_matrix_sweep`] | `fig_strategy_matrix` |
 //! | VC-aware per-strategy simulation sweep (beyond the paper) | [`sim_strategy_sweep`] | `fig_sim_strategies` |
+//! | certified-verifier conservatism gap (beyond the paper) | [`conservatism_sweep`] | `fig_conservatism` |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use noc_deadlock::cdg::Cdg;
+use noc_deadlock::certify::TrapWitness;
 use noc_deadlock::removal::RemovalConfig;
 use noc_deadlock::report::RemovalReport;
 use noc_flow::json::{ObjectWriter, ToJson};
 use noc_flow::{
     CycleBreaking, DeadlockStrategy, DesignFlow, EscapeChannel, FlowSweep, RecoveryReconfig,
-    ResourceOrdering, RoutedStage, StrategySimStats, SweepPoint, SweepProgress,
+    ResourceOrdering, RoutedStage, ShortestPathRouter, StrategySimStats, SweepPoint, SweepProgress,
 };
+use noc_rng::SmallRng;
 use noc_routing::updown::route_all_updown;
+use noc_routing::RouteSet;
 use noc_sim::traffic::{generate_workload, Workload};
 use noc_sim::{
-    AdaptiveEscape, AssignedVc, Packet, PacketId, SingleVc, TrafficConfig, VcSimConfig,
-    VcSimOutcome, VcSimulator,
+    AdaptiveEscape, AssignedVc, DetectionKind, Packet, PacketId, SingleVc, TrafficConfig,
+    VcSimConfig, VcSimOutcome, VcSimulator,
 };
 use noc_synth::{synthesize, SynthesisConfig, SynthesisError, SynthesizedDesign};
 use noc_topology::benchmarks::Benchmark;
-use noc_topology::{FlowId, SwitchId};
+use noc_topology::{generators, CommGraph, CoreMap, FlowId, SwitchId};
 
 /// One point of the Figure 8 / Figure 9 sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -408,6 +412,7 @@ pub fn strategy_matrix_sweep(
             .benchmark(benchmark)
             .switch_counts(counts)
             .power_estimates(false)
+            .certify(true)
             .worker_threads(threads)
             .run_streaming(&strategies, &mut observer)
             .unwrap_or_else(|e| panic!("strategy matrix failed for {benchmark}: {e}"));
@@ -676,6 +681,327 @@ pub fn run_removal(design: &SynthesizedDesign, config: &RemovalConfig) -> Remova
     resolution.removal.expect("cycle breaking reports removal")
 }
 
+/// Number of seeded random designs the `fig_conservatism` artifact and the
+/// three-way agreement harness sweep by default.
+pub const DEFAULT_RANDOM_DESIGNS: usize = 200;
+
+/// Builds the *long-worm* workload the certified verifier models: one
+/// saturating packet per active flow, all created at cycle 0, each long
+/// enough (`hops × buffer_depth + 1` flits) that a blocked worm's tail is
+/// still at its source — the packet owns every channel of its claimed route
+/// prefix, exactly the footprint semantics of
+/// [`noc_deadlock::certify::certify_deadlock_free`].
+pub fn long_worm_workload(routes: &RouteSet, buffer_depth: usize) -> Workload {
+    let mut packets: Vec<Packet> = routes
+        .iter()
+        .filter(|(_, route)| !route.is_empty())
+        .map(|(flow, route)| Packet {
+            id: PacketId(0),
+            flow,
+            length: (route.hop_count() * buffer_depth.max(1) + 1).max(2),
+            created_at: 0,
+        })
+        .collect();
+    for (index, packet) in packets.iter_mut().enumerate() {
+        packet.id = PacketId(index);
+    }
+    Workload { packets }
+}
+
+/// Builds the adversarial injection schedule derived from a
+/// [`TrapWitness`]: long worms (as in [`long_worm_workload`]) on *exactly*
+/// the witness flows, so the simulator presses on the statically found trap
+/// and nothing else.
+pub fn witness_replay_workload(
+    routes: &RouteSet,
+    witness: &TrapWitness,
+    buffer_depth: usize,
+) -> Workload {
+    let mut packets: Vec<Packet> = witness
+        .worms
+        .iter()
+        .filter_map(|worm| routes.route(worm.flow).map(|route| (worm.flow, route)))
+        .filter(|(_, route)| !route.is_empty())
+        .map(|(flow, route)| Packet {
+            id: PacketId(0),
+            flow,
+            length: (route.hop_count() * buffer_depth.max(1) + 1).max(2),
+            created_at: 0,
+        })
+        .collect();
+    for (index, packet) in packets.iter_mut().enumerate() {
+        packet.id = PacketId(index);
+    }
+    Workload { packets }
+}
+
+/// Generates a random small design — unidirectional ring, chorded ring or
+/// 2-D mesh with one core per switch and random flows — routed with the
+/// shortest-path router.  Deterministic per seed; rings and chorded rings
+/// routinely produce cyclic CDGs (and genuine traps), meshes are mostly
+/// acyclic, so the population exercises every certified verdict class.
+///
+/// # Panics
+///
+/// Panics if validation or routing fails, which the generator construction
+/// rules out (every topology is strongly connected).
+pub fn random_routed_design(seed: u64) -> RoutedStage {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let generated = match rng.gen_range(0usize..3) {
+        0 => generators::unidirectional_ring(rng.gen_range(4usize..10), 1.0),
+        1 => {
+            // Chorded ring: a unidirectional ring plus 1-2 random shortcut
+            // links, the classic adaptive-routing deadlock playground.
+            let mut generated = generators::unidirectional_ring(rng.gen_range(5usize..11), 1.0);
+            let n = generated.switches.len();
+            for _ in 0..rng.gen_range(1usize..3) {
+                let from = rng.gen_range(0usize..n);
+                let mut to = rng.gen_range(0usize..n);
+                if to == from {
+                    to = (to + 1) % n;
+                }
+                generated
+                    .topology
+                    .add_link(generated.switches[from], generated.switches[to], 1.0);
+            }
+            generated
+        }
+        _ => generators::mesh2d(rng.gen_range(2usize..4), rng.gen_range(2usize..5), 1.0),
+    };
+
+    let n = generated.switches.len();
+    let mut comm = CommGraph::new();
+    let cores: Vec<_> = (0..n).map(|i| comm.add_core(format!("core{i}"))).collect();
+    let flow_count = rng.gen_range(n..2 * n + 1);
+    for _ in 0..flow_count {
+        let src = rng.gen_range(0usize..n);
+        let mut dst = rng.gen_range(0usize..n);
+        if dst == src {
+            dst = (dst + 1) % n;
+        }
+        comm.add_flow(cores[src], cores[dst], 0.05);
+    }
+    let mut core_map = CoreMap::new(n);
+    for (i, &core) in cores.iter().enumerate() {
+        core_map
+            .assign(core, generated.switches[i])
+            .expect("generated switches exist");
+    }
+
+    DesignFlow::from_comm(comm)
+        .labelled(format!("random-{seed}"))
+        .with_design(generated.topology, core_map)
+        .unwrap_or_else(|e| panic!("random design {seed} invalid: {e}"))
+        .route(&ShortestPathRouter::default())
+        .unwrap_or_else(|e| panic!("random design {seed} unroutable: {e}"))
+}
+
+/// One routed design run through all three verifiers: the conservative CDG
+/// check, the certified trap search, and the exact runtime wait-for-graph
+/// detector under the long-worm workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConservatismPoint {
+    /// Benchmark name (`random` for the seeded random population).
+    pub benchmark: String,
+    /// Switch count of the design.
+    pub switch_count: usize,
+    /// Flows that actually traverse the switch network.
+    pub active_flows: usize,
+    /// Verdict of the conservative check: `true` iff the CDG has a cycle.
+    pub cdg_cyclic: bool,
+    /// Certified verdict name (`certified-free` / `certified-deadlockable`
+    /// / `unknown`).
+    pub verdict: String,
+    /// Worms in the deadlock witness (0 unless certified-deadlockable).
+    pub witness_worms: usize,
+    /// Worm placements the trap search tried.
+    pub search_steps: usize,
+    /// VCs Algorithm 1 spends making this design CDG-acyclic — on a
+    /// cyclic-but-certified-free point these are the cost of conservatism.
+    pub removal_vcs: usize,
+    /// The runtime verdict: did the long-worm simulation deadlock?
+    pub runtime_deadlocked: bool,
+    /// `true` iff the exact wait-for-graph detector (not the idle-timeout
+    /// fallback) established the runtime deadlock.
+    pub wait_for_graph_fired: bool,
+    /// `true` iff a witness-derived replay workload was simulated.
+    pub witness_attempted: bool,
+    /// `true` iff the replay realized the deadlock via the wait-for-graph
+    /// detector (best-effort: FIFO scheduling can drain some true traps).
+    pub witness_realized: bool,
+}
+
+/// The engine configuration of the conservatism harness: minimal buffers
+/// and exact detection, like [`sim_sweep_config`], but with a tighter cycle
+/// budget — long-worm workloads either trap almost immediately or drain.
+fn conservatism_sim_config() -> VcSimConfig {
+    VcSimConfig {
+        buffer_depth: 1,
+        max_cycles: 200_000,
+        ..VcSimConfig::default()
+    }
+}
+
+fn fired_wait_for_graph(outcome: &VcSimOutcome) -> bool {
+    matches!(outcome.detection, Some(e) if matches!(e.kind, DetectionKind::WaitForGraph))
+}
+
+/// Runs the three verifiers on one routed design.  Shared by
+/// [`conservatism_sweep`] (the `fig_conservatism` artifact) and the
+/// three-way agreement test harness, so the artifact invariants and the
+/// test assertions are computed by the same code path.
+pub fn conservatism_point_for(
+    routed: &RoutedStage,
+    benchmark: &str,
+    switch_count: usize,
+) -> ConservatismPoint {
+    let report = routed.certify();
+    let removal_vcs = routed
+        .resolve_deadlocks(&CycleBreaking::default())
+        .map(|fixed| fixed.resolution().added_vcs)
+        .unwrap_or(0);
+
+    let config = conservatism_sim_config();
+    let vc_map = routed.vc_map();
+    let workload = long_worm_workload(routed.routes(), config.buffer_depth);
+    let outcome = VcSimulator::new(
+        routed.comm(),
+        routed.routes(),
+        &vc_map,
+        &AssignedVc,
+        &config,
+    )
+    .run_workload(&workload);
+
+    let (witness_attempted, witness_realized) = match report.witness() {
+        Some(witness) => {
+            let replay = witness_replay_workload(routed.routes(), witness, config.buffer_depth);
+            let replayed = VcSimulator::new(
+                routed.comm(),
+                routed.routes(),
+                &vc_map,
+                &AssignedVc,
+                &config,
+            )
+            .run_workload(&replay);
+            (true, fired_wait_for_graph(&replayed))
+        }
+        None => (false, false),
+    };
+
+    ConservatismPoint {
+        benchmark: benchmark.to_string(),
+        switch_count,
+        active_flows: routed.active_flow_count(),
+        cdg_cyclic: report.cyclic_cdg,
+        verdict: report.verdict.name().to_string(),
+        witness_worms: report.witness().map(|w| w.worms.len()).unwrap_or(0),
+        search_steps: report.search_steps,
+        removal_vcs,
+        runtime_deadlocked: outcome.deadlocked,
+        wait_for_graph_fired: fired_wait_for_graph(&outcome),
+        witness_attempted,
+        witness_realized,
+    }
+}
+
+/// Per-benchmark aggregate of the conservatism sweep: how often the
+/// conservative CDG check cries wolf, and what the false alarms cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConservatismBenchmark {
+    /// Benchmark (or `random`) the points belong to.
+    pub benchmark: String,
+    /// Points with a cyclic CDG (the conservative check says "unsafe").
+    pub cyclic_points: usize,
+    /// Cyclic points where the trap search found a verified witness.
+    pub certified_deadlockable: usize,
+    /// The conservatism gap: cyclic points certified deadlock-free — the
+    /// conservative check would repair them for nothing.
+    pub certified_free_cyclic: usize,
+    /// Cyclic points where the bounded search was inconclusive.
+    pub unknown: usize,
+    /// VCs Algorithm 1 burns on the certified-free cyclic points.
+    pub gap_vcs: usize,
+    /// Witness replays attempted / realized at runtime (best-effort).
+    pub witness_attempts: usize,
+    /// Replays where the wait-for-graph detector fired on the witness flows.
+    pub witness_realized: usize,
+    /// Every point of the group, in sweep order.
+    pub points: Vec<ConservatismPoint>,
+}
+
+impl ConservatismBenchmark {
+    /// Aggregates a group of points under one benchmark label.
+    pub fn from_points(benchmark: &str, points: Vec<ConservatismPoint>) -> Self {
+        let cyclic: Vec<_> = points.iter().filter(|p| p.cdg_cyclic).collect();
+        ConservatismBenchmark {
+            benchmark: benchmark.to_string(),
+            cyclic_points: cyclic.len(),
+            certified_deadlockable: cyclic
+                .iter()
+                .filter(|p| p.verdict == "certified-deadlockable")
+                .count(),
+            certified_free_cyclic: cyclic
+                .iter()
+                .filter(|p| p.verdict == "certified-free")
+                .count(),
+            unknown: cyclic.iter().filter(|p| p.verdict == "unknown").count(),
+            gap_vcs: cyclic
+                .iter()
+                .filter(|p| p.verdict == "certified-free")
+                .map(|p| p.removal_vcs)
+                .sum(),
+            witness_attempts: points.iter().filter(|p| p.witness_attempted).count(),
+            witness_realized: points.iter().filter(|p| p.witness_realized).count(),
+            points,
+        }
+    }
+}
+
+/// The full `fig_conservatism` report: one group per benchmark sweep plus
+/// the seeded random population.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConservatismReport {
+    /// Aggregated groups (`D26_media`, `D36_8`, `random`).
+    pub benchmarks: Vec<ConservatismBenchmark>,
+}
+
+/// The full conservatism sweep behind the `fig_conservatism` artifact:
+/// every feasible Figure 8/9 grid point plus `random_designs` seeded random
+/// designs (seeds `0..random_designs`), sharded across `threads` workers.
+pub fn conservatism_sweep(threads: usize, random_designs: usize) -> ConservatismReport {
+    let mut grid: Vec<(Benchmark, usize)> = Vec::new();
+    for count in sweeps::FIG8_SWITCH_COUNTS {
+        grid.push((Benchmark::D26Media, count));
+    }
+    for count in sweeps::FIG9_SWITCH_COUNTS {
+        grid.push((Benchmark::D36x8, count));
+    }
+    let bench_points =
+        noc_flow::executor::parallel_map_ordered(&grid, threads, |&(benchmark, switch_count)| {
+            let routed = routed_benchmark(benchmark, switch_count);
+            conservatism_point_for(&routed, benchmark.name(), switch_count)
+        });
+    let (d26_points, d36_points): (Vec<_>, Vec<_>) = bench_points
+        .into_iter()
+        .partition(|p| p.benchmark == Benchmark::D26Media.name());
+
+    let seeds: Vec<u64> = (0..random_designs as u64).collect();
+    let random_points = noc_flow::executor::parallel_map_ordered(&seeds, threads, |&seed| {
+        let routed = random_routed_design(seed);
+        let switch_count = routed.topology().switch_count();
+        conservatism_point_for(&routed, "random", switch_count)
+    });
+
+    ConservatismReport {
+        benchmarks: vec![
+            ConservatismBenchmark::from_points(Benchmark::D26Media.name(), d26_points),
+            ConservatismBenchmark::from_points(Benchmark::D36x8.name(), d36_points),
+            ConservatismBenchmark::from_points("random", random_points),
+        ],
+    }
+}
+
 impl ToJson for VcSweepPoint {
     fn write_json(&self, out: &mut String) {
         ObjectWriter::new(out)
@@ -768,6 +1094,49 @@ impl ToJson for SimSweepPoint {
     }
 }
 
+impl ToJson for ConservatismPoint {
+    fn write_json(&self, out: &mut String) {
+        ObjectWriter::new(out)
+            .field("benchmark", &self.benchmark)
+            .field("switch_count", &self.switch_count)
+            .field("active_flows", &self.active_flows)
+            .field("cdg_cyclic", &self.cdg_cyclic)
+            .field("verdict", &self.verdict)
+            .field("witness_worms", &self.witness_worms)
+            .field("search_steps", &self.search_steps)
+            .field("removal_vcs", &self.removal_vcs)
+            .field("runtime_deadlocked", &self.runtime_deadlocked)
+            .field("wait_for_graph_fired", &self.wait_for_graph_fired)
+            .field("witness_attempted", &self.witness_attempted)
+            .field("witness_realized", &self.witness_realized)
+            .finish();
+    }
+}
+
+impl ToJson for ConservatismBenchmark {
+    fn write_json(&self, out: &mut String) {
+        ObjectWriter::new(out)
+            .field("benchmark", &self.benchmark)
+            .field("cyclic_points", &self.cyclic_points)
+            .field("certified_deadlockable", &self.certified_deadlockable)
+            .field("certified_free_cyclic", &self.certified_free_cyclic)
+            .field("unknown", &self.unknown)
+            .field("gap_vcs", &self.gap_vcs)
+            .field("witness_attempts", &self.witness_attempts)
+            .field("witness_realized", &self.witness_realized)
+            .field("points", &self.points)
+            .finish();
+    }
+}
+
+impl ToJson for ConservatismReport {
+    fn write_json(&self, out: &mut String) {
+        ObjectWriter::new(out)
+            .field("benchmarks", &self.benchmarks)
+            .finish();
+    }
+}
+
 /// `--json <path>` / `--threads <n>` CLI support shared by the figure
 /// binaries.
 pub mod artifact {
@@ -832,8 +1201,10 @@ pub mod artifact {
     /// field itself, the per-outcome `kind`/`mean_hops` fields of sweep
     /// points, and the `fig_strategy_matrix` artifact; v3 added the
     /// `fig_sim_strategies` artifact, the per-outcome `sim` block, and the
-    /// `fixed_p95_latency` column of `sim_validation`).
-    pub const SCHEMA_VERSION: usize = 3;
+    /// `fixed_p95_latency` column of `sim_validation`; v4 added the
+    /// `fig_conservatism` artifact and the per-outcome `certify` block of
+    /// sweep points).
+    pub const SCHEMA_VERSION: usize = 4;
 
     /// Renders a figure artifact — `{"figure": ..., "schema": ..., "data":
     /// ...}` — and writes it to `path`, re-parsing the output first so a

@@ -79,6 +79,7 @@
 #![warn(missing_docs)]
 
 pub mod cdg;
+pub mod certify;
 pub mod cost;
 pub mod escape;
 pub mod recovery;
@@ -89,6 +90,10 @@ pub mod vcmap;
 pub mod verify;
 
 pub use cdg::{Cdg, CdgDelta};
+pub use certify::{
+    certify_deadlock_free, certify_with, CertifyConfig, CertifyReport, CertifyVerdict, TrapWitness,
+    TrapWorm, UnknownReason, WitnessError,
+};
 pub use escape::{apply_escape_channels, EscapeChannelResult, EscapeError};
 pub use recovery::{apply_recovery_reconfig, RecoveryError, RecoveryResult, RecoveryStep};
 pub use removal::{

@@ -2,7 +2,7 @@
 
 use crate::cdg::Cdg;
 use noc_routing::RouteSet;
-use noc_topology::{Channel, Topology};
+use noc_topology::{Channel, FlowId, Topology};
 use std::error::Error;
 use std::fmt;
 
@@ -12,6 +12,11 @@ use std::fmt;
 pub struct DeadlockCycle {
     /// The channels forming the cyclic dependency, in order.
     pub channels: Vec<Channel>,
+    /// The flows pinning each edge of the cycle: `edge_flows[i]` are the
+    /// flows whose routes induce the dependency `channels[i] →
+    /// channels[(i + 1) % len]`.  Conservatism-gap reports use this to name
+    /// the traffic responsible for a cycle.
+    pub edge_flows: Vec<Vec<FlowId>>,
 }
 
 impl fmt::Display for DeadlockCycle {
@@ -45,7 +50,20 @@ pub fn check_deadlock_free(topology: &Topology, routes: &RouteSet) -> Result<(),
     let cdg = Cdg::build(topology, routes);
     match cdg.smallest_cycle() {
         None => Ok(()),
-        Some(channels) => Err(DeadlockCycle { channels }),
+        Some(channels) => {
+            let edge_flows = channels
+                .iter()
+                .enumerate()
+                .map(|(i, &from)| {
+                    let to = channels[(i + 1) % channels.len()];
+                    cdg.dependency_flows(from, to).unwrap_or_default().to_vec()
+                })
+                .collect();
+            Err(DeadlockCycle {
+                channels,
+                edge_flows,
+            })
+        }
     }
 }
 
@@ -98,6 +116,20 @@ mod tests {
         assert_eq!(err.channels.len(), 3);
         assert!(err.to_string().contains("length 3"));
         assert!(err.to_string().contains("->"));
+    }
+
+    #[test]
+    fn cycle_evidence_names_the_pinning_flows() {
+        let (topo, routes) = ring_with_cycle();
+        let err = check_deadlock_free(&topo, &routes).unwrap_err();
+        assert_eq!(err.edge_flows.len(), err.channels.len());
+        // Each edge of the ring cycle is pinned by exactly one flow: the one
+        // whose route traverses that consecutive link pair.
+        for flows in &err.edge_flows {
+            assert_eq!(flows.len(), 1);
+        }
+        let distinct: std::collections::HashSet<_> = err.edge_flows.iter().flatten().collect();
+        assert_eq!(distinct.len(), 3);
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! numbers through Rust's `Display` (which never produces exponent
 //! notation), non-finite floats as `null`.
 
-use crate::sweep::{StrategyOutcome, StrategySimStats, SweepPoint};
+use crate::sweep::{CertifyOutcome, StrategyOutcome, StrategySimStats, SweepPoint};
 use noc_deadlock::cost::Direction;
 use noc_deadlock::escape::EscapeChannelResult;
 use noc_deadlock::recovery::{RecoveryResult, RecoveryStep};
@@ -332,6 +332,17 @@ impl ToJson for StrategySimStats {
     }
 }
 
+impl ToJson for CertifyOutcome {
+    fn write_json(&self, out: &mut String) {
+        ObjectWriter::new(out)
+            .field("verdict", &self.verdict)
+            .field("cdg_cyclic", &self.cdg_cyclic)
+            .field("witness_worms", &self.witness_worms)
+            .field("search_steps", &self.search_steps)
+            .finish();
+    }
+}
+
 impl ToJson for StrategyOutcome {
     fn write_json(&self, out: &mut String) {
         ObjectWriter::new(out)
@@ -343,6 +354,7 @@ impl ToJson for StrategyOutcome {
             .field("power_mw", &self.power_mw)
             .field("area_um2", &self.area_um2)
             .field("sim", &self.sim)
+            .field("certify", &self.certify)
             .finish();
     }
 }

@@ -71,4 +71,6 @@ pub use strategy::{
     CycleBreaking, DeadlockResolution, DeadlockStrategy, EscapeChannel, RecoveryReconfig,
     ResourceOrdering,
 };
-pub use sweep::{FlowSweep, StrategyOutcome, StrategySimStats, SweepPoint, VcSweepSim};
+pub use sweep::{
+    CertifyOutcome, FlowSweep, StrategyOutcome, StrategySimStats, SweepPoint, VcSweepSim,
+};

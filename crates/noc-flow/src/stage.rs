@@ -15,6 +15,7 @@
 use crate::error::FlowError;
 use crate::router::{Router, ShortestPathRouter};
 use crate::strategy::{DeadlockResolution, DeadlockStrategy};
+use noc_deadlock::certify::{certify_deadlock_free, CertifyReport};
 use noc_deadlock::vcmap::VcMap;
 use noc_deadlock::verify::{check_deadlock_free, DeadlockCycle};
 use noc_power::{NetworkEstimate, NetworkPowerModel, TechParams};
@@ -266,6 +267,15 @@ impl RoutedStage {
         check_deadlock_free(&self.topology, &self.routes).err()
     }
 
+    /// Certifies the routed design with the exact static verifier
+    /// (`noc_deadlock::certify`): unlike
+    /// [`is_deadlock_free`](Self::is_deadlock_free), which condemns any CDG
+    /// cycle, this searches for a genuinely trappable configuration and
+    /// returns a three-valued verdict with a machine-checkable witness.
+    pub fn certify(&self) -> CertifyReport {
+        certify_deadlock_free(&self.topology, &self.routes)
+    }
+
     /// VC overhead resource ordering *would* cost on this design, without
     /// modifying anything (the dry-run baseline of Figures 8 and 9).
     pub fn resource_ordering_overhead(&self) -> usize {
@@ -415,6 +425,16 @@ impl DeadlockFreeStage {
     /// What the deadlock strategy did (VCs added, cycles broken, reports).
     pub fn resolution(&self) -> &DeadlockResolution {
         &self.resolution
+    }
+
+    /// Certifies the repaired design with the exact static verifier
+    /// (`noc_deadlock::certify`).  For stages built by
+    /// [`RoutedStage::resolve_deadlocks`] the CDG is already acyclic, so
+    /// this takes the fast path and must report
+    /// [`CertifyVerdict::CertifiedFree`](noc_deadlock::certify::CertifyVerdict) —
+    /// the sound end of the three-way verifier lattice.
+    pub fn certify(&self) -> CertifyReport {
+        certify_deadlock_free(&self.topology, &self.routes)
     }
 
     /// Simulates the repaired design under the given workload, after

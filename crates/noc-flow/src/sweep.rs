@@ -20,6 +20,7 @@ pub use crate::executor::SweepProgress;
 use crate::router::Router;
 use crate::stage::{DesignFlow, RoutedStage};
 use crate::strategy::DeadlockStrategy;
+use noc_deadlock::certify::CertifyReport;
 use noc_deadlock::report::StrategyKind;
 use noc_power::TechParams;
 use noc_sim::{AssignedVc, TrafficConfig, VcSimConfig, VcSimOutcome};
@@ -90,6 +91,33 @@ pub struct VcSweepSim {
     pub traffic: TrafficConfig,
 }
 
+/// Summary of the certified static verifier's verdict on a repaired design,
+/// attached to a [`StrategyOutcome`] when [`FlowSweep::certify`] is enabled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CertifyOutcome {
+    /// The stable verdict name: `certified-free`, `certified-deadlockable`
+    /// or `unknown` ([`noc_deadlock::certify::CertifyVerdict::name`]).
+    pub verdict: String,
+    /// Whether the repaired design's CDG was cyclic at all.
+    pub cdg_cyclic: bool,
+    /// Worms of the trap witness (0 unless certified deadlockable).
+    pub witness_worms: usize,
+    /// Worm placements the trap search tried.
+    pub search_steps: usize,
+}
+
+impl CertifyOutcome {
+    /// Summarises a certification report.
+    pub fn from_report(report: &CertifyReport) -> Self {
+        CertifyOutcome {
+            verdict: report.verdict.name().to_string(),
+            cdg_cyclic: report.cyclic_cdg,
+            witness_worms: report.witness().map(|w| w.worms.len()).unwrap_or(0),
+            search_steps: report.search_steps,
+        }
+    }
+}
+
 /// What one strategy did to one design of the sweep grid.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StrategyOutcome {
@@ -115,6 +143,9 @@ pub struct StrategyOutcome {
     /// VC-fidelity simulation summary of the repaired design
     /// (`None` unless [`FlowSweep::vc_simulation`] is enabled).
     pub sim: Option<StrategySimStats>,
+    /// Certified static verdict on the repaired design
+    /// (`None` unless [`FlowSweep::certify`] is enabled).
+    pub certify: Option<CertifyOutcome>,
 }
 
 /// One grid point of a [`FlowSweep`]: a synthesized design plus the outcome
@@ -182,6 +213,7 @@ pub struct FlowSweep {
     estimate_power: bool,
     threads: usize,
     vc_sim: Option<VcSweepSim>,
+    certify: bool,
 }
 
 impl Default for FlowSweep {
@@ -202,6 +234,7 @@ impl FlowSweep {
             estimate_power: true,
             threads: 0,
             vc_sim: None,
+            certify: false,
         }
     }
 
@@ -272,6 +305,14 @@ impl FlowSweep {
     /// than the repair itself.
     pub fn vc_simulation(mut self, spec: VcSweepSim) -> Self {
         self.vc_sim = Some(spec);
+        self
+    }
+
+    /// Additionally runs the certified static verifier
+    /// (`noc_deadlock::certify`) on every repaired design and attaches a
+    /// [`CertifyOutcome`] to each [`StrategyOutcome`].  Off by default.
+    pub fn certify(mut self, enabled: bool) -> Self {
+        self.certify = enabled;
         self
     }
 
@@ -449,6 +490,9 @@ impl FlowSweep {
             }
             None => None,
         };
+        let certify = self
+            .certify
+            .then(|| CertifyOutcome::from_report(&fixed.certify()));
         let resolution = fixed.resolution();
         Ok(StrategyOutcome {
             strategy: resolution.strategy.clone(),
@@ -459,6 +503,7 @@ impl FlowSweep {
             power_mw: estimate.as_ref().map(|e| e.total_power_mw),
             area_um2: estimate.as_ref().map(|e| e.total_area_um2),
             sim,
+            certify,
         })
     }
 

@@ -39,6 +39,7 @@
 pub mod cycles;
 pub mod digraph;
 pub mod dot;
+pub mod knots;
 pub mod scc;
 pub mod shortest_path;
 pub mod topo;

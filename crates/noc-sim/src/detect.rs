@@ -200,6 +200,24 @@ impl WaitForSnapshot {
         dead.sort();
         dead
     }
+
+    /// The dense channel indices holding flits of the deadlocked set — the
+    /// runtime counterpart of a static trap witness's claimed footprint,
+    /// used to cross-check certified witnesses against what the detector
+    /// actually saw.  Sorted and deduplicated; empty iff
+    /// [`deadlocked_packets`](Self::deadlocked_packets) is empty.
+    pub fn deadlocked_channels(&self) -> Vec<usize> {
+        let dead = self.deadlocked_packets();
+        let mut channels: Vec<usize> = self
+            .flit_locations
+            .iter()
+            .filter(|(id, _)| dead.binary_search(id).is_ok())
+            .flat_map(|(_, locations)| locations.iter().copied())
+            .collect();
+        channels.sort_unstable();
+        channels.dedup();
+        channels
+    }
 }
 
 #[cfg(test)]
@@ -231,6 +249,34 @@ mod tests {
             flit_locations: vec![(p(0), vec![0]), (p(1), vec![1])],
         };
         assert_eq!(snapshot.deadlocked_packets(), vec![p(0), p(1)]);
+        assert_eq!(snapshot.deadlocked_channels(), vec![0, 1]);
+    }
+
+    #[test]
+    fn deadlocked_channels_skip_live_traffic() {
+        // Dead cycle on channels 0/1; packet 2 lives on channel 2.
+        let snapshot = WaitForSnapshot {
+            channels: vec![
+                Some(ChannelWait {
+                    packet: p(0),
+                    can_move: false,
+                    waits: vec![WaitTarget::Channel(1)],
+                }),
+                Some(ChannelWait {
+                    packet: p(1),
+                    can_move: false,
+                    waits: vec![WaitTarget::Channel(0)],
+                }),
+                Some(ChannelWait {
+                    packet: p(2),
+                    can_move: true,
+                    waits: Vec::new(),
+                }),
+            ],
+            injections: Vec::new(),
+            flit_locations: vec![(p(0), vec![0]), (p(1), vec![1]), (p(2), vec![2])],
+        };
+        assert_eq!(snapshot.deadlocked_channels(), vec![0, 1]);
     }
 
     #[test]

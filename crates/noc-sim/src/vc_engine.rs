@@ -129,6 +129,15 @@ pub struct VcSimOutcome {
     pub drain: DrainStats,
     /// Name of the [`VcPolicy`] the run used.
     pub policy: String,
+    /// The flows of the deadlocked packets at the *first* wait-for-graph
+    /// detection (sorted, deduplicated; empty for idle-timeout detections
+    /// and deadlock-free runs).  Lets a static trap witness be compared
+    /// against the traffic the exact detector actually condemned.
+    pub deadlock_flows: Vec<FlowId>,
+    /// The `(link, vc)` channels the deadlocked packets had claimed at the
+    /// first wait-for-graph detection — the runtime counterpart of the
+    /// witness footprints (sorted, deduplicated).
+    pub deadlock_channels: Vec<(LinkId, usize)>,
 }
 
 /// Per-packet bookkeeping.
@@ -283,6 +292,8 @@ impl<'a> VcSimulator<'a> {
         let mut stats = SimStats::default();
         let mut drain = DrainStats::default();
         let mut detection: Option<DeadlockEvent> = None;
+        let mut deadlock_flows: Vec<FlowId> = Vec::new();
+        let mut deadlock_channels: Vec<(LinkId, usize)> = Vec::new();
         let mut pending: VecDeque<Packet> = workload.packets.iter().cloned().collect();
         // BTreeMap so decide/detect iterate flows in id order without a
         // per-cycle sort.
@@ -384,6 +395,26 @@ impl<'a> VcSimulator<'a> {
                             );
                         }
                     }
+                    if detection.is_none() {
+                        // Attribute the first detection: the condemned flows
+                        // and the channels their worms had claimed, for
+                        // comparison against static trap witnesses.
+                        deadlock_flows =
+                            dead.iter().map(|id| self.packets[id].packet.flow).collect();
+                        deadlock_flows.sort();
+                        deadlock_flows.dedup();
+                        deadlock_channels = dead
+                            .iter()
+                            .flat_map(|id| {
+                                let state = &self.packets[id];
+                                state.taken.iter().zip(&state.links).map(|(&dense, &link)| {
+                                    (link, dense - self.offsets[link.index()])
+                                })
+                            })
+                            .collect();
+                        deadlock_channels.sort_by_key(|&(link, vc)| (link.index(), vc));
+                        deadlock_channels.dedup();
+                    }
                     detection.get_or_insert(DeadlockEvent {
                         cycle,
                         kind: DetectionKind::WaitForGraph,
@@ -433,6 +464,8 @@ impl<'a> VcSimulator<'a> {
             detection,
             drain,
             policy: self.policy.name().to_string(),
+            deadlock_flows,
+            deadlock_channels,
         }
     }
 

@@ -9,6 +9,8 @@
 //! [`Router`](flow::Router) and [`DeadlockStrategy`](flow::DeadlockStrategy)
 //! implementations.
 
+#![forbid(unsafe_code)]
+
 pub use noc_deadlock as deadlock;
 pub use noc_flow as flow;
 pub use noc_graph as graph;
