@@ -14,17 +14,19 @@ build instead of silently producing unusable artifacts.
 Usage:
     ci/check_artifact.py ARTIFACT.json [--timing-tolerance T]
 
-`--timing-tolerance` applies only to the `cdg_incremental` artifact: it is
-the timing-regression guard, failing when the incremental CDG maintenance
-engine is slower than the full-rebuild reference by more than the given
-fraction (incremental/rebuild > 1 + T).
+`--timing-tolerance` applies to the two timing artifacts and is the
+timing-regression guard: for `cdg_incremental` it fails when the incremental
+CDG maintenance engine is slower than the full-rebuild reference by more
+than the given fraction (incremental/rebuild > 1 + T); for `fig_scale` it
+fails when the incremental SCC partition is slower than the full-Tarjan
+reference on the scaling grid (incremental/tarjan > 1 + T).
 """
 
 import argparse
 import json
 import sys
 
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
 CERTIFY_VERDICTS = ["certified-free", "certified-deadlockable", "unknown"]
 
@@ -192,6 +194,120 @@ def check_cdg_incremental(data, timing_tolerance):
             ratio <= 1.0 + timing_tolerance,
             "timing regression: incremental CDG maintenance took "
             f"{incremental:.2f} ms vs {rebuild:.2f} ms rebuild "
+            f"(ratio {ratio:.3f} > allowed {1.0 + timing_tolerance:.3f})",
+        )
+
+
+SCALE_FAMILIES = ["mesh2d", "torus2d", "mesh3d", "torus3d", "fat-tree", "dragonfly"]
+
+
+def check_fig_scale(data, timing_tolerance):
+    require_keys(
+        data,
+        [
+            "runs_per_mode",
+            "strategy_switch_cap",
+            "total_incremental_ms",
+            "total_full_tarjan_ms",
+            "overall_speedup",
+            "points",
+        ],
+        "fig_scale data",
+    )
+    points = data["points"]
+    require(isinstance(points, list) and points, "fig_scale must contain timed grid points")
+    cap = data["strategy_switch_cap"]
+    by_family = {}
+    for point in points:
+        require_keys(
+            point,
+            [
+                "family",
+                "switches",
+                "links",
+                "channels",
+                "flows",
+                "cycles_broken",
+                "added_vcs",
+                "incremental_scc_ms",
+                "full_tarjan_ms",
+                "speedup",
+                "strategies",
+            ],
+            "fig_scale point",
+        )
+        where = f"fig_scale {point['family']} @ {point['switches']} switches"
+        require(
+            point["family"] in SCALE_FAMILIES,
+            f"{where}: unknown family; known: {SCALE_FAMILIES}",
+        )
+        require(point["flows"] > 0, f"{where}: workload has no flows")
+        require(
+            point["channels"] >= point["links"],
+            f"{where}: fewer channels than links (every link carries at least one VC)",
+        )
+        if point["switches"] <= cap:
+            names = sorted(s["strategy"] for s in point["strategies"])
+            require(
+                names == sorted(STRATEGY_MATRIX_NAMES),
+                f"{where}: expected one strategy row per strategy, got {names}",
+            )
+            rows = {s["strategy"]: s for s in point["strategies"]}
+            require(
+                rows["escape-channel"]["cycles_broken"] == 0,
+                f"{where}: escape-channel avoidance must break zero cycles",
+            )
+            require(
+                rows["recovery-reconfig"]["added_vcs"] == 0,
+                f"{where}: recovery reconfiguration must add zero VCs",
+            )
+            require(
+                rows["cycle-breaking"]["added_vcs"] <= rows["resource-ordering"]["added_vcs"],
+                f"{where}: removal must not need more VCs than resource ordering",
+            )
+            require(
+                rows["cycle-breaking"]["added_vcs"] == point["added_vcs"]
+                and rows["cycle-breaking"]["cycles_broken"] == point["cycles_broken"],
+                f"{where}: cycle-breaking strategy row disagrees with the timed point",
+            )
+        else:
+            require(
+                point["strategies"] == [],
+                f"{where}: strategy rows above the {cap}-switch cap",
+            )
+        by_family.setdefault(point["family"], []).append(point)
+    # The grid must scale monotonically within each family (it is generated
+    # in ascending size order) and reach the headline sizes.
+    for family, rows in by_family.items():
+        sizes = [p["switches"] for p in rows]
+        require(
+            sizes == sorted(sizes) and len(set(sizes)) == len(sizes),
+            f"fig_scale {family}: switch counts must strictly increase, got {sizes}",
+        )
+        for small, large in zip(rows, rows[1:]):
+            require(
+                large["links"] > small["links"] and large["channels"] > small["channels"],
+                f"fig_scale {family}: links/channels must grow with switch count",
+            )
+    require(
+        any(p["switches"] >= 10_000 for p in points),
+        "fig_scale grid never reaches the 10k-switch headline point",
+    )
+    require(
+        any(p["cycles_broken"] > 0 for p in points),
+        "fig_scale grid has no cycle-heavy points — the timing would be vacuous",
+    )
+    # The binary asserts outcome equality between the two SCC modes
+    # internally; here we guard the shape and, optionally, the timing.
+    if timing_tolerance is not None:
+        tarjan = data["total_full_tarjan_ms"]
+        incremental = data["total_incremental_ms"]
+        require(tarjan > 0.0, "fig_scale full-Tarjan total must be positive")
+        ratio = incremental / tarjan
+        require(
+            ratio <= 1.0 + timing_tolerance,
+            "timing regression: incremental SCC maintenance took "
+            f"{incremental:.2f} ms vs {tarjan:.2f} ms full Tarjan "
             f"(ratio {ratio:.3f} > allowed {1.0 + timing_tolerance:.3f})",
         )
 
@@ -495,6 +611,7 @@ CHECKS = {
     "summary_table": lambda data, _: check_summary(data),
     "sim_validation": lambda data, _: check_sim_validation(data),
     "cdg_incremental": check_cdg_incremental,
+    "fig_scale": check_fig_scale,
     "fig_strategy_matrix": lambda data, _: check_strategy_matrix(data),
     "fig_sim_strategies": lambda data, _: check_sim_strategies(data),
     "fig_conservatism": lambda data, _: check_conservatism(data),
@@ -509,7 +626,7 @@ def main():
         type=float,
         default=None,
         metavar="T",
-        help="for cdg_incremental: fail if incremental/rebuild exceeds 1 + T",
+        help="for cdg_incremental / fig_scale: fail if the incremental-over-reference timing ratio exceeds 1 + T",
     )
     args = parser.parse_args()
 

@@ -1,0 +1,84 @@
+//! Scaling sweep of the removal engine over synthetic topology families:
+//! 2-D/3-D meshes and tori, fat trees and dragonflies from 256 up to 10⁴
+//! switches, each with a seeded uniform-random workload routed by the
+//! deadlock-oblivious shortest-path router.
+//!
+//! Every point times `remove_deadlocks` under the incremental SCC partition
+//! (the default) and under full Tarjan per verification scan (the
+//! reference), asserting the two agree before trusting either number.
+//! Points at or below the strategy cap additionally chart the four-strategy
+//! VC-cost comparison.  Pass `--threads <n>` to shard the untimed
+//! generation/routing preparation (`0`, the default, auto-sizes to the
+//! machine's available parallelism; timing always runs serially) and
+//! `--json <path>` to write the rows plus aggregate speedups as a JSON
+//! artifact.
+
+use noc_bench::artifact::FigureArgs;
+use noc_bench::{artifact, scale_sweep, SCALE_RUNS, SCALE_STRATEGY_SWITCH_CAP};
+
+fn main() {
+    let args = FigureArgs::parse("fig_scale");
+
+    println!(
+        "# Removal scaling: incremental SCC vs. full Tarjan (best of {SCALE_RUNS} runs per mode)"
+    );
+    println!(
+        "{:>10} {:>9} {:>8} {:>9} {:>8} {:>7} {:>6} {:>12} {:>11} {:>8}",
+        "family",
+        "switches",
+        "links",
+        "channels",
+        "flows",
+        "breaks",
+        "vcs",
+        "inc_scc_ms",
+        "tarjan_ms",
+        "speedup"
+    );
+    let data = scale_sweep(args.threads, |point| {
+        println!(
+            "{:>10} {:>9} {:>8} {:>9} {:>8} {:>7} {:>6} {:>12.3} {:>11.3} {:>7.2}x",
+            point.family,
+            point.switches,
+            point.links,
+            point.channels,
+            point.flows,
+            point.cycles_broken,
+            point.added_vcs,
+            point.incremental_scc_ms,
+            point.full_tarjan_ms,
+            point.speedup()
+        );
+    });
+    println!();
+    println!(
+        "totals: full tarjan {:.1} ms, incremental scc {:.1} ms, overall speedup {:.2}x",
+        data.total_full_tarjan_ms,
+        data.total_incremental_ms,
+        data.overall_speedup()
+    );
+
+    println!();
+    println!("# Strategy comparison (points up to {SCALE_STRATEGY_SWITCH_CAP} switches)");
+    println!(
+        "{:>10} {:>9} {:>18} {:>6} {:>7} {:>10}",
+        "family", "switches", "strategy", "vcs", "breaks", "time_ms"
+    );
+    for point in &data.points {
+        for row in &point.strategies {
+            println!(
+                "{:>10} {:>9} {:>18} {:>6} {:>7} {:>10.3}",
+                point.family,
+                point.switches,
+                row.strategy,
+                row.added_vcs,
+                row.cycles_broken,
+                row.time_ms
+            );
+        }
+    }
+
+    if let Some(path) = args.json {
+        artifact::write_json_artifact(&path, "fig_scale", &data);
+    }
+}

@@ -30,6 +30,7 @@ use noc_flow::{
     ResourceOrdering, RoutedStage, ShortestPathRouter, StrategySimStats, SweepPoint, SweepProgress,
 };
 use noc_rng::SmallRng;
+use noc_routing::shortest::route_all_shortest;
 use noc_routing::updown::route_all_updown;
 use noc_routing::RouteSet;
 use noc_sim::traffic::{generate_workload, Workload};
@@ -39,7 +40,7 @@ use noc_sim::{
 };
 use noc_synth::{synthesize, SynthesisConfig, SynthesisError, SynthesizedDesign};
 use noc_topology::benchmarks::Benchmark;
-use noc_topology::{generators, CommGraph, CoreMap, FlowId, SwitchId};
+use noc_topology::{generators, CommGraph, CoreMap, FlowId, SwitchId, Topology};
 
 /// One point of the Figure 8 / Figure 9 sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -1137,6 +1138,429 @@ impl ToJson for ConservatismReport {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Scaling sweep (`fig_scale`): synthetic topology families at 10²–10⁴
+// switches, timing the incremental-SCC cycle search against the full-Tarjan
+// reference and charting per-strategy VC cost on the smaller points.
+// ---------------------------------------------------------------------------
+
+/// One synthetic topology of the scaling grid: a generator family at a
+/// concrete size.  The grid spans regular 2-D/3-D meshes and tori plus the
+/// fat-tree and dragonfly families from [`noc_topology::generators`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleTopology {
+    /// 2-D mesh of `rows × cols` switches.
+    Mesh2d {
+        /// Mesh rows.
+        rows: usize,
+        /// Mesh columns.
+        cols: usize,
+    },
+    /// 2-D torus of `rows × cols` switches (wraparound links make the
+    /// shortest-path routes deadlock-prone — the interesting case).
+    Torus2d {
+        /// Torus rows.
+        rows: usize,
+        /// Torus columns.
+        cols: usize,
+    },
+    /// 3-D mesh of `dx × dy × dz` switches.
+    Mesh3d {
+        /// Extent along x.
+        dx: usize,
+        /// Extent along y.
+        dy: usize,
+        /// Extent along z.
+        dz: usize,
+    },
+    /// 3-D torus of `dx × dy × dz` switches.
+    Torus3d {
+        /// Extent along x.
+        dx: usize,
+        /// Extent along y.
+        dy: usize,
+        /// Extent along z.
+        dz: usize,
+    },
+    /// Complete `arity`-ary fat tree with `levels` levels.
+    FatTree {
+        /// Tree levels (root inclusive).
+        levels: usize,
+        /// Children per switch.
+        arity: usize,
+    },
+    /// Dragonfly of `groups` all-to-all groups of `routers` switches each.
+    Dragonfly {
+        /// Number of groups.
+        groups: usize,
+        /// Routers per group.
+        routers: usize,
+        /// Global ports per router.
+        global_ports: usize,
+    },
+}
+
+impl ScaleTopology {
+    /// Generator family name used in tables and the JSON artifact.
+    pub fn family(&self) -> &'static str {
+        match self {
+            ScaleTopology::Mesh2d { .. } => "mesh2d",
+            ScaleTopology::Torus2d { .. } => "torus2d",
+            ScaleTopology::Mesh3d { .. } => "mesh3d",
+            ScaleTopology::Torus3d { .. } => "torus3d",
+            ScaleTopology::FatTree { .. } => "fat-tree",
+            ScaleTopology::Dragonfly { .. } => "dragonfly",
+        }
+    }
+
+    /// Switch count of the generated topology (closed form, no generation).
+    pub fn switch_count(&self) -> usize {
+        match *self {
+            ScaleTopology::Mesh2d { rows, cols } | ScaleTopology::Torus2d { rows, cols } => {
+                rows * cols
+            }
+            ScaleTopology::Mesh3d { dx, dy, dz } | ScaleTopology::Torus3d { dx, dy, dz } => {
+                dx * dy * dz
+            }
+            ScaleTopology::FatTree { levels, arity } => {
+                (arity.pow(levels as u32) - 1) / (arity - 1)
+            }
+            ScaleTopology::Dragonfly {
+                groups, routers, ..
+            } => groups * routers,
+        }
+    }
+
+    /// Generates the topology.
+    pub fn generate(&self) -> generators::Generated {
+        match *self {
+            ScaleTopology::Mesh2d { rows, cols } => generators::mesh2d(rows, cols, 1.0),
+            ScaleTopology::Torus2d { rows, cols } => generators::torus2d(rows, cols, 1.0),
+            ScaleTopology::Mesh3d { dx, dy, dz } => generators::mesh3d(dx, dy, dz, 1.0),
+            ScaleTopology::Torus3d { dx, dy, dz } => generators::torus3d(dx, dy, dz, 1.0),
+            ScaleTopology::FatTree { levels, arity } => generators::fat_tree(levels, arity, 1.0),
+            ScaleTopology::Dragonfly {
+                groups,
+                routers,
+                global_ports,
+            } => generators::dragonfly(groups, routers, global_ports, 1.0),
+        }
+    }
+}
+
+/// The default scaling grid, in ascending switch-count order: every family
+/// at a small and/or ~1k-switch point, tori (whose wraparound shortest-path
+/// routes are the cyclic stress case — removal cost grows superlinearly
+/// with the cyclic region) up to ~2k switches, and meshes up to the
+/// 10⁴-switch headline point.
+pub const SCALE_GRID: [ScaleTopology; 11] = [
+    ScaleTopology::Mesh2d { rows: 16, cols: 16 },
+    ScaleTopology::Torus2d { rows: 16, cols: 16 },
+    ScaleTopology::Dragonfly {
+        groups: 17,
+        routers: 16,
+        global_ports: 1,
+    },
+    ScaleTopology::FatTree {
+        levels: 5,
+        arity: 4,
+    },
+    ScaleTopology::Torus3d {
+        dx: 8,
+        dy: 8,
+        dz: 8,
+    },
+    ScaleTopology::Mesh3d {
+        dx: 10,
+        dy: 10,
+        dz: 10,
+    },
+    ScaleTopology::Mesh2d { rows: 32, cols: 32 },
+    ScaleTopology::Torus2d { rows: 32, cols: 32 },
+    ScaleTopology::Torus2d { rows: 45, cols: 45 },
+    ScaleTopology::Mesh2d { rows: 64, cols: 64 },
+    ScaleTopology::Mesh2d {
+        rows: 100,
+        cols: 100,
+    },
+];
+
+/// Seed of the synthetic uniform-random workloads of the scaling grid.
+pub const SCALE_SEED: u64 = 0xD47E_2010;
+
+/// Timing runs per SCC mode per grid point; the best (minimum) is reported.
+pub const SCALE_RUNS: usize = 2;
+
+/// Largest switch count on which the four-strategy comparison runs; beyond
+/// it only the two SCC modes of cycle breaking are timed (the escape and
+/// recovery baselines reroute flow-by-flow and would dominate the sweep's
+/// wall time without adding information about the cycle search).
+pub const SCALE_STRATEGY_SWITCH_CAP: usize = 1100;
+
+/// A generated, routed scaling design ready for deadlock removal.
+#[derive(Debug, Clone)]
+pub struct ScaleDesign {
+    /// The generated topology.
+    pub topology: Topology,
+    /// Shortest-path routes of the synthetic workload (deadlock-oblivious,
+    /// so tori and irregular families produce cyclic CDGs).
+    pub routes: RouteSet,
+    /// Number of flows in the workload.
+    pub flows: usize,
+}
+
+/// Builds the routed design of one scaling point: the generated topology,
+/// one core per switch, one uniform-random flow per core (seeded with
+/// [`SCALE_SEED`]), routed with the deadlock-oblivious shortest-path router.
+///
+/// # Panics
+///
+/// Panics if routing fails, which the generators rule out (every family is
+/// strongly connected).
+pub fn scale_design(spec: ScaleTopology) -> ScaleDesign {
+    let generated = spec.generate();
+    let workload = generators::uniform_traffic(&generated, 1, SCALE_SEED, 1.0);
+    let routes = route_all_shortest(&generated.topology, &workload.comm, &workload.map)
+        .expect("generated scaling topologies are strongly connected");
+    ScaleDesign {
+        topology: generated.topology,
+        routes,
+        flows: workload.comm.flow_count(),
+    }
+}
+
+/// One strategy's outcome on a scaling point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleStrategyOutcome {
+    /// Strategy name (as reported by [`DeadlockStrategy::name`]).
+    pub strategy: String,
+    /// Extra VCs the strategy added.
+    pub added_vcs: usize,
+    /// CDG cycles broken (zero for the non-breaking strategies).
+    pub cycles_broken: usize,
+    /// Wall time of one resolution run, in milliseconds.
+    pub time_ms: f64,
+}
+
+/// One point of the scaling sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalePoint {
+    /// Generator family name.
+    pub family: &'static str,
+    /// Switch count of the generated topology.
+    pub switches: usize,
+    /// Link count of the generated topology.
+    pub links: usize,
+    /// Channel count of the input design (one VC per link before repair).
+    pub channels: usize,
+    /// Flow count of the synthetic workload.
+    pub flows: usize,
+    /// Cycles the removal algorithm broke.
+    pub cycles_broken: usize,
+    /// Extra VCs the removal algorithm added.
+    pub added_vcs: usize,
+    /// Best-of-[`SCALE_RUNS`] removal time under the incremental SCC
+    /// partition, in milliseconds.
+    pub incremental_scc_ms: f64,
+    /// Best-of-[`SCALE_RUNS`] removal time under full Tarjan per
+    /// verification scan, in milliseconds.
+    pub full_tarjan_ms: f64,
+    /// Four-strategy comparison rows (empty above
+    /// [`SCALE_STRATEGY_SWITCH_CAP`]).
+    pub strategies: Vec<ScaleStrategyOutcome>,
+}
+
+impl ScalePoint {
+    /// Full-Tarjan time over incremental-SCC time (>1 means the
+    /// incremental partition wins).
+    pub fn speedup(&self) -> f64 {
+        if self.incremental_scc_ms > 0.0 {
+            self.full_tarjan_ms / self.incremental_scc_ms
+        } else {
+            1.0
+        }
+    }
+}
+
+/// The full scaling sweep: per-point rows plus aggregate totals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleArtifact {
+    /// One row per [`SCALE_GRID`] entry, in grid order.
+    pub points: Vec<ScalePoint>,
+    /// Sum of the incremental-SCC times, in milliseconds.
+    pub total_incremental_ms: f64,
+    /// Sum of the full-Tarjan times, in milliseconds.
+    pub total_full_tarjan_ms: f64,
+}
+
+impl ScaleArtifact {
+    /// Aggregate full-Tarjan over incremental-SCC time ratio.
+    pub fn overall_speedup(&self) -> f64 {
+        if self.total_incremental_ms > 0.0 {
+            self.total_full_tarjan_ms / self.total_incremental_ms
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Best-of-[`SCALE_RUNS`] wall time of the removal under one SCC mode, in
+/// milliseconds, plus the report of the last run.
+fn time_scc_mode(
+    topology: &Topology,
+    routes: &RouteSet,
+    scc_mode: noc_deadlock::removal::SccMode,
+) -> (f64, RemovalReport) {
+    let config = RemovalConfig {
+        scc_mode,
+        ..RemovalConfig::default()
+    };
+    let mut best = f64::INFINITY;
+    let mut report = None;
+    for _ in 0..SCALE_RUNS {
+        let mut topo = topology.clone();
+        let mut routes = routes.clone();
+        let start = std::time::Instant::now();
+        let r = noc_deadlock::removal::remove_deadlocks(&mut topo, &mut routes, &config)
+            .expect("removal succeeds on the scaling grid");
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        report = Some(r);
+    }
+    (best, report.expect("at least one timing run"))
+}
+
+/// Times one prepared scaling design: both SCC modes of cycle breaking
+/// (asserting they agree before trusting either number) and, on points at
+/// or below [`SCALE_STRATEGY_SWITCH_CAP`] switches, the four-strategy
+/// comparison.
+///
+/// # Panics
+///
+/// Panics if the two SCC modes disagree or a strategy fails.
+pub fn scale_point(spec: ScaleTopology, design: &ScaleDesign) -> ScalePoint {
+    use noc_deadlock::removal::SccMode;
+
+    let (incremental_scc_ms, incremental_report) =
+        time_scc_mode(&design.topology, &design.routes, SccMode::Incremental);
+    let (full_tarjan_ms, full_report) =
+        time_scc_mode(&design.topology, &design.routes, SccMode::FullTarjan);
+    assert!(
+        incremental_report.same_outcome(&full_report),
+        "{}/{}: SCC modes disagree — timing numbers would be meaningless",
+        spec.family(),
+        spec.switch_count()
+    );
+
+    let mut strategies = Vec::new();
+    if spec.switch_count() <= SCALE_STRATEGY_SWITCH_CAP {
+        let cycle_breaking = CycleBreaking::default();
+        let ordering = ResourceOrdering;
+        let escape = EscapeChannel::default();
+        let recovery = RecoveryReconfig::default();
+        let all: [&dyn DeadlockStrategy; 4] = [&cycle_breaking, &ordering, &escape, &recovery];
+        for strategy in all {
+            let start = std::time::Instant::now();
+            let (_, _, resolution) = strategy
+                .resolve_cloned(&design.topology, &design.routes)
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "{} failed on {}/{}: {e}",
+                        strategy.name(),
+                        spec.family(),
+                        spec.switch_count()
+                    )
+                });
+            strategies.push(ScaleStrategyOutcome {
+                strategy: resolution.strategy,
+                added_vcs: resolution.added_vcs,
+                cycles_broken: resolution.cycles_broken,
+                time_ms: start.elapsed().as_secs_f64() * 1e3,
+            });
+        }
+    }
+
+    ScalePoint {
+        family: spec.family(),
+        switches: spec.switch_count(),
+        links: design.topology.link_count(),
+        channels: design.topology.channel_count(),
+        flows: design.flows,
+        cycles_broken: incremental_report.cycles_broken,
+        added_vcs: incremental_report.added_vcs,
+        incremental_scc_ms,
+        full_tarjan_ms,
+        strategies,
+    }
+}
+
+/// Runs the whole scaling sweep: design preparation (generation + routing)
+/// shards across `threads` worker threads (`0` auto-sizes to the machine's
+/// available parallelism), then each point is timed serially so the numbers
+/// are not polluted by co-running workers.  `observer` fires once per
+/// completed point, in grid order, so callers can stream progress.
+pub fn scale_sweep(threads: usize, mut observer: impl FnMut(&ScalePoint)) -> ScaleArtifact {
+    let designs =
+        noc_flow::executor::parallel_map_ordered(&SCALE_GRID, threads, |&spec| scale_design(spec));
+    let points: Vec<ScalePoint> = SCALE_GRID
+        .iter()
+        .zip(&designs)
+        .map(|(&spec, design)| {
+            let point = scale_point(spec, design);
+            observer(&point);
+            point
+        })
+        .collect();
+    let total_incremental_ms = points.iter().map(|p| p.incremental_scc_ms).sum();
+    let total_full_tarjan_ms = points.iter().map(|p| p.full_tarjan_ms).sum();
+    ScaleArtifact {
+        points,
+        total_incremental_ms,
+        total_full_tarjan_ms,
+    }
+}
+
+impl ToJson for ScaleStrategyOutcome {
+    fn write_json(&self, out: &mut String) {
+        ObjectWriter::new(out)
+            .field("strategy", &self.strategy)
+            .field("added_vcs", &self.added_vcs)
+            .field("cycles_broken", &self.cycles_broken)
+            .field("time_ms", &self.time_ms)
+            .finish();
+    }
+}
+
+impl ToJson for ScalePoint {
+    fn write_json(&self, out: &mut String) {
+        ObjectWriter::new(out)
+            .field("family", &self.family)
+            .field("switches", &self.switches)
+            .field("links", &self.links)
+            .field("channels", &self.channels)
+            .field("flows", &self.flows)
+            .field("cycles_broken", &self.cycles_broken)
+            .field("added_vcs", &self.added_vcs)
+            .field("incremental_scc_ms", &self.incremental_scc_ms)
+            .field("full_tarjan_ms", &self.full_tarjan_ms)
+            .field("speedup", &self.speedup())
+            .field("strategies", &self.strategies)
+            .finish();
+    }
+}
+
+impl ToJson for ScaleArtifact {
+    fn write_json(&self, out: &mut String) {
+        ObjectWriter::new(out)
+            .field("runs_per_mode", &SCALE_RUNS)
+            .field("strategy_switch_cap", &SCALE_STRATEGY_SWITCH_CAP)
+            .field("total_incremental_ms", &self.total_incremental_ms)
+            .field("total_full_tarjan_ms", &self.total_full_tarjan_ms)
+            .field("overall_speedup", &self.overall_speedup())
+            .field("points", &self.points)
+            .finish();
+    }
+}
+
 /// `--json <path>` / `--threads <n>` CLI support shared by the figure
 /// binaries.
 pub mod artifact {
@@ -1167,7 +1591,13 @@ pub mod artifact {
         }
 
         fn from_iter(figure: &str, args: impl IntoIterator<Item = String>) -> Self {
-            let usage = || format!("usage: {figure} [--json <path>] [--threads <n>]");
+            let usage = || {
+                format!(
+                    "usage: {figure} [--json <path>] [--threads <n>]  \
+                     (--threads 0 or unset auto-sizes to the machine's \
+                     available parallelism)"
+                )
+            };
             let mut parsed = FigureArgs::default();
             let mut args = args.into_iter();
             while let Some(arg) = args.next() {
@@ -1203,8 +1633,8 @@ pub mod artifact {
     /// `fig_sim_strategies` artifact, the per-outcome `sim` block, and the
     /// `fixed_p95_latency` column of `sim_validation`; v4 added the
     /// `fig_conservatism` artifact and the per-outcome `certify` block of
-    /// sweep points).
-    pub const SCHEMA_VERSION: usize = 4;
+    /// sweep points; v5 added the `fig_scale` artifact).
+    pub const SCHEMA_VERSION: usize = 5;
 
     /// Renders a figure artifact — `{"figure": ..., "schema": ..., "data":
     /// ...}` — and writes it to `path`, re-parsing the output first so a

@@ -22,16 +22,19 @@
 //! the equivalence the incremental removal loop is tested against.
 
 use noc_graph::cycles::IncrementalCycleFinder;
-use noc_graph::{cycles, DiGraph, NodeId};
+use noc_graph::{cycles, DiGraph, IncrementalScc, NodeId};
 use noc_routing::RouteSet;
 use noc_topology::{Channel, FlowId, Topology};
-use std::collections::HashMap;
 
 /// The channel dependency graph of a routed design.
 #[derive(Debug, Clone)]
 pub struct Cdg {
     graph: DiGraph<Channel, Vec<FlowId>>,
-    index: HashMap<Channel, NodeId>,
+    /// Dense channel-to-node index: `index[link][vc]` holds the node index,
+    /// or `usize::MAX` when the channel has no vertex yet.  Links and VC
+    /// indices are small and dense, so this replaces a `HashMap<Channel, _>`
+    /// on the hot build/update paths.
+    index: Vec<Vec<usize>>,
 }
 
 /// Bookkeeping of one incremental CDG update (one cycle-break iteration):
@@ -68,13 +71,15 @@ impl Cdg {
     /// cycle); every consecutive channel pair of every route contributes a
     /// dependency edge annotated with the flows that create it.
     pub fn build(topology: &Topology, routes: &RouteSet) -> Self {
-        let mut graph = DiGraph::with_capacity(topology.channel_count(), routes.flow_count() * 2);
-        let mut index = HashMap::with_capacity(topology.channel_count());
+        let graph = DiGraph::with_capacity(topology.channel_count(), routes.flow_count() * 2);
+        let mut cdg = Cdg {
+            graph,
+            index: Vec::new(),
+        };
         for channel in topology.channels() {
-            let node = graph.add_node(channel);
-            index.insert(channel, node);
+            let node = cdg.graph.add_node(channel);
+            cdg.index_insert(channel, node);
         }
-        let mut cdg = Cdg { graph, index };
         for (flow, route) in routes.iter() {
             let channels = route.channels();
             for pair in channels.windows(2) {
@@ -84,12 +89,31 @@ impl Cdg {
         cdg
     }
 
+    /// Looks up the vertex of `channel` in the dense index.
+    fn index_get(&self, channel: Channel) -> Option<NodeId> {
+        let slot = *self.index.get(channel.link.index())?.get(channel.vc)?;
+        (slot != usize::MAX).then(|| NodeId::from_index(slot))
+    }
+
+    /// Records `channel -> node` in the dense index, growing it as needed.
+    fn index_insert(&mut self, channel: Channel, node: NodeId) {
+        let link = channel.link.index();
+        if link >= self.index.len() {
+            self.index.resize_with(link + 1, Vec::new);
+        }
+        let row = &mut self.index[link];
+        if channel.vc >= row.len() {
+            row.resize(channel.vc + 1, usize::MAX);
+        }
+        row[channel.vc] = node.index();
+    }
+
     fn node_of(&mut self, channel: Channel) -> NodeId {
-        if let Some(&node) = self.index.get(&channel) {
+        if let Some(node) = self.index_get(channel) {
             node
         } else {
             let node = self.graph.add_node(channel);
-            self.index.insert(channel, node);
+            self.index_insert(channel, node);
             node
         }
     }
@@ -115,7 +139,7 @@ impl Cdg {
     /// Creates a vertex for `channel` if it does not have one yet (new VCs
     /// added by a cycle break), counting the creation in `delta`.
     pub fn register_channel(&mut self, channel: Channel, delta: &mut CdgDelta) {
-        if !self.index.contains_key(&channel) {
+        if self.index_get(channel).is_none() {
             self.node_of(channel);
             delta.channels_added += 1;
         }
@@ -132,8 +156,7 @@ impl Cdg {
     /// removed with a single linear scan.
     pub fn remove_flow_deps(&mut self, flow: FlowId, channels: &[Channel], delta: &mut CdgDelta) {
         for pair in channels.windows(2) {
-            let (Some(&from), Some(&to)) = (self.index.get(&pair[0]), self.index.get(&pair[1]))
-            else {
+            let (Some(from), Some(to)) = (self.index_get(pair[0]), self.index_get(pair[1])) else {
                 continue;
             };
             let Some(edge) = self.graph.find_edge(from, to) else {
@@ -220,6 +243,26 @@ impl Cdg {
             .map(|c| self.to_channels(c))
     }
 
+    /// [`smallest_cycle_with`](Self::smallest_cycle_with) additionally
+    /// seeded by an incrementally maintained SCC partition: the candidate
+    /// pool of the finder's verification scan is restricted to the vertices
+    /// `scc` reports as lying on cycles, replacing the full Tarjan pass
+    /// inside the scan with a bounded dirty-region recompute.
+    ///
+    /// Callers must mirror every [`CdgDelta::touched_nodes`] dirty set into
+    /// `scc` (exactly as they do for `finder`) between structural updates;
+    /// the answer is then identical to [`smallest_cycle`](Self::smallest_cycle).
+    pub fn smallest_cycle_with_scc(
+        &self,
+        finder: &mut IncrementalCycleFinder,
+        scc: &mut IncrementalScc,
+    ) -> Option<Vec<Channel>> {
+        let pool = scc.cyclic_nodes(&self.graph);
+        finder
+            .smallest_cycle_by_with_pool(&self.graph, |n| self.channel_of(n), &pool)
+            .map(|c| self.to_channels(c))
+    }
+
     /// The channel ranking shared by all cycle queries.
     fn channel_of(&self, node: NodeId) -> Channel {
         *self.graph.node_weight(node).expect("cycle nodes are valid")
@@ -247,8 +290,8 @@ impl Cdg {
     /// The flows responsible for the dependency `from -> to`, if that edge
     /// exists.
     pub fn dependency_flows(&self, from: Channel, to: Channel) -> Option<&[FlowId]> {
-        let from_node = *self.index.get(&from)?;
-        let to_node = *self.index.get(&to)?;
+        let from_node = self.index_get(from)?;
+        let to_node = self.index_get(to)?;
         let edge = self.graph.find_edge(from_node, to_node)?;
         self.graph.edge_weight(edge).map(Vec::as_slice)
     }
@@ -280,24 +323,25 @@ impl Cdg {
     /// stress workload should press on).  Empty iff the CDG is acyclic.
     /// Sorted, deduplicated.
     pub fn cyclic_flows(&self) -> Vec<FlowId> {
-        let components = noc_graph::scc::cyclic_components(&self.graph);
+        // A read-only whole-graph pass: run Tarjan over the frozen CSR view,
+        // whose node ids coincide with the mutable graph's.
+        let frozen = self.graph.freeze();
+        let components = noc_graph::scc::cyclic_components(&frozen);
         if components.is_empty() {
             return Vec::new();
         }
-        let mut component_of: HashMap<NodeId, usize> = HashMap::new();
+        let mut component_of = vec![usize::MAX; self.graph.node_count()];
         for (index, component) in components.iter().enumerate() {
             for &node in component {
-                component_of.insert(node, index);
+                component_of[node.index()] = index;
             }
         }
         let mut flows: Vec<FlowId> = self
             .graph
             .edges()
             .filter(|e| {
-                matches!(
-                    (component_of.get(&e.source), component_of.get(&e.target)),
-                    (Some(a), Some(b)) if a == b
-                )
+                let source = component_of[e.source.index()];
+                source != usize::MAX && source == component_of[e.target.index()]
             })
             .flat_map(|e| e.weight.iter().copied())
             .collect();
@@ -568,6 +612,38 @@ mod tests {
         assert_eq!(cdg.smallest_cycle_with(&mut finder), cdg.smallest_cycle());
         // A second query against unchanged state must agree too.
         assert_eq!(cdg.smallest_cycle_with(&mut finder), cdg.smallest_cycle());
+    }
+
+    #[test]
+    fn smallest_cycle_with_scc_matches_plain_query() {
+        use noc_graph::cycles::IncrementalCycleFinder;
+        use noc_graph::IncrementalScc;
+        let (mut topo, mut routes) = figure_1_design();
+        let mut cdg = Cdg::build(&topo, &routes);
+        let mut finder = IncrementalCycleFinder::new();
+        let mut scc = IncrementalScc::new();
+        assert_eq!(
+            cdg.smallest_cycle_with_scc(&mut finder, &mut scc),
+            cdg.smallest_cycle()
+        );
+
+        // Apply the Figure 3 reroute incrementally and mirror the dirty set
+        // into both the finder and the SCC partition.
+        let f3 = FlowId::from_index(2);
+        let old: Vec<Channel> = routes.route(f3).unwrap().channels().to_vec();
+        let new_channel = topo.add_vc(LinkId::from_index(0)).unwrap();
+        routes.route_mut(f3).unwrap().channels_mut()[1] = new_channel;
+        let new: Vec<Channel> = routes.route(f3).unwrap().channels().to_vec();
+        let mut delta = CdgDelta::default();
+        cdg.register_channel(new_channel, &mut delta);
+        cdg.remove_flow_deps(f3, &old, &mut delta);
+        cdg.add_flow_deps(f3, &new, &mut delta);
+        for &node in delta.touched_nodes() {
+            finder.mark_dirty(node);
+            scc.mark_dirty(node);
+        }
+        assert_eq!(cdg.smallest_cycle(), None);
+        assert_eq!(cdg.smallest_cycle_with_scc(&mut finder, &mut scc), None);
     }
 
     #[test]

@@ -97,7 +97,7 @@ pub use certify::{
 pub use escape::{apply_escape_channels, EscapeChannelResult, EscapeError};
 pub use recovery::{apply_recovery_reconfig, RecoveryError, RecoveryResult, RecoveryStep};
 pub use removal::{
-    remove_deadlocks, CdgMode, CycleOrder, DirectionPolicy, RemovalConfig, RemovalError,
+    remove_deadlocks, CdgMode, CycleOrder, DirectionPolicy, RemovalConfig, RemovalError, SccMode,
 };
 pub use report::{CdgDeltaStats, CdgMaintenanceStats, RemovalReport, StrategyKind};
 pub use resource_ordering::{apply_resource_ordering, ResourceOrderingResult};

@@ -16,10 +16,15 @@
 //!    and re-route it onto a shortest legal up*/down* path
 //!    ([`noc_routing::updown::updown_route`]) — the reconfigured routing
 //!    function whole-SCC recovery switches to;
-//! 3. rebuild the CDG and repeat: reconfigured flows only create
-//!    up*/down*-legal dependencies (which cannot close a cycle on their
-//!    own), so every remaining cycle involves at least one not-yet-drained
-//!    flow and each round makes strict progress.
+//! 3. patch the CDG with the drained flows' dependency deltas and repeat:
+//!    reconfigured flows only create up*/down*-legal dependencies (which
+//!    cannot close a cycle on their own), so every remaining cycle involves
+//!    at least one not-yet-drained flow and each round makes strict
+//!    progress.  The CDG is built once; each round applies
+//!    [`Cdg::remove_flow_deps`] / [`Cdg::add_flow_deps`] per drained flow
+//!    and feeds the touched vertices to an incrementally maintained SCC
+//!    partition ([`noc_graph::IncrementalScc`]), so detection cost tracks
+//!    the dirty region instead of the whole design.
 //!
 //! Each round is one *reconfiguration event*; its cost — SCCs collapsed,
 //! channels involved, flows drained, hop inflation of the recovery routes —
@@ -30,12 +35,12 @@
 //! [`RecoveryResult::added_vcs`](RecoveryResult) is always zero and the
 //! interesting cost is [`RecoveryResult::extra_hops`].
 
-use crate::cdg::Cdg;
-use noc_graph::scc;
+use crate::cdg::{Cdg, CdgDelta};
+use noc_graph::{IncrementalScc, NodeId};
 use noc_routing::updown::{updown_route, UpDownLabels};
 use noc_routing::{Route, RouteSet};
-use noc_topology::{Channel, FlowId, SwitchId, Topology};
-use std::collections::{BTreeSet, HashMap};
+use noc_topology::{FlowId, SwitchId, Topology};
+use std::collections::BTreeSet;
 use std::error::Error;
 use std::fmt;
 
@@ -151,34 +156,42 @@ pub fn apply_recovery_reconfig(
     let mut reconfigured: BTreeSet<FlowId> = BTreeSet::new();
     let mut steps: Vec<RecoveryStep> = Vec::new();
 
+    // The CDG is built once; each round patches it with the drained flows'
+    // dependency deltas and marks the touched vertices dirty on the
+    // incrementally maintained SCC partition.
+    let mut cdg = Cdg::build(topology, routes);
+    let mut scc = IncrementalScc::new();
+
     loop {
-        let cdg = Cdg::build(topology, routes);
-        let components = scc::cyclic_components(cdg.graph());
+        let graph = cdg.graph();
+        let components: Vec<Vec<NodeId>> = scc
+            .components(graph)
+            .iter()
+            .filter(|c| c.len() > 1 || graph.has_edge(c[0], c[0]))
+            .cloned()
+            .collect();
         if components.is_empty() {
             break;
         }
 
-        // Which cyclic component (if any) each channel vertex belongs to.
-        let mut component_of: HashMap<Channel, usize> = HashMap::new();
+        // Which cyclic component (if any) each channel vertex belongs to:
+        // dense, keyed by node index, `usize::MAX` = not in a cyclic SCC.
+        let mut component_of = vec![usize::MAX; graph.node_count()];
         let mut scc_channels = 0usize;
         for (index, component) in components.iter().enumerate() {
             scc_channels += component.len();
             for &node in component {
-                let channel = *cdg
-                    .graph()
-                    .node_weight(node)
-                    .expect("SCC nodes come from the same graph");
-                component_of.insert(channel, index);
+                component_of[node.index()] = index;
             }
         }
 
         // Every flow contributing a dependency *inside* a cyclic SCC gets
         // drained.  BTreeSet keeps the drain order deterministic.
         let mut drain: BTreeSet<FlowId> = BTreeSet::new();
-        for (from, to, flows) in cdg.dependencies() {
-            match (component_of.get(&from), component_of.get(&to)) {
-                (Some(a), Some(b)) if a == b => drain.extend(flows.iter().copied()),
-                _ => {}
+        for edge in graph.edges() {
+            let source = component_of[edge.source.index()];
+            if source != usize::MAX && source == component_of[edge.target.index()] {
+                drain.extend(edge.weight.iter().copied());
             }
         }
         drain.retain(|flow| !reconfigured.contains(flow));
@@ -186,11 +199,12 @@ pub fn apply_recovery_reconfig(
             return Err(RecoveryError::Stalled { round: steps.len() });
         }
 
+        let mut delta = CdgDelta::default();
         let mut hops_before = 0usize;
         let mut hops_after = 0usize;
         for &flow in &drain {
             let route = routes.route(flow).expect("drained flows have routes");
-            let channels = route.channels();
+            let channels = route.channels().to_vec();
             // A flow on an in-SCC dependency has at least two hops.
             let first = channels.first().expect("dependency implies a route");
             let last = channels.last().expect("dependency implies a route");
@@ -206,8 +220,17 @@ pub fn apply_recovery_reconfig(
             let links = updown_route(topology, &labels, from, to)
                 .ok_or(RecoveryError::NoEscapeRoute { flow, from, to })?;
             hops_after += links.len();
+            cdg.remove_flow_deps(flow, &channels, &mut delta);
             routes.set_route(flow, Route::from_links(links));
+            cdg.add_flow_deps(
+                flow,
+                routes.route(flow).expect("route was just set").channels(),
+                &mut delta,
+            );
             reconfigured.insert(flow);
+        }
+        for &node in delta.touched_nodes() {
+            scc.mark_dirty(node);
         }
 
         steps.push(RecoveryStep {

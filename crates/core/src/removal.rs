@@ -20,6 +20,7 @@ use crate::cdg::{Cdg, CdgDelta};
 use crate::cost::{cost_table, CostTable, Direction};
 use crate::report::{BreakStep, CdgDeltaStats, RemovalReport};
 use noc_graph::cycles::IncrementalCycleFinder;
+use noc_graph::IncrementalScc;
 use noc_routing::RouteSet;
 use noc_topology::{Channel, FlowId, Topology, TopologyError};
 use std::collections::HashMap;
@@ -68,6 +69,22 @@ pub enum CdgMode {
     FullRebuild,
 }
 
+/// How the smallest-cycle search maintains the SCC partition it uses to
+/// narrow its candidate pool.  Only effective on the incremental CDG path
+/// (see [`CdgMode`]); the rebuild path always runs full Tarjan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SccMode {
+    /// Maintain the partition incrementally ([`noc_graph::IncrementalScc`]):
+    /// recompute only the dirty region around the vertices each cycle break
+    /// touched, falling back to full Tarjan when the region grows past the
+    /// bound.  The default — identical answers, bounded work per iteration.
+    #[default]
+    Incremental,
+    /// Run full Tarjan inside every verification scan — the reference path
+    /// the incremental partition is checked (and benchmarked) against.
+    FullTarjan,
+}
+
 /// Configuration of a removal run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RemovalConfig {
@@ -79,6 +96,8 @@ pub struct RemovalConfig {
     pub max_iterations: usize,
     /// CDG maintenance mode (default = incremental).
     pub cdg_mode: CdgMode,
+    /// SCC maintenance mode for the cycle search (default = incremental).
+    pub scc_mode: SccMode,
 }
 
 impl Default for RemovalConfig {
@@ -88,6 +107,7 @@ impl Default for RemovalConfig {
             cycle_order: CycleOrder::SmallestFirst,
             max_iterations: 100_000,
             cdg_mode: CdgMode::Incremental,
+            scc_mode: SccMode::Incremental,
         }
     }
 }
@@ -166,12 +186,16 @@ pub fn remove_deadlocks(
     // the configured mode.
     let incremental =
         config.cdg_mode == CdgMode::Incremental && config.cycle_order == CycleOrder::SmallestFirst;
+    let inc_scc = incremental && config.scc_mode == SccMode::Incremental;
     let mut finder = IncrementalCycleFinder::new();
+    let mut scc = IncrementalScc::new();
 
     // Step 2–3: build the CDG and look for an initial cycle.
     let mut cdg = Cdg::build(topology, routes);
     report.cdg.full_builds = 1;
-    let mut cycle = if incremental {
+    let mut cycle = if inc_scc {
+        cdg.smallest_cycle_with_scc(&mut finder, &mut scc)
+    } else if incremental {
         cdg.smallest_cycle_with(&mut finder)
     } else {
         select_cycle(&cdg, config.cycle_order)
@@ -253,6 +277,7 @@ pub fn remove_deadlocks(
             let dirty_nodes = touched.len();
             for &node in touched {
                 finder.mark_dirty(node);
+                scc.mark_dirty(node);
             }
             report.cdg.step_deltas.push(CdgDeltaStats {
                 deps_removed: delta.deps_removed,
@@ -260,7 +285,11 @@ pub fn remove_deadlocks(
                 channels_added: delta.channels_added,
                 dirty_nodes,
             });
-            cdg.smallest_cycle_with(&mut finder)
+            if inc_scc {
+                cdg.smallest_cycle_with_scc(&mut finder, &mut scc)
+            } else {
+                cdg.smallest_cycle_with(&mut finder)
+            }
         } else {
             cdg = Cdg::build(topology, routes);
             report.cdg.full_builds += 1;
@@ -650,6 +679,32 @@ mod tests {
     // is a behavioural change of the removal loop.
     const PINNED_CYCLES_BROKEN: usize = 6;
     const PINNED_ADDED_VCS: usize = 11;
+
+    #[test]
+    fn incremental_scc_mode_matches_full_tarjan_mode() {
+        for design in [figure_1_design(), double_crossing_design()] {
+            let (mut topo_a, mut routes_a) = design.clone();
+            let (mut topo_b, mut routes_b) = design;
+            let inc = RemovalConfig::default();
+            let full = RemovalConfig {
+                scc_mode: SccMode::FullTarjan,
+                ..RemovalConfig::default()
+            };
+            let report_a = remove_deadlocks(&mut topo_a, &mut routes_a, &inc).unwrap();
+            let report_b = remove_deadlocks(&mut topo_b, &mut routes_b, &full).unwrap();
+            assert!(report_a.same_outcome(&report_b));
+            assert_eq!(topo_a.extra_vc_count(), topo_b.extra_vc_count());
+            let a: Vec<_> = routes_a
+                .iter()
+                .map(|(_, r)| r.channels().to_vec())
+                .collect();
+            let b: Vec<_> = routes_b
+                .iter()
+                .map(|(_, r)| r.channels().to_vec())
+                .collect();
+            assert_eq!(a, b, "both SCC modes must produce identical routes");
+        }
+    }
 
     #[test]
     fn error_display_for_inconsistent_cycle() {

@@ -1,0 +1,349 @@
+//! Frozen compressed-sparse-row graph view and the [`GraphView`] trait.
+//!
+//! [`DiGraph`] is the *mutable* representation: adjacency is a `Vec` of edge
+//! ids per node, each hop through it touches the edge arena, and removed
+//! edges are filtered on every iteration.  That is the right shape while the
+//! deadlock-removal loop is editing the CDG, but it is cache-hostile for the
+//! read-only full-graph passes (Tarjan SCC, global cycle scans, all-source
+//! shortest paths) that dominate at 10k+ switches.
+//!
+//! [`CsrGraph`] is the *frozen* counterpart: a rebuilt-on-freeze compressed
+//! sparse row view holding dense offset/target arrays, so a node's
+//! successors are one contiguous slice with no removed-edge filtering and no
+//! pointer chasing.  Freezing costs one `O(V + E)` pass
+//! ([`DiGraph::freeze`]); afterwards every traversal touches memory
+//! sequentially.
+//!
+//! The [`GraphView`] trait abstracts over both representations, which is how
+//! the algorithm modules ([`scc`](crate::scc), [`cycles`](crate::cycles),
+//! [`knots`](crate::knots), [`traversal`](crate::traversal),
+//! [`shortest_path`](crate::shortest_path)) run unchanged on either.
+//!
+//! # Iteration-order contract
+//!
+//! Freezing preserves the [`DiGraph`]'s live-edge iteration order per node —
+//! adjacency is *not* re-sorted.  Every algorithm whose result could depend
+//! on neighbour order therefore returns **bit-identical** output on a graph
+//! and on its frozen view; the canonical-search-order contract of
+//! [`cycles`](crate::cycles) (rank-sorted scans) is likewise unaffected.
+
+use crate::digraph::{DiGraph, EdgeId, NodeId};
+
+/// Read-only view of a directed multigraph, implemented by both the mutable
+/// [`DiGraph`] and the frozen [`CsrGraph`].
+///
+/// All algorithm entry points in this crate are generic over `GraphView`, so
+/// callers pick the representation that fits the access pattern: the live
+/// `DiGraph` while editing, a frozen `CsrGraph` for repeated read-only
+/// passes.
+pub trait GraphView {
+    /// Number of nodes ever added (ids are dense in `0..node_count()`).
+    fn node_count(&self) -> usize;
+
+    /// `true` if `node` is a valid id for this graph.
+    fn contains_node(&self, node: NodeId) -> bool {
+        node.index() < self.node_count()
+    }
+
+    /// All node ids in ascending order.
+    fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count()).map(NodeId::from_index)
+    }
+
+    /// Successor nodes of `node`, one entry per live edge (parallel edges
+    /// yield duplicates), in the representation's storage order.
+    fn successors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_;
+
+    /// Predecessor nodes of `node`, one entry per live edge.
+    fn predecessors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_;
+
+    /// Live outgoing arcs of `node` as `(edge id, target)` pairs, in the same
+    /// order as [`successors`](Self::successors).
+    fn out_arcs(&self, node: NodeId) -> impl Iterator<Item = (EdgeId, NodeId)> + '_;
+
+    /// `true` if there is at least one live edge `source -> target`.
+    fn has_edge(&self, source: NodeId, target: NodeId) -> bool {
+        self.successors(source).any(|succ| succ == target)
+    }
+}
+
+impl<N, E> GraphView for DiGraph<N, E> {
+    fn node_count(&self) -> usize {
+        DiGraph::node_count(self)
+    }
+
+    fn contains_node(&self, node: NodeId) -> bool {
+        DiGraph::contains_node(self, node)
+    }
+
+    fn successors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        DiGraph::successors(self, node)
+    }
+
+    fn predecessors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        DiGraph::predecessors(self, node)
+    }
+
+    fn out_arcs(&self, node: NodeId) -> impl Iterator<Item = (EdgeId, NodeId)> + '_ {
+        self.out_edges(node).map(|e| (e.id, e.target))
+    }
+
+    fn has_edge(&self, source: NodeId, target: NodeId) -> bool {
+        DiGraph::has_edge(self, source, target)
+    }
+}
+
+/// Frozen compressed-sparse-row snapshot of a [`DiGraph`]'s live edges.
+///
+/// Node and edge ids are shared with the source graph: node `n` of the CSR
+/// view is node `n` of the `DiGraph`, and the edge ids reported by
+/// [`out_arcs`](GraphView::out_arcs) index the source graph's edge arena, so
+/// payload lookups ([`DiGraph::edge_weight`]) keep working on ids obtained
+/// from the frozen view.  Removed edges are dropped at freeze time, not
+/// filtered per iteration.
+///
+/// # Example
+///
+/// ```
+/// use noc_graph::{CsrGraph, DiGraph, GraphView, scc};
+///
+/// let mut g: DiGraph<(), ()> = DiGraph::new();
+/// let a = g.add_node(());
+/// let b = g.add_node(());
+/// g.add_edge(a, b, ());
+/// g.add_edge(b, a, ());
+/// let frozen = g.freeze();
+/// assert_eq!(frozen.edge_count(), 2);
+/// // The same algorithms run on both representations with identical output.
+/// assert_eq!(scc::tarjan_scc(&frozen), scc::tarjan_scc(&g));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    /// `out_offsets[v]..out_offsets[v + 1]` indexes `v`'s slice of
+    /// `out_targets` / `out_edge_ids`.
+    out_offsets: Vec<usize>,
+    out_targets: Vec<NodeId>,
+    out_edge_ids: Vec<EdgeId>,
+    /// `in_offsets[v]..in_offsets[v + 1]` indexes `v`'s slice of `in_sources`.
+    in_offsets: Vec<usize>,
+    in_sources: Vec<NodeId>,
+}
+
+impl CsrGraph {
+    /// Freezes the live edges of `graph` into a CSR view, preserving the
+    /// per-node edge iteration order (see the [module docs](self)).
+    pub fn freeze<N, E>(graph: &DiGraph<N, E>) -> Self {
+        let n = graph.node_count();
+        let m = graph.edge_count();
+        let mut out_offsets = Vec::with_capacity(n + 1);
+        let mut out_targets = Vec::with_capacity(m);
+        let mut out_edge_ids = Vec::with_capacity(m);
+        out_offsets.push(0);
+        for node in graph.node_ids() {
+            for edge in graph.out_edges(node) {
+                out_targets.push(edge.target);
+                out_edge_ids.push(edge.id);
+            }
+            out_offsets.push(out_targets.len());
+        }
+        let mut in_offsets = Vec::with_capacity(n + 1);
+        let mut in_sources = Vec::with_capacity(m);
+        in_offsets.push(0);
+        for node in graph.node_ids() {
+            in_sources.extend(graph.predecessors(node));
+            in_offsets.push(in_sources.len());
+        }
+        CsrGraph {
+            out_offsets,
+            out_targets,
+            out_edge_ids,
+            in_offsets,
+            in_sources,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.out_offsets.len() - 1
+    }
+
+    /// Number of (live-at-freeze-time) edges.
+    pub fn edge_count(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// `true` if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.node_count() == 0
+    }
+
+    /// The successor slice of `node` (empty for out-of-range ids).
+    pub fn out_neighbors(&self, node: NodeId) -> &[NodeId] {
+        let v = node.index();
+        if v + 1 >= self.out_offsets.len() {
+            return &[];
+        }
+        &self.out_targets[self.out_offsets[v]..self.out_offsets[v + 1]]
+    }
+
+    /// The predecessor slice of `node` (empty for out-of-range ids).
+    pub fn in_neighbors(&self, node: NodeId) -> &[NodeId] {
+        let v = node.index();
+        if v + 1 >= self.in_offsets.len() {
+            return &[];
+        }
+        &self.in_sources[self.in_offsets[v]..self.in_offsets[v + 1]]
+    }
+
+    /// The outgoing edge ids of `node`, parallel to
+    /// [`out_neighbors`](Self::out_neighbors).  Ids index the source
+    /// [`DiGraph`]'s edge arena.
+    pub fn out_edge_ids(&self, node: NodeId) -> &[EdgeId] {
+        let v = node.index();
+        if v + 1 >= self.out_offsets.len() {
+            return &[];
+        }
+        &self.out_edge_ids[self.out_offsets[v]..self.out_offsets[v + 1]]
+    }
+
+    /// Number of outgoing edges of `node`.
+    pub fn out_degree(&self, node: NodeId) -> usize {
+        self.out_neighbors(node).len()
+    }
+
+    /// Number of incoming edges of `node`.
+    pub fn in_degree(&self, node: NodeId) -> usize {
+        self.in_neighbors(node).len()
+    }
+}
+
+impl GraphView for CsrGraph {
+    fn node_count(&self) -> usize {
+        CsrGraph::node_count(self)
+    }
+
+    fn successors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.out_neighbors(node).iter().copied()
+    }
+
+    fn predecessors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.in_neighbors(node).iter().copied()
+    }
+
+    fn out_arcs(&self, node: NodeId) -> impl Iterator<Item = (EdgeId, NodeId)> + '_ {
+        self.out_edge_ids(node)
+            .iter()
+            .copied()
+            .zip(self.out_neighbors(node).iter().copied())
+    }
+
+    fn has_edge(&self, source: NodeId, target: NodeId) -> bool {
+        self.out_neighbors(source).contains(&target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (DiGraph<&'static str, u32>, Vec<NodeId>) {
+        let mut g = DiGraph::new();
+        let n = vec![g.add_node("a"), g.add_node("b"), g.add_node("c")];
+        g.add_edge(n[0], n[1], 1);
+        g.add_edge(n[1], n[2], 2);
+        g.add_edge(n[2], n[0], 3);
+        g.add_edge(n[0], n[2], 4);
+        (g, n)
+    }
+
+    #[test]
+    fn freeze_preserves_counts_and_adjacency() {
+        let (g, n) = sample();
+        let frozen = g.freeze();
+        assert_eq!(frozen.node_count(), g.node_count());
+        assert_eq!(frozen.edge_count(), g.edge_count());
+        for node in g.node_ids() {
+            let live: Vec<NodeId> = DiGraph::successors(&g, node).collect();
+            assert_eq!(frozen.out_neighbors(node), live.as_slice());
+            let preds: Vec<NodeId> = DiGraph::predecessors(&g, node).collect();
+            assert_eq!(frozen.in_neighbors(node), preds.as_slice());
+        }
+        assert!(frozen.has_edge(n[0], n[2]));
+        assert!(!frozen.has_edge(n[2], n[1]));
+    }
+
+    #[test]
+    fn freeze_drops_removed_edges() {
+        let (mut g, n) = sample();
+        let e = g.find_edge(n[0], n[1]).unwrap();
+        g.remove_edge(e);
+        let frozen = g.freeze();
+        assert_eq!(frozen.edge_count(), 3);
+        assert_eq!(frozen.out_neighbors(n[0]), &[n[2]]);
+        assert_eq!(frozen.out_degree(n[0]), 1);
+        assert_eq!(frozen.in_degree(n[1]), 0);
+    }
+
+    #[test]
+    fn edge_ids_point_back_into_the_source_graph() {
+        let (g, n) = sample();
+        let frozen = g.freeze();
+        for node in g.node_ids() {
+            for (id, target) in GraphView::out_arcs(&frozen, node) {
+                assert_eq!(g.edge_endpoints(id), Some((node, target)));
+            }
+        }
+        let ids = frozen.out_edge_ids(n[0]);
+        assert_eq!(ids.len(), 2);
+        assert_eq!(g.edge_weight(ids[0]), Some(&1));
+        assert_eq!(g.edge_weight(ids[1]), Some(&4));
+    }
+
+    #[test]
+    fn parallel_edges_survive_freezing() {
+        let mut g: DiGraph<(), u8> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, 1);
+        g.add_edge(a, b, 2);
+        let frozen = g.freeze();
+        assert_eq!(frozen.out_neighbors(a), &[b, b]);
+        assert_eq!(frozen.edge_count(), 2);
+    }
+
+    #[test]
+    fn out_of_range_nodes_have_empty_slices() {
+        let (g, _) = sample();
+        let frozen = g.freeze();
+        let bogus = NodeId::from_index(99);
+        assert!(frozen.out_neighbors(bogus).is_empty());
+        assert!(frozen.in_neighbors(bogus).is_empty());
+        assert!(!GraphView::contains_node(&frozen, bogus));
+    }
+
+    #[test]
+    fn empty_graph_freezes() {
+        let g: DiGraph<(), ()> = DiGraph::new();
+        let frozen = g.freeze();
+        assert!(frozen.is_empty());
+        assert_eq!(frozen.node_count(), 0);
+        assert_eq!(frozen.edge_count(), 0);
+    }
+
+    #[test]
+    fn graph_view_is_consistent_across_representations() {
+        let (g, _) = sample();
+        let frozen = g.freeze();
+        for node in g.node_ids() {
+            let a: Vec<NodeId> = GraphView::successors(&g, node).collect();
+            let b: Vec<NodeId> = GraphView::successors(&frozen, node).collect();
+            assert_eq!(a, b);
+            let pa: Vec<NodeId> = GraphView::predecessors(&g, node).collect();
+            let pb: Vec<NodeId> = GraphView::predecessors(&frozen, node).collect();
+            assert_eq!(pa, pb);
+            let aa: Vec<_> = GraphView::out_arcs(&g, node).collect();
+            let ab: Vec<_> = GraphView::out_arcs(&frozen, node).collect();
+            assert_eq!(aa, ab);
+        }
+    }
+}

@@ -14,7 +14,7 @@
 //! variants).  That makes each result a pure function of the edge **set**,
 //! independent of the order edges happened to be inserted — which is what
 //! lets an incrementally maintained graph (edges logically removed and new
-//! ones appended, see [`DiGraph::remove_edge`]) return bit-identical cycles
+//! ones appended, see [`crate::DiGraph::remove_edge`]) return bit-identical cycles
 //! to a freshly rebuilt copy of the same graph.  The incremental
 //! deadlock-removal loop in `noc-deadlock` relies on this contract.
 //!
@@ -28,7 +28,8 @@
 //! of the full search is preserved while the per-query cost collapses to
 //! small bounded neighbourhood explorations.
 
-use crate::digraph::{DiGraph, NodeId};
+use crate::csr::GraphView;
+use crate::digraph::NodeId;
 use crate::scc;
 use std::collections::VecDeque;
 
@@ -42,7 +43,7 @@ use std::collections::VecDeque;
 /// search the paper describes).  Successors are scanned in ascending node-id
 /// order, so the returned cycle depends only on the edge set (see the
 /// [module docs](self)).
-pub fn shortest_cycle_through<N, E>(graph: &DiGraph<N, E>, start: NodeId) -> Option<Vec<NodeId>> {
+pub fn shortest_cycle_through<G: GraphView>(graph: &G, start: NodeId) -> Option<Vec<NodeId>> {
     bounded_cycle_bfs(graph, start, usize::MAX, &NodeId::index)
 }
 
@@ -66,8 +67,8 @@ pub fn shortest_cycle_through<N, E>(graph: &DiGraph<N, E>, start: NodeId) -> Opt
 /// assert_eq!(cycles::shortest_cycle_through_bounded(&g, n[0], 4).unwrap().len(), 4);
 /// assert_eq!(cycles::shortest_cycle_through_bounded(&g, n[0], 3), None);
 /// ```
-pub fn shortest_cycle_through_bounded<N, E>(
-    graph: &DiGraph<N, E>,
+pub fn shortest_cycle_through_bounded<G: GraphView>(
+    graph: &G,
     start: NodeId,
     max_len: usize,
 ) -> Option<Vec<NodeId>> {
@@ -94,7 +95,7 @@ pub fn shortest_cycle_through_bounded<N, E>(
 /// let cycle = cycles::smallest_cycle(&g).unwrap();
 /// assert_eq!(cycle.len(), 2);
 /// ```
-pub fn smallest_cycle<N, E>(graph: &DiGraph<N, E>) -> Option<Vec<NodeId>> {
+pub fn smallest_cycle<G: GraphView>(graph: &G) -> Option<Vec<NodeId>> {
     smallest_cycle_by(graph, NodeId::index)
 }
 
@@ -109,15 +110,15 @@ pub fn smallest_cycle<N, E>(graph: &DiGraph<N, E>) -> Option<Vec<NodeId>> {
 /// incremental CDG maintenance in `noc-deadlock` is built on (it ranks
 /// vertices by their channel, which both the rebuilt and the incrementally
 /// maintained CDG agree on).
-pub fn smallest_cycle_by<N, E, K: Ord>(
-    graph: &DiGraph<N, E>,
+pub fn smallest_cycle_by<G: GraphView, K: Ord>(
+    graph: &G,
     rank: impl Fn(NodeId) -> K,
 ) -> Option<Vec<NodeId>> {
     bounded_smallest_scan(graph, &rank, usize::MAX)
 }
 
 /// Returns `true` if the graph contains no directed cycle.
-pub fn is_acyclic<N, E>(graph: &DiGraph<N, E>) -> bool {
+pub fn is_acyclic<G: GraphView>(graph: &G) -> bool {
     !scc::has_cycle(graph)
 }
 
@@ -152,7 +153,7 @@ pub fn is_acyclic<N, E>(graph: &DiGraph<N, E>) -> bool {
 /// assert_eq!(cycles::enumerate_cycles(&g, 1).len(), 1);  // truncated
 /// assert_eq!(cycles::enumerate_cycles(&g, 10).len(), 2); // all of them
 /// ```
-pub fn enumerate_cycles<N, E>(graph: &DiGraph<N, E>, limit: usize) -> Vec<Vec<NodeId>> {
+pub fn enumerate_cycles<G: GraphView>(graph: &G, limit: usize) -> Vec<Vec<NodeId>> {
     let mut result = Vec::new();
     if limit == 0 {
         return result;
@@ -225,7 +226,7 @@ pub fn enumerate_cycles<N, E>(graph: &DiGraph<N, E>, limit: usize) -> Vec<Vec<No
 /// g.add_edge(b, b, ());
 /// assert_eq!(cycles::girth(&g), Some(1));         // self-loop wins
 /// ```
-pub fn girth<N, E>(graph: &DiGraph<N, E>) -> Option<usize> {
+pub fn girth<G: GraphView>(graph: &G) -> Option<usize> {
     smallest_cycle(graph).map(|c| c.len())
 }
 
@@ -321,10 +322,40 @@ impl IncrementalCycleFinder {
     ///
     /// `rank` must be injective and *stable across queries* (the cached
     /// cycles assume node identities keep their meaning).
-    pub fn smallest_cycle_by<N, E, K: Ord>(
+    pub fn smallest_cycle_by<G: GraphView, K: Ord>(
         &mut self,
-        graph: &DiGraph<N, E>,
+        graph: &G,
         rank: impl Fn(NodeId) -> K,
+    ) -> Option<Vec<NodeId>> {
+        self.smallest_cycle_query(graph, rank, None)
+    }
+
+    /// [`smallest_cycle_by`](Self::smallest_cycle_by) with a caller-supplied
+    /// **pool**: a superset of the nodes that lie on cycles (in any order),
+    /// typically the members of the cyclic strongly-connected components as
+    /// maintained by [`IncrementalScc`](crate::inc_scc::IncrementalScc).
+    ///
+    /// The verification scan visits only the pool instead of re-running a
+    /// full Tarjan pass, which is what makes the removal loop's per-query
+    /// cost proportional to the dirty region.  The result is identical to
+    /// [`smallest_cycle_by`](Self::smallest_cycle_by) whenever the pool
+    /// really covers every node on a cycle (a node off every cycle can never
+    /// yield one, so a *superset* is always safe; a missing cyclic node
+    /// would be unsound, which the incremental SCC equivalence tests pin).
+    pub fn smallest_cycle_by_with_pool<G: GraphView, K: Ord>(
+        &mut self,
+        graph: &G,
+        rank: impl Fn(NodeId) -> K,
+        pool: &[NodeId],
+    ) -> Option<Vec<NodeId>> {
+        self.smallest_cycle_query(graph, rank, Some(pool))
+    }
+
+    fn smallest_cycle_query<G: GraphView, K: Ord>(
+        &mut self,
+        graph: &G,
+        rank: impl Fn(NodeId) -> K,
+        pool: Option<&[NodeId]>,
     ) -> Option<Vec<NodeId>> {
         // 1. Candidates whose edges all survived still bound the answer.
         self.candidates.retain(|cycle| cycle_is_live(graph, cycle));
@@ -351,7 +382,10 @@ impl IncrementalCycleFinder {
         }
 
         // 3. Exact global verification scan under the seeded bound.
-        let best = bounded_smallest_scan(graph, &rank, bound);
+        let best = match pool {
+            Some(pool) => bounded_smallest_scan_over(graph, &rank, bound, pool.to_vec()),
+            None => bounded_smallest_scan(graph, &rank, bound),
+        };
         if let Some(cycle) = &best {
             self.candidates.push(cycle.clone());
         }
@@ -367,7 +401,7 @@ impl IncrementalCycleFinder {
 }
 
 /// `true` when every edge of `cycle` (including the closing one) is live.
-fn cycle_is_live<N, E>(graph: &DiGraph<N, E>, cycle: &[NodeId]) -> bool {
+fn cycle_is_live<G: GraphView>(graph: &G, cycle: &[NodeId]) -> bool {
     let Some((&first, _)) = cycle.split_first() else {
         return false;
     };
@@ -381,16 +415,29 @@ fn cycle_is_live<N, E>(graph: &DiGraph<N, E>, cycle: &[NodeId]) -> bool {
 /// than the best length found so far.  The first node to reach a given
 /// length wins, which reproduces the (length, rank)-lexicographic tie-break
 /// of the unpruned search.
-fn bounded_smallest_scan<N, E, K: Ord>(
-    graph: &DiGraph<N, E>,
+fn bounded_smallest_scan<G: GraphView, K: Ord>(
+    graph: &G,
     rank: &impl Fn(NodeId) -> K,
     bound: usize,
 ) -> Option<Vec<NodeId>> {
-    let mut nodes: Vec<NodeId> = scc::cyclic_components(graph)
+    let nodes: Vec<NodeId> = scc::cyclic_components(graph)
         .into_iter()
         .flatten()
         .collect();
+    bounded_smallest_scan_over(graph, rank, bound, nodes)
+}
+
+/// The scan of [`bounded_smallest_scan`] over an explicit node pool (any
+/// superset of the nodes on cycles); the pool is rank-sorted here, so the
+/// outcome depends only on the pool *set*.
+fn bounded_smallest_scan_over<G: GraphView, K: Ord>(
+    graph: &G,
+    rank: &impl Fn(NodeId) -> K,
+    bound: usize,
+    mut nodes: Vec<NodeId>,
+) -> Option<Vec<NodeId>> {
     nodes.sort_by_key(|a| rank(*a));
+    nodes.dedup();
     let mut cap = bound;
     let mut best: Option<Vec<NodeId>> = None;
     for &node in &nodes {
@@ -408,8 +455,8 @@ fn bounded_smallest_scan<N, E, K: Ord>(
 /// Canonical bounded BFS: the shortest cycle through `start` of at most
 /// `max_len` nodes, scanning successors in ascending `rank` order so the
 /// result depends only on the edge set.
-fn bounded_cycle_bfs<N, E, K: Ord>(
-    graph: &DiGraph<N, E>,
+fn bounded_cycle_bfs<G: GraphView, K: Ord>(
+    graph: &G,
     start: NodeId,
     max_len: usize,
     rank: &impl Fn(NodeId) -> K,
@@ -466,6 +513,7 @@ fn bounded_cycle_bfs<N, E, K: Ord>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::digraph::DiGraph;
 
     fn ring(n: usize) -> (DiGraph<usize, ()>, Vec<NodeId>) {
         let mut g = DiGraph::new();

@@ -140,6 +140,24 @@ impl<N, E> DiGraph<N, E> {
         }
     }
 
+    /// Reserves capacity for at least `additional_nodes` more nodes and
+    /// `additional_edges` more edges, so bulk builders (CDG construction,
+    /// topology generators) can size the arenas up front and avoid
+    /// reallocation during the hot build loop.
+    pub fn reserve(&mut self, additional_nodes: usize, additional_edges: usize) {
+        self.nodes.reserve(additional_nodes);
+        self.out_edges.reserve(additional_nodes);
+        self.in_edges.reserve(additional_nodes);
+        self.edges.reserve(additional_edges);
+    }
+
+    /// Freezes the live edges into a cache-friendly CSR view; see
+    /// [`CsrGraph`](crate::csr::CsrGraph) for the shared-id and
+    /// iteration-order guarantees.
+    pub fn freeze(&self) -> crate::csr::CsrGraph {
+        crate::csr::CsrGraph::freeze(self)
+    }
+
     /// Adds a node with the given payload and returns its id.
     pub fn add_node(&mut self, weight: N) -> NodeId {
         let id = NodeId(self.nodes.len());

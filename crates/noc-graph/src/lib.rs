@@ -8,8 +8,11 @@
 //!
 //! * [`DiGraph`] — a compact adjacency-list directed multigraph with stable
 //!   node and edge identifiers,
+//! * [`CsrGraph`] — a frozen compressed-sparse-row view of a [`DiGraph`] for
+//!   cache-friendly read-only passes, abstracted over by [`GraphView`],
 //! * breadth-first and depth-first [`traversal`],
-//! * Tarjan strongly-connected components ([`scc`]),
+//! * Tarjan strongly-connected components ([`scc`]), plus the incrementally
+//!   maintained partition ([`IncrementalScc`]),
 //! * cycle search ([`cycles`]) including the per-vertex BFS "smallest cycle"
 //!   search used by the paper's `GetSmallestCycle`,
 //! * Dijkstra shortest paths ([`shortest_path`]),
@@ -36,13 +39,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod csr;
 pub mod cycles;
 pub mod digraph;
 pub mod dot;
+pub mod inc_scc;
 pub mod knots;
 pub mod scc;
 pub mod shortest_path;
 pub mod topo;
 pub mod traversal;
 
+pub use csr::{CsrGraph, GraphView};
 pub use digraph::{DiGraph, EdgeId, EdgeRef, NodeId};
+pub use inc_scc::{IncrementalScc, IncrementalSccStats};

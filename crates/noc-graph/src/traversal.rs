@@ -1,6 +1,9 @@
-//! Breadth-first and depth-first traversal over a [`DiGraph`].
+//! Breadth-first and depth-first traversal over any [`GraphView`]
+//! representation ([`DiGraph`](crate::DiGraph) or a frozen
+//! [`CsrGraph`](crate::CsrGraph)).
 
-use crate::digraph::{DiGraph, NodeId};
+use crate::csr::GraphView;
+use crate::digraph::NodeId;
 use std::collections::VecDeque;
 
 /// Returns the nodes reachable from `start` (including `start`) in BFS order.
@@ -19,7 +22,7 @@ use std::collections::VecDeque;
 /// assert_eq!(order, vec![a, b]);
 /// assert!(!order.contains(&c));
 /// ```
-pub fn bfs_order<N, E>(graph: &DiGraph<N, E>, start: NodeId) -> Vec<NodeId> {
+pub fn bfs_order<G: GraphView>(graph: &G, start: NodeId) -> Vec<NodeId> {
     let mut visited = vec![false; graph.node_count()];
     let mut order = Vec::new();
     let mut queue = VecDeque::new();
@@ -41,7 +44,7 @@ pub fn bfs_order<N, E>(graph: &DiGraph<N, E>, start: NodeId) -> Vec<NodeId> {
 }
 
 /// Returns the nodes reachable from `start` in depth-first preorder.
-pub fn dfs_preorder<N, E>(graph: &DiGraph<N, E>, start: NodeId) -> Vec<NodeId> {
+pub fn dfs_preorder<G: GraphView>(graph: &G, start: NodeId) -> Vec<NodeId> {
     let mut visited = vec![false; graph.node_count()];
     let mut order = Vec::new();
     let mut stack = Vec::new();
@@ -68,7 +71,7 @@ pub fn dfs_preorder<N, E>(graph: &DiGraph<N, E>, start: NodeId) -> Vec<NodeId> {
 
 /// Returns `true` if `target` is reachable from `source` following directed
 /// edges (a node is always reachable from itself).
-pub fn is_reachable<N, E>(graph: &DiGraph<N, E>, source: NodeId, target: NodeId) -> bool {
+pub fn is_reachable<G: GraphView>(graph: &G, source: NodeId, target: NodeId) -> bool {
     if source == target {
         return graph.contains_node(source);
     }
@@ -79,11 +82,7 @@ pub fn is_reachable<N, E>(graph: &DiGraph<N, E>, source: NodeId, target: NodeId)
 ///
 /// Returns the node sequence including both endpoints, or `None` if `target`
 /// is unreachable.
-pub fn bfs_path<N, E>(
-    graph: &DiGraph<N, E>,
-    source: NodeId,
-    target: NodeId,
-) -> Option<Vec<NodeId>> {
+pub fn bfs_path<G: GraphView>(graph: &G, source: NodeId, target: NodeId) -> Option<Vec<NodeId>> {
     if !graph.contains_node(source) || !graph.contains_node(target) {
         return None;
     }
@@ -119,7 +118,7 @@ pub fn bfs_path<N, E>(
 
 /// Returns `true` if every node is reachable from every other node when edge
 /// direction is ignored (weak connectivity).  An empty graph is connected.
-pub fn is_weakly_connected<N, E>(graph: &DiGraph<N, E>) -> bool {
+pub fn is_weakly_connected<G: GraphView>(graph: &G) -> bool {
     let n = graph.node_count();
     if n <= 1 {
         return true;
@@ -149,6 +148,7 @@ pub fn is_weakly_connected<N, E>(graph: &DiGraph<N, E>) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::digraph::DiGraph;
 
     fn chain(n: usize) -> (DiGraph<usize, ()>, Vec<NodeId>) {
         let mut g = DiGraph::new();

@@ -251,3 +251,129 @@ fn bounded_cycle_search_is_consistent_with_unbounded() {
         }
     }
 }
+
+/// Canonicalizes a Tarjan partition the way `IncrementalScc` reports it:
+/// members ascending within each component, components ordered by smallest
+/// member.
+fn canonical(mut comps: Vec<Vec<NodeId>>) -> Vec<Vec<NodeId>> {
+    for c in &mut comps {
+        c.sort();
+    }
+    comps.sort_by_key(|c| c[0]);
+    comps
+}
+
+/// The incrementally maintained SCC partition must be byte-identical to a
+/// canonicalized full Tarjan run after every edit of a randomized edit
+/// sequence (edge removals and additions with dirty marking) — the
+/// exactness contract the removal loop and the recovery drain rely on.
+#[test]
+fn incremental_scc_tracks_full_tarjan_through_random_edits() {
+    let mut rng = SmallRng::seed_from_u64(0x5CC5CC);
+    for _ in 0..CASES {
+        let (mut g, nodes) = random_graph(&mut rng, 24, 70);
+        let mut inc = noc_graph::IncrementalScc::new();
+        for _ in 0..14 {
+            assert_eq!(
+                inc.components(&g).to_vec(),
+                canonical(scc::tarjan_scc(&g)),
+                "incremental SCC partition diverged from full Tarjan"
+            );
+            // The cyclic-node pool must match the flattened cyclic components.
+            let mut expected: Vec<NodeId> = scc::cyclic_components(&g).concat();
+            expected.sort();
+            let mut pool = inc.cyclic_nodes(&g);
+            pool.sort();
+            assert_eq!(pool, expected);
+            // Random edit: remove a live edge or add a fresh one.
+            if rng.gen_range(0..2_usize) == 0 {
+                let live: Vec<_> = g.edges().map(|e| (e.id, e.source, e.target)).collect();
+                if let Some(&(id, a, b)) = live.get(rng.gen_range(0..live.len().max(1))) {
+                    g.remove_edge(id);
+                    inc.mark_dirty(a);
+                    inc.mark_dirty(b);
+                }
+            } else {
+                let a = nodes[rng.gen_range(0..nodes.len())];
+                let b = nodes[rng.gen_range(0..nodes.len())];
+                g.add_edge(a, b, ());
+                inc.mark_dirty(a);
+                inc.mark_dirty(b);
+            }
+        }
+    }
+}
+
+/// Growing the graph with fresh nodes (as `Cdg::register_channel` does when
+/// a cycle break adds a VC) must also be tracked exactly.
+#[test]
+fn incremental_scc_tracks_node_growth() {
+    let mut rng = SmallRng::seed_from_u64(0x96047);
+    for _ in 0..CASES {
+        let (mut g, mut nodes) = random_graph(&mut rng, 12, 30);
+        let mut inc = noc_graph::IncrementalScc::new();
+        for round in 0..10 {
+            assert_eq!(inc.components(&g).to_vec(), canonical(scc::tarjan_scc(&g)));
+            let fresh = g.add_node(1000 + round);
+            inc.mark_dirty(fresh);
+            // Wire the fresh node into the existing graph both ways.
+            let a = nodes[rng.gen_range(0..nodes.len())];
+            let b = nodes[rng.gen_range(0..nodes.len())];
+            g.add_edge(a, fresh, ());
+            g.add_edge(fresh, b, ());
+            inc.mark_dirty(a);
+            inc.mark_dirty(b);
+            nodes.push(fresh);
+        }
+    }
+}
+
+/// The frozen CSR view must give every algorithm the same answer as the
+/// mutable adjacency-list graph it was built from — cycles, SCCs, knots
+/// and hop distances.
+#[test]
+fn csr_view_is_equivalent_to_digraph() {
+    let mut rng = SmallRng::seed_from_u64(0xC5A);
+    for _ in 0..CASES {
+        let (g, nodes) = random_graph(&mut rng, 24, 80);
+        let frozen = g.freeze();
+        assert_eq!(cycles::smallest_cycle(&frozen), cycles::smallest_cycle(&g));
+        assert_eq!(
+            canonical(scc::tarjan_scc(&frozen)),
+            canonical(scc::tarjan_scc(&g))
+        );
+        assert_eq!(
+            canonical(noc_graph::knots::knots(&frozen)),
+            canonical(noc_graph::knots::knots(&g))
+        );
+        let src = nodes[0];
+        let sp_g = shortest_path::hop_distances(&g, src);
+        let sp_c = shortest_path::hop_distances(&frozen, src);
+        for &dst in &nodes {
+            assert_eq!(sp_g.distance(dst), sp_c.distance(dst));
+        }
+    }
+}
+
+/// Freezing preserves the exact live-edge iteration order per node, so
+/// order-sensitive searches (the canonical smallest-cycle contract) cannot
+/// drift between the two representations.
+#[test]
+fn csr_preserves_successor_order() {
+    use noc_graph::GraphView;
+    let mut rng = SmallRng::seed_from_u64(0x0D8);
+    for _ in 0..CASES {
+        let (mut g, nodes) = random_graph(&mut rng, 20, 60);
+        // Punch some holes so the free-list / tombstone paths are exercised.
+        let live: Vec<_> = g.edges().map(|e| e.id).collect();
+        for id in live.iter().step_by(3) {
+            g.remove_edge(*id);
+        }
+        let frozen = g.freeze();
+        for &v in &nodes {
+            let from_g: Vec<NodeId> = g.successors(v).collect();
+            let from_c: Vec<NodeId> = frozen.successors(v).collect();
+            assert_eq!(from_g, from_c);
+        }
+    }
+}
