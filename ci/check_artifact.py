@@ -12,7 +12,7 @@ removal algorithm never needs more VCs than resource ordering") fails the
 build instead of silently producing unusable artifacts.
 
 Usage:
-    ci/check_artifact.py ARTIFACT.json [--timing-tolerance T]
+    ci/check_artifact.py ARTIFACT.json [--timing-tolerance T] [--max-wall-ms W]
 
 `--timing-tolerance` applies to the two timing artifacts and is the
 timing-regression guard: for `cdg_incremental` it fails when the incremental
@@ -20,13 +20,18 @@ CDG maintenance engine is slower than the full-rebuild reference by more
 than the given fraction (incremental/rebuild > 1 + T); for `fig_scale` it
 fails when the incremental SCC partition is slower than the full-Tarjan
 reference on the scaling grid (incremental/tarjan > 1 + T).
+
+`--max-wall-ms` applies to `fig_faults` and guards the fault sweep's
+recorded wall time: live reconfiguration getting pathologically slower
+(e.g. the epoch protocol looping on its fallback) fails CI even when every
+logical invariant still holds.
 """
 
 import argparse
 import json
 import sys
 
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6
 
 CERTIFY_VERDICTS = ["certified-free", "certified-deadlockable", "unknown"]
 
@@ -491,6 +496,132 @@ def check_sim_strategies(data):
     )
 
 
+FAULT_STRATEGIES = [
+    "cycle-breaking",
+    "resource-ordering",
+    "escape-channel",
+    "recovery-reconfig",
+]
+
+FAULT_STATS_KEYS = [
+    "faults_injected",
+    "reconfig_events",
+    "epochs_committed",
+    "cyclic_commits",
+    "drain_fallbacks",
+    "packets_drained",
+    "flows_rerouted",
+    "unreachable_flows",
+    "unreachable_packets",
+    "injected",
+    "delivered",
+    "delivered_fraction",
+    "mean_latency",
+    "connected",
+    "deadlocked",
+]
+
+
+def check_fig_faults(data, max_wall_ms):
+    require_keys(data, ["strategies", "wall_ms", "points"], "fig_faults data")
+    require(
+        data["strategies"] == FAULT_STRATEGIES,
+        f"strategy list must be {FAULT_STRATEGIES}, got {data['strategies']}",
+    )
+    points = data["points"]
+    require(isinstance(points, list) and points, "fig_faults must contain sweep points")
+    benchmarks = {p["benchmark"] for p in points}
+    require(
+        {"D26_media", "D36_8"} <= benchmarks,
+        f"the sweep must cover the Figure 8 and Figure 9 benchmarks, got {sorted(benchmarks)}",
+    )
+    fallbacks_exercised = 0
+    for point in points:
+        require_keys(
+            point,
+            ["benchmark", "switch_count", "active_flows", "faults_injected", "connected", "runs"],
+            "fig_faults point",
+        )
+        where = f"{point['benchmark']} @ {point['switch_count']} switches"
+        require(
+            point["faults_injected"] >= 1,
+            f"{where}: the storm scheduled no failures — the point is vacuous",
+        )
+        require(
+            [r["strategy"] for r in point["runs"]] == FAULT_STRATEGIES,
+            f"{where}: expected one run per strategy in order, "
+            f"got {[r['strategy'] for r in point['runs']]}",
+        )
+        for run in point["runs"]:
+            require_keys(run, ["strategy", "added_vcs", "stats"], f"{where} run")
+            stats = run["stats"]
+            require_keys(stats, FAULT_STATS_KEYS, f"{where} {run['strategy']} stats")
+            label = f"{where}: {run['strategy']}"
+            # The protocol's core guarantee: no epoch ever commits a cyclic
+            # combined dependency graph, and no run ends deadlocked.
+            require(
+                stats["cyclic_commits"] == 0,
+                f"{label} committed {stats['cyclic_commits']} cyclic epoch(s)",
+            )
+            require(stats["deadlocked"] is False, f"{label} deadlocked through the storm")
+            require(
+                stats["faults_injected"] == point["faults_injected"],
+                f"{label}: per-run fault count disagrees with the point",
+            )
+            require(
+                stats["connected"] == point["connected"],
+                f"{label}: per-run connectivity disagrees with the point",
+            )
+            require(
+                stats["epochs_committed"] >= 1,
+                f"{label}: the storm must commit at least one epoch",
+            )
+            require(
+                stats["epochs_committed"] <= stats["reconfig_events"],
+                f"{label}: more epochs committed than reconfiguration events",
+            )
+            # Fallback accounting: scoped drains are counted per epoch.
+            require(
+                stats["drain_fallbacks"] <= stats["epochs_committed"],
+                f"{label}: more drain fallbacks than committed epochs",
+            )
+            fallbacks_exercised += stats["drain_fallbacks"]
+            # Survivability: the delivered fraction is consistent, and a
+            # storm that keeps the fabric connected loses nothing.
+            require(
+                0.0 <= stats["delivered_fraction"] <= 1.0,
+                f"{label}: delivered fraction {stats['delivered_fraction']} out of range",
+            )
+            if stats["injected"] > 0:
+                recomputed = stats["delivered"] / stats["injected"]
+                require(
+                    abs(stats["delivered_fraction"] - recomputed) < 1e-9,
+                    f"{label}: delivered fraction {stats['delivered_fraction']} "
+                    f"!= delivered/injected {recomputed}",
+                )
+            if point["connected"]:
+                require(
+                    stats["delivered"] > 0,
+                    f"{label} delivered nothing through a connected storm",
+                )
+                require(
+                    stats["unreachable_flows"] == 0,
+                    f"{label}: connected storm left {stats['unreachable_flows']} "
+                    "flow(s) unreachable",
+                )
+    require(
+        fallbacks_exercised > 0,
+        "no run ever took the scoped-drain fallback — the protocol's hard "
+        "path is untested by this sweep",
+    )
+    if max_wall_ms is not None:
+        require(
+            data["wall_ms"] <= max_wall_ms,
+            f"timing regression: the fault sweep took {data['wall_ms']:.0f} ms "
+            f"(allowed {max_wall_ms:.0f} ms)",
+        )
+
+
 def check_conservatism(data):
     require_keys(data, ["benchmarks"], "fig_conservatism data")
     groups = data["benchmarks"]
@@ -615,6 +746,7 @@ CHECKS = {
     "fig_strategy_matrix": lambda data, _: check_strategy_matrix(data),
     "fig_sim_strategies": lambda data, _: check_sim_strategies(data),
     "fig_conservatism": lambda data, _: check_conservatism(data),
+    "fig_faults": check_fig_faults,
 }
 
 
@@ -627,6 +759,13 @@ def main():
         default=None,
         metavar="T",
         help="for cdg_incremental / fig_scale: fail if the incremental-over-reference timing ratio exceeds 1 + T",
+    )
+    parser.add_argument(
+        "--max-wall-ms",
+        type=float,
+        default=None,
+        metavar="W",
+        help="for fig_faults: fail if the recorded sweep wall time exceeds W milliseconds",
     )
     args = parser.parse_args()
 
@@ -642,7 +781,10 @@ def main():
         )
         check = CHECKS.get(figure)
         require(check is not None, f"unknown figure name {figure!r}; known: {sorted(CHECKS)}")
-        check(artifact["data"], args.timing_tolerance)
+        # The second argument is the figure's guard option: the recorded
+        # wall-time bound for fig_faults, the timing ratio for the rest.
+        guard = args.max_wall_ms if figure == "fig_faults" else args.timing_tolerance
+        check(artifact["data"], guard)
     except CheckError as error:
         print(f"{args.artifact}: FAIL — {error}", file=sys.stderr)
         return 1

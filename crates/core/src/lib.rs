@@ -99,6 +99,8 @@ pub use recovery::{apply_recovery_reconfig, RecoveryError, RecoveryResult, Recov
 pub use removal::{
     remove_deadlocks, CdgMode, CycleOrder, DirectionPolicy, RemovalConfig, RemovalError, SccMode,
 };
-pub use report::{CdgDeltaStats, CdgMaintenanceStats, RemovalReport, StrategyKind};
+pub use report::{
+    CdgDeltaStats, CdgMaintenanceStats, ReconfigEvent, ReconfigStats, RemovalReport, StrategyKind,
+};
 pub use resource_ordering::{apply_resource_ordering, ResourceOrderingResult};
 pub use vcmap::VcMap;

@@ -176,6 +176,81 @@ impl RemovalReport {
     }
 }
 
+/// One live-reconfiguration event: the response to a batch of runtime
+/// faults arriving at the same cycle (the dynamic counterpart of a
+/// [`BreakStep`]).
+///
+/// The epoch protocol behind these numbers lives in the simulator: affected
+/// flows are re-routed onto surviving up*/down* paths and the *transient*
+/// combined dependency graph — committed routes of every flow plus the
+/// residual old-route segments of in-flight worms — is checked acyclic
+/// before the epoch commits.  A cyclic check triggers a scoped DBR-style
+/// drain ([`fallback_drain`](Self::fallback_drain)) instead of a commit on
+/// a cyclic graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReconfigEvent {
+    /// Cycle the fault batch arrived at.
+    pub cycle: u64,
+    /// Fault/repair events applied in this batch.
+    pub faults_applied: usize,
+    /// Flows moved onto a new (surviving up*/down*) route.
+    pub flows_rerouted: usize,
+    /// Flows stranded by a partition at this event (no surviving route).
+    pub flows_unreachable: usize,
+    /// Worms pulled back to their source by this event (broken-path
+    /// pull-backs plus any fallback drain).
+    pub packets_drained: usize,
+    /// `true` when the transient-graph check failed and a scoped drain ran
+    /// before the epoch could commit acyclically.
+    pub fallback_drain: bool,
+    /// `true` if the epoch committed while the transient combined
+    /// dependency graph was still cyclic.  The protocol's core guarantee is
+    /// that this **never** happens; the field is re-checked after every
+    /// commit so the property suite asserts on evidence, not intent.
+    pub committed_cyclic: bool,
+}
+
+/// Aggregate statistics of live reconfiguration under runtime faults, in
+/// the style of [`RemovalReport`]: per-event details plus the counters the
+/// artifacts and CI invariants consume.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ReconfigStats {
+    /// Per-event details, in fault order.
+    pub events: Vec<ReconfigEvent>,
+    /// Epochs committed (one per fault batch that found traffic to move or
+    /// faults to absorb).
+    pub epochs_committed: usize,
+    /// Epochs that needed the scoped-drain fallback before committing.
+    pub drain_fallbacks: usize,
+    /// Epochs that committed on a cyclic transient graph (must stay 0).
+    pub cyclic_commits: usize,
+    /// Total worms pulled back across all events.
+    pub packets_drained: usize,
+    /// Total flow re-routes across all events (a flow re-routed by two
+    /// events counts twice).
+    pub flows_rerouted: usize,
+    /// Flows currently stranded by a partition (repairs can shrink this).
+    pub unreachable_flows: usize,
+}
+
+impl ReconfigStats {
+    /// Number of reconfiguration events (fault batches) processed.
+    pub fn event_count(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Folds one event into the aggregate counters (the event is also
+    /// recorded in [`events`](Self::events)).
+    pub fn record(&mut self, event: ReconfigEvent) {
+        self.epochs_committed += 1;
+        self.drain_fallbacks += event.fallback_drain as usize;
+        self.cyclic_commits += event.committed_cyclic as usize;
+        self.packets_drained += event.packets_drained;
+        self.flows_rerouted += event.flows_rerouted;
+        self.events.push(event);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -270,5 +345,35 @@ mod tests {
         assert!(a.cdg.incremental());
         a.added_vcs = 9;
         assert!(!a.same_outcome(&b));
+    }
+
+    #[test]
+    fn reconfig_stats_fold_events() {
+        let mut stats = ReconfigStats::default();
+        stats.record(ReconfigEvent {
+            cycle: 100,
+            faults_applied: 1,
+            flows_rerouted: 3,
+            flows_unreachable: 0,
+            packets_drained: 2,
+            fallback_drain: false,
+            committed_cyclic: false,
+        });
+        stats.record(ReconfigEvent {
+            cycle: 400,
+            faults_applied: 2,
+            flows_rerouted: 1,
+            flows_unreachable: 1,
+            packets_drained: 4,
+            fallback_drain: true,
+            committed_cyclic: false,
+        });
+        stats.unreachable_flows = 1;
+        assert_eq!(stats.event_count(), 2);
+        assert_eq!(stats.epochs_committed, 2);
+        assert_eq!(stats.drain_fallbacks, 1);
+        assert_eq!(stats.cyclic_commits, 0);
+        assert_eq!(stats.packets_drained, 6);
+        assert_eq!(stats.flows_rerouted, 4);
     }
 }

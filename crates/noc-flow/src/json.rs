@@ -15,7 +15,7 @@
 //! numbers through Rust's `Display` (which never produces exponent
 //! notation), non-finite floats as `null`.
 
-use crate::sweep::{CertifyOutcome, StrategyOutcome, StrategySimStats, SweepPoint};
+use crate::sweep::{CertifyOutcome, FaultRunStats, StrategyOutcome, StrategySimStats, SweepPoint};
 use noc_deadlock::cost::Direction;
 use noc_deadlock::escape::EscapeChannelResult;
 use noc_deadlock::recovery::{RecoveryResult, RecoveryStep};
@@ -332,6 +332,28 @@ impl ToJson for StrategySimStats {
     }
 }
 
+impl ToJson for FaultRunStats {
+    fn write_json(&self, out: &mut String) {
+        ObjectWriter::new(out)
+            .field("faults_injected", &self.faults_injected)
+            .field("reconfig_events", &self.reconfig_events)
+            .field("epochs_committed", &self.epochs_committed)
+            .field("cyclic_commits", &self.cyclic_commits)
+            .field("drain_fallbacks", &self.drain_fallbacks)
+            .field("packets_drained", &self.packets_drained)
+            .field("flows_rerouted", &self.flows_rerouted)
+            .field("unreachable_flows", &self.unreachable_flows)
+            .field("unreachable_packets", &self.unreachable_packets)
+            .field("injected", &self.injected)
+            .field("delivered", &self.delivered)
+            .field("delivered_fraction", &self.delivered_fraction)
+            .field("mean_latency", &self.mean_latency)
+            .field("connected", &self.connected)
+            .field("deadlocked", &self.deadlocked)
+            .finish();
+    }
+}
+
 impl ToJson for CertifyOutcome {
     fn write_json(&self, out: &mut String) {
         ObjectWriter::new(out)
@@ -355,6 +377,7 @@ impl ToJson for StrategyOutcome {
             .field("area_um2", &self.area_um2)
             .field("sim", &self.sim)
             .field("certify", &self.certify)
+            .field("fault", &self.fault)
             .finish();
     }
 }

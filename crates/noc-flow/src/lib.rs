@@ -72,5 +72,6 @@ pub use strategy::{
     ResourceOrdering,
 };
 pub use sweep::{
-    CertifyOutcome, FlowSweep, StrategyOutcome, StrategySimStats, SweepPoint, VcSweepSim,
+    CertifyOutcome, FaultRunStats, FaultSweepSim, FlowSweep, StrategyOutcome, StrategySimStats,
+    SweepPoint, VcSweepSim,
 };

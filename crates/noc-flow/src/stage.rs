@@ -16,6 +16,7 @@ use crate::error::FlowError;
 use crate::router::{Router, ShortestPathRouter};
 use crate::strategy::{DeadlockResolution, DeadlockStrategy};
 use noc_deadlock::certify::{certify_deadlock_free, CertifyReport};
+use noc_deadlock::report::ReconfigStats;
 use noc_deadlock::vcmap::VcMap;
 use noc_deadlock::verify::{check_deadlock_free, DeadlockCycle};
 use noc_power::{NetworkEstimate, NetworkPowerModel, TechParams};
@@ -23,13 +24,13 @@ use noc_routing::updown::route_all_updown;
 use noc_routing::validate::validate_routes;
 use noc_routing::RouteSet;
 use noc_sim::{
-    DeadlockEvent, DrainStats, SimConfig, SimOutcome, Simulator, TrafficConfig, VcPolicy,
-    VcSimConfig, VcSimOutcome, VcSimulator,
+    DeadlockEvent, DrainStats, FaultPlan, SimConfig, SimOutcome, Simulator, TrafficConfig,
+    VcPolicy, VcSimConfig, VcSimOutcome, VcSimulator,
 };
 use noc_synth::{synthesize, SynthesisConfig};
 use noc_topology::benchmarks::Benchmark;
 use noc_topology::validate::validate_design;
-use noc_topology::{CommGraph, CoreMap, SwitchId, Topology};
+use noc_topology::{CommGraph, CoreMap, FlowId, SwitchId, Topology};
 
 /// Entry point of the pipeline: a communication specification waiting for a
 /// topology.
@@ -489,6 +490,29 @@ impl DeadlockFreeStage {
         Ok(SimulatedStage::from_vc_outcome(self.clone(), outcome))
     }
 
+    /// Simulates the repaired design on the VC-fidelity engine with the
+    /// fault seam armed: the scheduled [`FaultPlan`] is injected mid-run
+    /// and every fault epoch live-reconfigures the affected flows through
+    /// the cycle-safe two-phase protocol (up*/down* reroutes on the
+    /// surviving fabric, scoped drains as the fallback).
+    ///
+    /// The returned stage's [`VcRunDetails`] carry the reconfiguration
+    /// statistics and the typed unreachable outcome.
+    pub fn simulate_vc_faulted(
+        &self,
+        policy: &dyn VcPolicy,
+        sim: &VcSimConfig,
+        traffic: &TrafficConfig,
+        plan: FaultPlan,
+    ) -> Result<SimulatedStage, FlowError> {
+        validate_routes(&self.topology, &self.comm, &self.core_map, &self.routes)?;
+        let vc_map = self.vc_map();
+        let outcome = VcSimulator::new(&self.comm, &self.routes, &vc_map, policy, sim)
+            .with_faults(&self.topology, &self.core_map, plan)
+            .run(traffic);
+        Ok(SimulatedStage::from_vc_outcome(self.clone(), outcome))
+    }
+
     /// Area/power estimate of the repaired design (the "removal" /
     /// "ordering" bars of Figure 10, depending on the strategy used).
     pub fn power(&self, params: TechParams) -> NetworkEstimate {
@@ -507,6 +531,14 @@ pub struct VcRunDetails {
     pub detection: Option<DeadlockEvent>,
     /// DBR-style drain statistics (all zero without recovery routes).
     pub drain: DrainStats,
+    /// Live-reconfiguration statistics (default-empty unless the run was
+    /// armed with a [`FaultPlan`] via
+    /// [`DeadlockFreeStage::simulate_vc_faulted`]).
+    pub reconfig: ReconfigStats,
+    /// Flows a fault left with no route on the surviving fabric, sorted.
+    pub unreachable_flows: Vec<FlowId>,
+    /// Packets charged to unreachable flows instead of delivery.
+    pub unreachable_packets: usize,
 }
 
 /// A deadlock-free design plus the outcome of simulating it.
@@ -534,6 +566,9 @@ impl SimulatedStage {
                 policy: outcome.policy,
                 detection: outcome.detection,
                 drain: outcome.drain,
+                reconfig: outcome.reconfig,
+                unreachable_flows: outcome.unreachable_flows,
+                unreachable_packets: outcome.unreachable_packets,
             }),
         }
     }

@@ -23,7 +23,9 @@ use crate::strategy::DeadlockStrategy;
 use noc_deadlock::certify::CertifyReport;
 use noc_deadlock::report::StrategyKind;
 use noc_power::TechParams;
-use noc_sim::{AssignedVc, TrafficConfig, VcSimConfig, VcSimOutcome};
+use noc_sim::{
+    AssignedVc, FaultKind, FaultPlan, StormConfig, TrafficConfig, VcSimConfig, VcSimOutcome,
+};
 use noc_synth::SynthesisConfig;
 use noc_topology::benchmarks::Benchmark;
 
@@ -91,6 +93,110 @@ pub struct VcSweepSim {
     pub traffic: TrafficConfig,
 }
 
+/// The fault-storm simulation a sweep optionally runs against every
+/// repaired design ([`FlowSweep::fault_simulation`]): the same VC-fidelity
+/// engine, armed with a seeded [`FaultPlan::storm`] over the repaired
+/// topology, so each strategy's design is live-reconfigured through an
+/// identical failure schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSweepSim {
+    /// Engine parameters (buffer depth, credits, detection).
+    pub sim: VcSimConfig,
+    /// Workload parameters.
+    pub traffic: TrafficConfig,
+    /// Storm-generator parameters (fault count, schedule, seed).
+    pub storm: StormConfig,
+}
+
+/// Per-strategy fault-storm summary, attached to a [`StrategyOutcome`]
+/// when [`FlowSweep::fault_simulation`] is enabled: how the strategy's
+/// repaired design survived a seeded link-failure storm under cycle-safe
+/// live reconfiguration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultRunStats {
+    /// Failure events the plan scheduled (repairs not counted).
+    pub faults_injected: usize,
+    /// Reconfiguration epochs the run processed.
+    pub reconfig_events: usize,
+    /// Epochs committed (every one with an acyclic combined graph).
+    pub epochs_committed: usize,
+    /// Epochs whose combined graph was still cyclic at commit — the
+    /// protocol's core invariant is that this stays zero.
+    pub cyclic_commits: usize,
+    /// Epochs that needed the scoped-drain / forced-reroute fallback.
+    pub drain_fallbacks: usize,
+    /// Packets pulled back to their sources by fault epochs.
+    pub packets_drained: usize,
+    /// Flow reroutes onto the surviving up*/down* function.
+    pub flows_rerouted: usize,
+    /// Flows left unreachable at the end of the run.
+    pub unreachable_flows: usize,
+    /// Packets charged to unreachable flows instead of delivery.
+    pub unreachable_packets: usize,
+    /// Packets handed to source queues.
+    pub injected: usize,
+    /// Packets fully delivered through the storm.
+    pub delivered: usize,
+    /// `delivered / injected` (1.0 for an idle workload).
+    pub delivered_fraction: f64,
+    /// Mean delivered-packet latency in cycles.
+    pub mean_latency: f64,
+    /// `true` when the plan's final failure state leaves every flow's
+    /// endpoints connected (predicted by replaying the plan, not observed).
+    pub connected: bool,
+    /// `true` if the run ended in an unrecovered deadlock.
+    pub deadlocked: bool,
+}
+
+impl FaultRunStats {
+    /// Summarises a fault-armed VC-engine outcome.
+    pub fn from_outcome(outcome: &VcSimOutcome, faults_injected: usize, connected: bool) -> Self {
+        Self::from_parts(
+            &outcome.stats,
+            outcome.deadlocked,
+            &outcome.reconfig,
+            outcome.unreachable_flows.len(),
+            outcome.unreachable_packets,
+            faults_injected,
+            connected,
+        )
+    }
+
+    pub(crate) fn from_parts(
+        stats: &noc_sim::SimStats,
+        deadlocked: bool,
+        reconfig: &noc_deadlock::report::ReconfigStats,
+        unreachable_flows: usize,
+        unreachable_packets: usize,
+        faults_injected: usize,
+        connected: bool,
+    ) -> Self {
+        let injected = stats.injected_packets;
+        let delivered = stats.delivered_packets;
+        FaultRunStats {
+            faults_injected,
+            reconfig_events: reconfig.events.len(),
+            epochs_committed: reconfig.epochs_committed,
+            cyclic_commits: reconfig.cyclic_commits,
+            drain_fallbacks: reconfig.drain_fallbacks,
+            packets_drained: reconfig.packets_drained,
+            flows_rerouted: reconfig.flows_rerouted,
+            unreachable_flows,
+            unreachable_packets,
+            injected,
+            delivered,
+            delivered_fraction: if injected == 0 {
+                1.0
+            } else {
+                delivered as f64 / injected as f64
+            },
+            mean_latency: stats.mean_latency(),
+            connected,
+            deadlocked,
+        }
+    }
+}
+
 /// Summary of the certified static verifier's verdict on a repaired design,
 /// attached to a [`StrategyOutcome`] when [`FlowSweep::certify`] is enabled.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -146,6 +252,9 @@ pub struct StrategyOutcome {
     /// Certified static verdict on the repaired design
     /// (`None` unless [`FlowSweep::certify`] is enabled).
     pub certify: Option<CertifyOutcome>,
+    /// Fault-storm survival summary of the repaired design
+    /// (`None` unless [`FlowSweep::fault_simulation`] is enabled).
+    pub fault: Option<FaultRunStats>,
 }
 
 /// One grid point of a [`FlowSweep`]: a synthesized design plus the outcome
@@ -213,6 +322,7 @@ pub struct FlowSweep {
     estimate_power: bool,
     threads: usize,
     vc_sim: Option<VcSweepSim>,
+    fault_sim: Option<FaultSweepSim>,
     certify: bool,
 }
 
@@ -234,6 +344,7 @@ impl FlowSweep {
             estimate_power: true,
             threads: 0,
             vc_sim: None,
+            fault_sim: None,
             certify: false,
         }
     }
@@ -305,6 +416,19 @@ impl FlowSweep {
     /// than the repair itself.
     pub fn vc_simulation(mut self, spec: VcSweepSim) -> Self {
         self.vc_sim = Some(spec);
+        self
+    }
+
+    /// Additionally runs every repaired design through a seeded fault storm
+    /// on the fault-armed VC-fidelity engine and attaches a
+    /// [`FaultRunStats`] summary to each [`StrategyOutcome`].  The storm is
+    /// regenerated per repaired topology from the same [`StormConfig`], so
+    /// every strategy faces the identical failure schedule whenever the
+    /// strategies share a link numbering (all of the paper's strategies
+    /// only add VCs or reroute — they never renumber links).  Off by
+    /// default.
+    pub fn fault_simulation(mut self, spec: FaultSweepSim) -> Self {
+        self.fault_sim = Some(spec);
         self
     }
 
@@ -490,6 +614,38 @@ impl FlowSweep {
             }
             None => None,
         };
+        let fault = match &self.fault_sim {
+            Some(spec) => {
+                let plan = FaultPlan::storm(fixed.topology(), &spec.storm);
+                let faults_injected = plan
+                    .events()
+                    .iter()
+                    .filter(|e| matches!(e.kind, FaultKind::LinkDown(_) | FaultKind::SwitchDown(_)))
+                    .count();
+                let down = plan.final_faults(fixed.topology());
+                let connected = fixed
+                    .topology()
+                    .connectivity_after(&down)
+                    .disconnected_flows(fixed.comm(), fixed.core_map())
+                    .is_empty();
+                let simulated =
+                    fixed.simulate_vc_faulted(&AssignedVc, &spec.sim, &spec.traffic, plan)?;
+                let outcome = simulated.outcome();
+                let details = simulated
+                    .vc_details()
+                    .expect("fault simulation runs on the VC engine");
+                Some(FaultRunStats::from_parts(
+                    &outcome.stats,
+                    outcome.deadlocked,
+                    &details.reconfig,
+                    details.unreachable_flows.len(),
+                    details.unreachable_packets,
+                    faults_injected,
+                    connected,
+                ))
+            }
+            None => None,
+        };
         let certify = self
             .certify
             .then(|| CertifyOutcome::from_report(&fixed.certify()));
@@ -504,6 +660,7 @@ impl FlowSweep {
             area_um2: estimate.as_ref().map(|e| e.total_area_um2),
             sim,
             certify,
+            fault,
         })
     }
 

@@ -12,7 +12,7 @@
 
 use crate::route::{Route, RouteSet};
 use crate::validate::RouteError;
-use noc_topology::{CommGraph, CoreMap, LinkId, SwitchId, Topology};
+use noc_topology::{CommGraph, CoreMap, FaultSet, LinkId, SwitchId, Topology};
 use std::collections::VecDeque;
 
 /// The up/down labelling of a topology's links relative to a BFS spanning
@@ -40,16 +40,36 @@ impl UpDownLabels {
     /// Switches unreachable from the root (ignoring direction) get no level;
     /// routes touching them are rejected later.
     pub fn new(topology: &Topology, root: SwitchId) -> Self {
+        Self::build(topology, root, None)
+    }
+
+    /// Builds the labelling over the fabric that survives `faults`: the BFS
+    /// spans only [usable](FaultSet::link_usable) links, so failed regions
+    /// get no level and routes into them are rejected.  The root must be an
+    /// up switch for the labelling to cover anything.
+    pub fn surviving(topology: &Topology, root: SwitchId, faults: &FaultSet) -> Self {
+        Self::build(topology, root, Some(faults))
+    }
+
+    fn build(topology: &Topology, root: SwitchId, faults: Option<&FaultSet>) -> Self {
+        let usable = |link: LinkId| faults.is_none_or(|f| f.link_usable(topology, link));
         let mut level = vec![None; topology.switch_count()];
-        if root.index() < topology.switch_count() {
+        let root_up = faults.is_none_or(|f| f.switch_up(root));
+        if root.index() < topology.switch_count() && root_up {
             level[root.index()] = Some(0);
             let mut queue = VecDeque::from([root]);
             while let Some(sw) = queue.pop_front() {
                 let here = level[sw.index()].expect("queued switches have levels");
                 let neighbors: Vec<SwitchId> = topology
                     .links_from(sw)
+                    .filter(|&(id, _)| usable(id))
                     .map(|(_, l)| l.target)
-                    .chain(topology.links_to(sw).map(|(_, l)| l.source))
+                    .chain(
+                        topology
+                            .links_to(sw)
+                            .filter(|&(id, _)| usable(id))
+                            .map(|(_, l)| l.source),
+                    )
                     .collect();
                 for n in neighbors {
                     if level[n.index()].is_none() {
@@ -143,6 +163,33 @@ pub fn updown_route(
     src: SwitchId,
     dst: SwitchId,
 ) -> Option<Vec<LinkId>> {
+    updown_route_filtered(topology, labels, src, dst, None)
+}
+
+/// [`updown_route`] over the fabric surviving `faults`: only
+/// [usable](FaultSet::link_usable) links are traversed.  Pair it with
+/// [`UpDownLabels::surviving`] built on the same fault set — labels from the
+/// intact fabric may label a route legal that detours through a failed
+/// region.  `None` means the destination is unreachable on the surviving
+/// up*/down* subgraph — the signal the simulator turns into a typed
+/// `Unreachable` outcome.
+pub fn updown_route_avoiding(
+    topology: &Topology,
+    labels: &UpDownLabels,
+    src: SwitchId,
+    dst: SwitchId,
+    faults: &FaultSet,
+) -> Option<Vec<LinkId>> {
+    updown_route_filtered(topology, labels, src, dst, Some(faults))
+}
+
+fn updown_route_filtered(
+    topology: &Topology,
+    labels: &UpDownLabels,
+    src: SwitchId,
+    dst: SwitchId,
+    faults: Option<&FaultSet>,
+) -> Option<Vec<LinkId>> {
     let n = topology.switch_count();
     // visited[switch][phase]; phase 0 = still allowed to go up, 1 = down only.
     let mut visited = vec![[false; 2]; n];
@@ -164,6 +211,9 @@ pub fn updown_route(
             return Some(links);
         }
         for (link_id, link) in topology.links_from(sw) {
+            if !faults.is_none_or(|f| f.link_usable(topology, link_id)) {
+                continue;
+            }
             let Some(dir) = labels.direction(topology, link_id) else {
                 continue;
             };
@@ -302,5 +352,53 @@ mod tests {
             "up*/down* on a ring should detour at least once"
         );
         let _ = FlowId::from_index(0);
+    }
+
+    #[test]
+    fn surviving_labels_route_around_failed_links() {
+        use noc_topology::FaultSet;
+        // Bidirectional 6-ring with the 0-1 segment failed in both
+        // directions: every pair is still reachable the long way around,
+        // and no surviving route touches the failed links.
+        let generated = generators::bidirectional_ring(6, 1.0);
+        let t = generated.topology;
+        let sw = generated.switches;
+        let mut faults = FaultSet::new(&t);
+        let fwd = t.find_link(sw[0], sw[1]).unwrap();
+        let back = t.find_link(sw[1], sw[0]).unwrap();
+        faults.fail_link(fwd);
+        faults.fail_link(back);
+        let labels = UpDownLabels::surviving(&t, sw[0], &faults);
+        for i in 0..6 {
+            for j in 0..6 {
+                let route = updown_route_avoiding(&t, &labels, sw[i], sw[j], &faults)
+                    .unwrap_or_else(|| panic!("{i} -> {j} must survive one dead segment"));
+                assert!(!route.contains(&fwd) && !route.contains(&back));
+            }
+        }
+        // The intact-fabric search would happily use the dead segment.
+        let intact = UpDownLabels::new(&t, sw[0]);
+        let through = updown_route(&t, &intact, sw[0], sw[1]).unwrap();
+        assert_eq!(through, vec![fwd]);
+    }
+
+    #[test]
+    fn surviving_labels_skip_failed_switches_and_partitions() {
+        use noc_topology::FaultSet;
+        // Chain 0-1-2-3 with switch 1 failed: 0 is cut off from {2, 3}.
+        let generated = generators::chain(4, 1.0);
+        let t = generated.topology;
+        let sw = generated.switches;
+        let mut faults = FaultSet::new(&t);
+        faults.fail_switch(sw[1]);
+        let labels = UpDownLabels::surviving(&t, sw[2], &faults);
+        assert_eq!(labels.level(sw[1]), None, "failed switches get no level");
+        assert_eq!(labels.level(sw[0]), None, "0 is unreachable past the hole");
+        assert!(updown_route_avoiding(&t, &labels, sw[2], sw[0], &faults).is_none());
+        assert!(updown_route_avoiding(&t, &labels, sw[2], sw[3], &faults).is_some());
+        // A root that is itself failed labels nothing.
+        let dead_root = UpDownLabels::surviving(&t, sw[1], &faults);
+        assert_eq!(dead_root.level(sw[1]), None);
+        assert_eq!(dead_root.level(sw[2]), None);
     }
 }

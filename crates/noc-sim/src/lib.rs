@@ -59,6 +59,7 @@
 pub mod credit;
 pub mod detect;
 pub mod engine;
+pub mod fault;
 pub mod packet;
 pub mod policy;
 pub mod stats;
@@ -66,6 +67,7 @@ pub mod traffic;
 pub mod vc_engine;
 
 pub use engine::{SimConfig, SimOutcome, Simulator};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, StormConfig};
 pub use packet::{Flit, FlitKind, Packet, PacketId};
 pub use policy::{AdaptiveEscape, AssignedVc, SingleVc, VcChoice, VcPolicy};
 pub use stats::{LatencyBucket, SimStats};

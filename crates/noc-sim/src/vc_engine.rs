@@ -27,14 +27,19 @@
 
 use crate::credit::CreditBook;
 use crate::detect::{ChannelWait, InjectionWait, WaitForSnapshot, WaitTarget};
+use crate::fault::{DepGraph, FaultKind, FaultPlan};
 use crate::packet::{Flit, FlitKind, Packet, PacketId};
 use crate::policy::{VcChoice, VcPolicy};
 use crate::stats::SimStats;
 use crate::traffic::{generate_workload, TrafficConfig, Workload};
+use noc_deadlock::report::{ReconfigEvent, ReconfigStats};
 use noc_deadlock::vcmap::VcMap;
-use noc_routing::RouteSet;
-use noc_topology::{CommGraph, FlowId, LinkId};
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use noc_routing::updown::{updown_route_avoiding, UpDownLabels};
+use noc_routing::{Route, RouteSet};
+use noc_topology::{
+    Channel, CommGraph, Connectivity, CoreMap, FaultSet, FlowId, LinkId, SwitchId, Topology,
+};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 
 /// Parameters of a VC-fidelity simulation run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -55,6 +60,11 @@ pub struct VcSimConfig {
     /// cycles without movement while flits are in flight.  0 disables the
     /// heuristic entirely (the exact detector subsumes it).
     pub idle_timeout: u64,
+    /// Snapshot the committed route table after every fault-reconfiguration
+    /// epoch into [`VcSimOutcome::reconfig_routes`] (for external
+    /// re-verification of each committed epoch).  Off by default — the
+    /// snapshots are only meaningful with a [`FaultPlan`] armed.
+    pub record_reconfig_routes: bool,
 }
 
 impl Default for VcSimConfig {
@@ -65,6 +75,7 @@ impl Default for VcSimConfig {
             max_cycles: 2_000_000,
             detect_period: 64,
             idle_timeout: 1_024,
+            record_reconfig_routes: false,
         }
     }
 }
@@ -138,6 +149,22 @@ pub struct VcSimOutcome {
     /// first wait-for-graph detection — the runtime counterpart of the
     /// witness footprints (sorted, deduplicated).
     pub deadlock_channels: Vec<(LinkId, usize)>,
+    /// Fault-reconfiguration statistics (all zero/empty when no
+    /// [`FaultPlan`] is armed or no event fired).
+    pub reconfig: ReconfigStats,
+    /// Flows stranded by a topology partition when the run ended (sorted) —
+    /// the typed `Unreachable` outcome, distinct from a deadlock or an
+    /// idle-timeout.
+    pub unreachable_flows: Vec<FlowId>,
+    /// Packets dropped because their flow was unreachable: purged from the
+    /// network when the partition struck, or refused at injection time
+    /// afterwards.  `delivered + stranded + unreachable` accounts for every
+    /// injected packet.
+    pub unreachable_packets: usize,
+    /// Committed route table after each reconfiguration epoch, recorded only
+    /// when [`VcSimConfig::record_reconfig_routes`] is set (unreachable
+    /// flows carry an empty route).
+    pub reconfig_routes: Vec<RouteSet>,
 }
 
 /// Per-packet bookkeeping.
@@ -180,6 +207,26 @@ enum Move {
     Eject { from: usize },
 }
 
+/// Runtime state of the fault seam, armed via
+/// [`VcSimulator::with_faults`].
+struct FaultContext<'a> {
+    topology: &'a Topology,
+    map: &'a CoreMap,
+    plan: FaultPlan,
+    /// Next plan event to apply.
+    cursor: usize,
+    /// Cumulative failed links and switches.
+    down: FaultSet,
+    /// Committed live route per reconfigured flow — overrides both the
+    /// static routes and the DBR recovery function.
+    live_routes: HashMap<FlowId, Vec<(LinkId, usize)>>,
+    /// Flows currently stranded by a partition (gated at injection).
+    unreachable: BTreeSet<FlowId>,
+    stats: ReconfigStats,
+    unreachable_packets: usize,
+    route_log: Vec<RouteSet>,
+}
+
 /// The VC-fidelity wormhole simulator.  Borrows the design it simulates.
 pub struct VcSimulator<'a> {
     comm: &'a CommGraph,
@@ -201,6 +248,9 @@ pub struct VcSimulator<'a> {
     packets: HashMap<PacketId, PacketState>,
     /// Flows permanently switched onto the recovery routing function.
     reconfigured: HashSet<FlowId>,
+    /// Fault-injection seam (`None` = fault-free run, byte-identical to a
+    /// simulator built without [`with_faults`](Self::with_faults)).
+    faults: Option<FaultContext<'a>>,
 }
 
 impl<'a> std::fmt::Debug for VcSimulator<'a> {
@@ -256,6 +306,7 @@ impl<'a> VcSimulator<'a> {
             ),
             packets: HashMap::new(),
             reconfigured: HashSet::new(),
+            faults: None,
         }
     }
 
@@ -271,6 +322,40 @@ impl<'a> VcSimulator<'a> {
     pub fn with_recovery(mut self, recovery_routes: RouteSet) -> Self {
         validate_routes(&recovery_routes, self.vc_map, "recovery route");
         self.recovery = Some(recovery_routes);
+        self
+    }
+
+    /// Arms the fault seam: the events of `plan` are applied at their
+    /// scheduled cycles, and on each event the simulator reroutes the
+    /// affected flows onto the surviving up*/down* subgraph with an
+    /// epoch-commit protocol that never commits while the combined
+    /// (committed + in-flight residue) dependency graph is cyclic — a
+    /// scoped drain pulls offending worms back to their sources instead.
+    /// Flows stranded by a partition become a typed `Unreachable` outcome
+    /// ([`VcSimOutcome::unreachable_flows`]) rather than an idle-timeout.
+    ///
+    /// `topology` and `map` must be the design the routes were built on.
+    /// An empty plan ([`FaultPlan::none`]) leaves the run byte-identical to
+    /// an unarmed simulator.
+    pub fn with_faults(
+        mut self,
+        topology: &'a Topology,
+        map: &'a CoreMap,
+        plan: FaultPlan,
+    ) -> Self {
+        let down = FaultSet::new(topology);
+        self.faults = Some(FaultContext {
+            topology,
+            map,
+            plan,
+            cursor: 0,
+            down,
+            live_routes: HashMap::new(),
+            unreachable: BTreeSet::new(),
+            stats: ReconfigStats::default(),
+            unreachable_packets: 0,
+            route_log: Vec::new(),
+        });
         self
     }
 
@@ -307,12 +392,30 @@ impl<'a> VcSimulator<'a> {
 
         let mut cycle = 0u64;
         while cycle < self.config.max_cycles {
+            // Scheduled fault events fire first: the epoch protocol
+            // reconfigures routes before anything moves this cycle.
+            if self.faults.is_some()
+                && self.process_faults(cycle, &mut flow_queues, &mut in_flight_packets)
+            {
+                idle_cycles = 0;
+            }
             self.credits.collect_returns(cycle);
 
             // Admit newly created packets into their flow queue.
             while pending.front().is_some_and(|p| p.created_at <= cycle) {
                 let packet = pending.pop_front().expect("checked non-empty");
                 stats.injected_packets += 1;
+                if self
+                    .faults
+                    .as_ref()
+                    .is_some_and(|ctx| ctx.unreachable.contains(&packet.flow))
+                {
+                    // Typed Unreachable: the flow is stranded by a
+                    // partition; the packet is refused, not deadlocked.
+                    let ctx = self.faults.as_mut().expect("checked armed");
+                    ctx.unreachable_packets += 1;
+                    continue;
+                }
                 let route = self.current_route(packet.flow);
                 if route.is_empty() {
                     // Same-switch flow: delivered immediately.
@@ -457,6 +560,16 @@ impl<'a> VcSimulator<'a> {
                 .count(),
             "in-flight counter drifted from the packet map"
         );
+        let (reconfig, unreachable_flows, unreachable_packets, reconfig_routes) = match &self.faults
+        {
+            Some(ctx) => (
+                ctx.stats.clone(),
+                ctx.unreachable.iter().copied().collect(),
+                ctx.unreachable_packets,
+                ctx.route_log.clone(),
+            ),
+            None => (ReconfigStats::default(), Vec::new(), 0, Vec::new()),
+        };
         VcSimOutcome {
             stats,
             deadlocked,
@@ -466,6 +579,10 @@ impl<'a> VcSimulator<'a> {
             policy: self.policy.name().to_string(),
             deadlock_flows,
             deadlock_channels,
+            reconfig,
+            unreachable_flows,
+            unreachable_packets,
+            reconfig_routes,
         }
     }
 
@@ -483,11 +600,32 @@ impl<'a> VcSimulator<'a> {
         );
         self.packets.clear();
         self.reconfigured.clear();
+        if let Some(ctx) = self.faults.as_mut() {
+            ctx.cursor = 0;
+            ctx.down = FaultSet::new(ctx.topology);
+            ctx.live_routes.clear();
+            ctx.unreachable.clear();
+            ctx.stats = ReconfigStats::default();
+            ctx.unreachable_packets = 0;
+            ctx.route_log.clear();
+        }
     }
 
-    /// The `(link, assigned vc)` hops the given flow currently routes over
-    /// (the recovery route once the flow has been reconfigured).
+    /// The `(link, assigned vc)` hops the given flow currently routes over:
+    /// the fault-reconfiguration route when one is committed, otherwise the
+    /// [base route](Self::base_route).
     fn current_route(&self, flow: FlowId) -> Vec<(LinkId, usize)> {
+        if let Some(ctx) = &self.faults {
+            if let Some(route) = ctx.live_routes.get(&flow) {
+                return route.clone();
+            }
+        }
+        self.base_route(flow)
+    }
+
+    /// The committed route ignoring fault reconfigurations: the static
+    /// route, or the recovery route once the flow was DBR-reconfigured.
+    fn base_route(&self, flow: FlowId) -> Vec<(LinkId, usize)> {
         let routes = if self.reconfigured.contains(&flow) {
             self.recovery
                 .as_ref()
@@ -857,16 +995,32 @@ impl<'a> VcSimulator<'a> {
             }
             state.to_inject = flits.into();
             state.taken.clear();
-            let recovery = self.recovery.as_ref().expect("drain requires recovery");
-            let route = recovery
-                .route(flow)
-                .unwrap_or_else(|| panic!("recovery routes must cover flow {flow}"));
-            assert!(
-                !route.is_empty(),
-                "flow {flow} deadlocked but its recovery route is empty"
-            );
-            state.links = route.channels().iter().map(|c| c.link).collect();
-            state.assigned = route.channels().iter().map(|c| c.vc).collect();
+            // A fault-reconfiguration route, when committed, supersedes the
+            // recovery function (it already detours the failed region).
+            let live = self
+                .faults
+                .as_ref()
+                .and_then(|ctx| ctx.live_routes.get(&flow))
+                .cloned();
+            if let Some(route) = live {
+                assert!(
+                    !route.is_empty(),
+                    "flow {flow} deadlocked but its live route is empty"
+                );
+                state.links = route.iter().map(|&(link, _)| link).collect();
+                state.assigned = route.iter().map(|&(_, vc)| vc).collect();
+            } else {
+                let recovery = self.recovery.as_ref().expect("drain requires recovery");
+                let route = recovery
+                    .route(flow)
+                    .unwrap_or_else(|| panic!("recovery routes must cover flow {flow}"));
+                assert!(
+                    !route.is_empty(),
+                    "flow {flow} deadlocked but its recovery route is empty"
+                );
+                state.links = route.channels().iter().map(|c| c.link).collect();
+                state.assigned = route.channels().iter().map(|c| c.vc).collect();
+            }
             if self.reconfigured.insert(flow) {
                 newly_reconfigured.push(flow);
             }
@@ -882,10 +1036,20 @@ impl<'a> VcSimulator<'a> {
                 && !state.to_inject.is_empty()
                 && !dead_set.contains(&state.packet.id)
             {
-                let recovery = self.recovery.as_ref().expect("drain requires recovery");
-                if let Some(route) = recovery.route(state.packet.flow) {
-                    state.links = route.channels().iter().map(|c| c.link).collect();
-                    state.assigned = route.channels().iter().map(|c| c.vc).collect();
+                let flow = state.packet.flow;
+                if let Some(route) = self
+                    .faults
+                    .as_ref()
+                    .and_then(|ctx| ctx.live_routes.get(&flow))
+                {
+                    state.links = route.iter().map(|&(link, _)| link).collect();
+                    state.assigned = route.iter().map(|&(_, vc)| vc).collect();
+                } else {
+                    let recovery = self.recovery.as_ref().expect("drain requires recovery");
+                    if let Some(route) = recovery.route(flow) {
+                        state.links = route.channels().iter().map(|c| c.link).collect();
+                        state.assigned = route.channels().iter().map(|c| c.vc).collect();
+                    }
                 }
             }
         }
@@ -930,6 +1094,606 @@ impl<'a> VcSimulator<'a> {
 
         drain.events += 1;
         drain.packets_drained += dead.len();
+    }
+
+    /// Applies every fault event due at `cycle` as one reconfiguration
+    /// epoch.  Returns `true` when an epoch was committed.
+    fn process_faults(
+        &mut self,
+        cycle: u64,
+        flow_queues: &mut BTreeMap<FlowId, VecDeque<PacketId>>,
+        in_flight: &mut usize,
+    ) -> bool {
+        let due = self.faults.as_ref().is_some_and(|ctx| {
+            ctx.plan
+                .events()
+                .get(ctx.cursor)
+                .is_some_and(|e| e.cycle <= cycle)
+        });
+        if !due {
+            return false;
+        }
+        // Take the context out so the batch can call `&mut self` helpers;
+        // every committed-route lookup inside goes through the context.
+        let mut ctx = self.faults.take().expect("due implies armed");
+        self.apply_fault_batch(&mut ctx, cycle, flow_queues, in_flight);
+        self.faults = Some(ctx);
+        true
+    }
+
+    /// One reconfiguration epoch: apply the due faults, reroute affected
+    /// flows onto the surviving up*/down* subgraph, strand disconnected
+    /// flows, and commit only once the combined dependency graph of
+    /// committed routes plus in-flight residues is acyclic — pulling worms
+    /// back to their sources (a scoped DBR drain) when it is not.
+    fn apply_fault_batch(
+        &mut self,
+        ctx: &mut FaultContext<'a>,
+        cycle: u64,
+        flow_queues: &mut BTreeMap<FlowId, VecDeque<PacketId>>,
+        in_flight: &mut usize,
+    ) {
+        // 1. Apply every due event atomically (one epoch per batch).
+        let mut faults_applied = 0usize;
+        let mut any_repair = false;
+        while ctx
+            .plan
+            .events()
+            .get(ctx.cursor)
+            .is_some_and(|e| e.cycle <= cycle)
+        {
+            match ctx.plan.events()[ctx.cursor].kind {
+                // Link faults are physical cable faults: both directions of
+                // a bidirectional pair go down (and come back) together, so
+                // the surviving fabric stays symmetric and up*/down*
+                // recovery remains complete per connected component.
+                FaultKind::LinkDown(link) => ctx.down.fail_link_pair(ctx.topology, link),
+                FaultKind::LinkUp(link) => {
+                    ctx.down.repair_link_pair(ctx.topology, link);
+                    any_repair = true;
+                }
+                FaultKind::SwitchDown(switch) => ctx.down.fail_switch(switch),
+                FaultKind::SwitchUp(switch) => {
+                    ctx.down.repair_switch(switch);
+                    any_repair = true;
+                }
+            }
+            faults_applied += 1;
+            ctx.cursor += 1;
+        }
+
+        let flow_count = self.comm.flow_count();
+
+        // 2. Rebuild the committed dependency graph (assigned-VC CDG) from
+        // every live flow's committed route.
+        let mut dep = DepGraph::new(self.channel_count);
+        let mut committed: Vec<Option<Vec<(LinkId, usize)>>> = vec![None; flow_count];
+        for (index, slot) in committed.iter_mut().enumerate() {
+            let flow = FlowId::from_index(index);
+            if ctx.unreachable.contains(&flow) {
+                continue;
+            }
+            let route = self.committed_route_in(ctx, flow);
+            dep.add_path(&self.dense_path(&route));
+            *slot = Some(route);
+        }
+
+        // 3. Flows to re-examine: committed routes crossing a now-unusable
+        // link, plus stranded flows retried after a repair.
+        let mut candidates: Vec<FlowId> = Vec::new();
+        for (index, slot) in committed.iter().enumerate() {
+            let flow = FlowId::from_index(index);
+            match slot {
+                None => {
+                    if any_repair {
+                        candidates.push(flow);
+                    }
+                }
+                Some(route) => {
+                    if route
+                        .iter()
+                        .any(|&(link, _)| !ctx.down.link_usable(ctx.topology, link))
+                    {
+                        candidates.push(flow);
+                    }
+                }
+            }
+        }
+
+        // 4. Survivor connectivity and per-component up*/down* labels
+        // (rooted at each component's lowest-index switch).
+        let conn = ctx.topology.connectivity_after(&ctx.down);
+        let mut labels: HashMap<usize, UpDownLabels> = HashMap::new();
+        for index in 0..ctx.topology.switch_count() {
+            let switch = SwitchId::from_index(index);
+            if let Some(component) = conn.component_of(switch) {
+                labels
+                    .entry(component)
+                    .or_insert_with(|| UpDownLabels::surviving(ctx.topology, switch, &ctx.down));
+            }
+        }
+
+        // 5. Reroute or strand each candidate flow.
+        let mut flows_rerouted = 0usize;
+        let mut newly_unreachable: Vec<FlowId> = Vec::new();
+        let mut rerouted_this_event: HashSet<FlowId> = HashSet::new();
+        for flow in candidates {
+            if let Some(route) = committed[flow.index()].take() {
+                dep.remove_path(&self.dense_path(&route));
+            }
+            match self.surviving_route(ctx, &conn, &labels, flow) {
+                Some(route) => {
+                    dep.add_path(&self.dense_path(&route));
+                    ctx.live_routes.insert(flow, route.clone());
+                    ctx.unreachable.remove(&flow);
+                    committed[flow.index()] = Some(route);
+                    flows_rerouted += 1;
+                    rerouted_this_event.insert(flow);
+                }
+                None => {
+                    ctx.live_routes.remove(&flow);
+                    if ctx.unreachable.insert(flow) {
+                        newly_unreachable.push(flow);
+                    }
+                }
+            }
+        }
+
+        // 6. Purge the traffic of newly stranded flows: their packets leave
+        // the network and the accounting, so a partition surfaces as the
+        // typed Unreachable outcome instead of an idle-timeout.
+        if !newly_unreachable.is_empty() {
+            ctx.unreachable_packets +=
+                self.strand_flows(&newly_unreachable, flow_queues, in_flight);
+        }
+
+        // 7. In-flight packets: pull back worms whose remaining path
+        // crosses a dead link, swap not-yet-started packets onto the new
+        // committed route, and register every worm still travelling a
+        // superseded path as a transient residue of the epoch.
+        let min_hops = self.min_buffered_hops();
+        let mut ids: Vec<PacketId> = self
+            .packets
+            .iter()
+            .filter(|(_, s)| s.ejected < s.packet.length)
+            .map(|(&id, _)| id)
+            .collect();
+        ids.sort();
+        let mut pulled: Vec<PacketId> = Vec::new();
+        let mut pulled_routes: HashMap<FlowId, Vec<(LinkId, usize)>> = HashMap::new();
+        let mut residues: Vec<(PacketId, Vec<usize>)> = Vec::new();
+        let mut residue_ids: HashSet<PacketId> = HashSet::new();
+        for id in ids {
+            let state = &self.packets[&id];
+            let flow = state.packet.flow;
+            let Some(committed_route) = committed[flow.index()].clone() else {
+                continue; // unreachable flows were purged in step 6
+            };
+            let current: Vec<(LinkId, usize)> = state
+                .links
+                .iter()
+                .zip(&state.assigned)
+                .map(|(&link, &vc)| (link, vc))
+                .collect();
+            let started = !state.taken.is_empty() || min_hops.contains_key(&id);
+            if !started {
+                if current != committed_route {
+                    let state = self.packets.get_mut(&id).expect("packet exists");
+                    state.links = committed_route.iter().map(|&(link, _)| link).collect();
+                    state.assigned = committed_route.iter().map(|&(_, vc)| vc).collect();
+                }
+                continue;
+            }
+            let start = if state.to_inject.is_empty() {
+                min_hops.get(&id).copied().unwrap_or(state.links.len())
+            } else {
+                0
+            };
+            let broken = state.links[start..]
+                .iter()
+                .any(|&link| !ctx.down.link_usable(ctx.topology, link));
+            if broken {
+                pulled.push(id);
+                pulled_routes.insert(flow, committed_route);
+            } else if current != committed_route {
+                residues.push((id, self.residue_path(state, start)));
+                residue_ids.insert(id);
+            }
+        }
+        if !pulled.is_empty() {
+            self.pull_back_to_source(&pulled, &pulled_routes, flow_queues);
+        }
+        let mut packets_drained = pulled.len();
+
+        // 8. Epoch check: the combined graph of committed routes plus
+        // transient residues must be acyclic before the epoch commits.
+        // While it is not, drain residues crossing a cycle back to their
+        // sources (scoped DBR fallback); when only committed routes remain
+        // cyclic, move the involved flows onto the surviving up*/down*
+        // function, whose routes cannot cycle among themselves.
+        for (_, path) in &residues {
+            dep.add_path(path);
+        }
+        let mut fallback_drain = false;
+        let max_rounds = flow_count + self.packets.len() + 4;
+        let mut rounds = 0usize;
+        loop {
+            let cyclic = dep.cyclic_channels();
+            if cyclic.is_empty() {
+                break;
+            }
+            fallback_drain = true;
+            rounds += 1;
+            assert!(rounds <= max_rounds, "fault epoch failed to converge");
+            let cyclic_set: HashSet<usize> = cyclic.into_iter().collect();
+
+            // (a) Drain transient residues crossing the cycle.
+            let mut to_drain: Vec<PacketId> = Vec::new();
+            residues.retain(|(id, path)| {
+                if path.iter().any(|c| cyclic_set.contains(c)) {
+                    dep.remove_path(path);
+                    to_drain.push(*id);
+                    residue_ids.remove(id);
+                    false
+                } else {
+                    true
+                }
+            });
+            if !to_drain.is_empty() {
+                let mut drain_routes: HashMap<FlowId, Vec<(LinkId, usize)>> = HashMap::new();
+                for &id in &to_drain {
+                    let flow = self.packets[&id].packet.flow;
+                    let route = committed[flow.index()]
+                        .clone()
+                        .expect("residues belong to routed flows");
+                    drain_routes.insert(flow, route);
+                }
+                self.pull_back_to_source(&to_drain, &drain_routes, flow_queues);
+                packets_drained += to_drain.len();
+                continue;
+            }
+
+            // (b) The committed routes themselves are cyclic (e.g. an
+            // unsafe baseline design at fault time): reroute the involved
+            // flows onto the surviving up*/down* function.
+            let mut progressed = false;
+            for flow in (0..flow_count).map(FlowId::from_index) {
+                if rerouted_this_event.contains(&flow) {
+                    continue;
+                }
+                let Some(route) = committed[flow.index()].clone() else {
+                    continue;
+                };
+                let path = self.dense_path(&route);
+                if !path.iter().any(|c| cyclic_set.contains(c)) {
+                    continue;
+                }
+                dep.remove_path(&path);
+                match self.surviving_route(ctx, &conn, &labels, flow) {
+                    Some(new_route) => {
+                        dep.add_path(&self.dense_path(&new_route));
+                        ctx.live_routes.insert(flow, new_route.clone());
+                        committed[flow.index()] = Some(new_route.clone());
+                        rerouted_this_event.insert(flow);
+                        flows_rerouted += 1;
+                        // Worms of the flow still travelling the old path
+                        // become transient residues of this epoch.
+                        let fresh_hops = self.min_buffered_hops();
+                        let mut flow_ids: Vec<PacketId> = self
+                            .packets
+                            .iter()
+                            .filter(|(id, s)| {
+                                s.packet.flow == flow
+                                    && s.ejected < s.packet.length
+                                    && !residue_ids.contains(*id)
+                            })
+                            .map(|(&id, _)| id)
+                            .collect();
+                        flow_ids.sort();
+                        for id in flow_ids {
+                            let state = &self.packets[&id];
+                            let started = !state.taken.is_empty() || fresh_hops.contains_key(&id);
+                            if !started {
+                                let state = self.packets.get_mut(&id).expect("packet exists");
+                                state.links = new_route.iter().map(|&(link, _)| link).collect();
+                                state.assigned = new_route.iter().map(|&(_, vc)| vc).collect();
+                                continue;
+                            }
+                            let start = if state.to_inject.is_empty() {
+                                fresh_hops.get(&id).copied().unwrap_or(state.links.len())
+                            } else {
+                                0
+                            };
+                            let residue = self.residue_path(state, start);
+                            dep.add_path(&residue);
+                            residues.push((id, residue));
+                            residue_ids.insert(id);
+                        }
+                        progressed = true;
+                    }
+                    None => {
+                        // Defensive: the cyclic flow cannot be rerouted on
+                        // the surviving fabric — strand it.
+                        ctx.live_routes.remove(&flow);
+                        committed[flow.index()] = None;
+                        if ctx.unreachable.insert(flow) {
+                            newly_unreachable.push(flow);
+                            ctx.unreachable_packets +=
+                                self.strand_flows(&[flow], flow_queues, in_flight);
+                        }
+                        progressed = true;
+                    }
+                }
+            }
+            assert!(
+                progressed,
+                "cyclic fault epoch with no residue or committed flow to act on"
+            );
+        }
+
+        // 9. Post-protocol runtime recheck: the exact wait-for detector must
+        // agree no knot survives the epoch; any remaining knot (formed
+        // before the event, invisible to the assigned-VC model) is drained
+        // here rather than committed over.
+        let mut wait_rounds = 0usize;
+        loop {
+            let dead = self.wait_snapshot(flow_queues).deadlocked_packets();
+            if dead.is_empty() {
+                break;
+            }
+            fallback_drain = true;
+            wait_rounds += 1;
+            assert!(
+                wait_rounds <= max_rounds,
+                "wait-for drain failed to converge"
+            );
+            let mut victims: Vec<PacketId> = Vec::new();
+            let mut drain_routes: HashMap<FlowId, Vec<(LinkId, usize)>> = HashMap::new();
+            for &id in &dead {
+                let flow = self.packets[&id].packet.flow;
+                let Some(route) = committed[flow.index()].clone() else {
+                    continue;
+                };
+                drain_routes.insert(flow, route);
+                victims.push(id);
+            }
+            victims.sort();
+            assert!(!victims.is_empty(), "knot without routed flows");
+            self.pull_back_to_source(&victims, &drain_routes, flow_queues);
+            packets_drained += victims.len();
+        }
+
+        // 10. Commit.  `committed_cyclic` is re-derived from the evidence —
+        // it must always be false, and the property suite asserts so.
+        let committed_cyclic = dep.is_cyclic()
+            || !self
+                .wait_snapshot(flow_queues)
+                .deadlocked_packets()
+                .is_empty();
+        ctx.stats.record(ReconfigEvent {
+            cycle,
+            faults_applied,
+            flows_rerouted,
+            flows_unreachable: newly_unreachable.len(),
+            packets_drained,
+            fallback_drain,
+            committed_cyclic,
+        });
+        ctx.stats.unreachable_flows = ctx.unreachable.len();
+        if self.config.record_reconfig_routes {
+            let mut snapshot = RouteSet::new(flow_count);
+            for (index, slot) in committed.iter().enumerate() {
+                let flow = FlowId::from_index(index);
+                let mut route = Route::default();
+                if let Some(channels) = slot {
+                    route
+                        .channels_mut()
+                        .extend(channels.iter().map(|&(link, vc)| Channel::new(link, vc)));
+                }
+                snapshot.set_route(flow, route);
+            }
+            ctx.route_log.push(snapshot);
+        }
+    }
+
+    /// The committed route of `flow` as seen by the fault machinery (the
+    /// context is detached from `self` while an epoch runs).
+    fn committed_route_in(&self, ctx: &FaultContext<'a>, flow: FlowId) -> Vec<(LinkId, usize)> {
+        if let Some(route) = ctx.live_routes.get(&flow) {
+            return route.clone();
+        }
+        self.base_route(flow)
+    }
+
+    /// Dense channel indices of a `(link, vc)` route.
+    fn dense_path(&self, route: &[(LinkId, usize)]) -> Vec<usize> {
+        route
+            .iter()
+            .map(|&(link, vc)| self.offsets[link.index()] + vc)
+            .collect()
+    }
+
+    /// Dense channel indices a worm still occupies or will request on its
+    /// *current* (pre-reconfiguration) path, from hop `start` on: hops the
+    /// head already claimed use the channel actually taken, future hops the
+    /// assigned VC.
+    fn residue_path(&self, state: &PacketState, start: usize) -> Vec<usize> {
+        (start..state.links.len())
+            .map(|hop| {
+                if hop < state.taken.len() {
+                    state.taken[hop]
+                } else {
+                    self.offsets[state.links[hop].index()] + state.assigned[hop]
+                }
+            })
+            .collect()
+    }
+
+    /// Earliest route hop each in-flight worm still has a flit buffered at.
+    fn min_buffered_hops(&self) -> HashMap<PacketId, usize> {
+        let mut min_hops: HashMap<PacketId, usize> = HashMap::new();
+        for buffer in &self.buffers {
+            for bf in buffer {
+                min_hops
+                    .entry(bf.flit.packet)
+                    .and_modify(|hop| *hop = (*hop).min(bf.hop))
+                    .or_insert(bf.hop);
+            }
+        }
+        min_hops
+    }
+
+    /// An up*/down* route for `flow` on the surviving fabric (VC 0 on every
+    /// hop), or `None` when its endpoints are disconnected.
+    fn surviving_route(
+        &self,
+        ctx: &FaultContext<'a>,
+        conn: &Connectivity,
+        labels: &HashMap<usize, UpDownLabels>,
+        flow: FlowId,
+    ) -> Option<Vec<(LinkId, usize)>> {
+        let payload = self.comm.flow(flow).expect("flow exists");
+        let src = ctx.map.switch_of(payload.source)?;
+        let dst = ctx.map.switch_of(payload.destination)?;
+        if src == dst {
+            return Some(Vec::new());
+        }
+        let component = conn.component_of(src)?;
+        if conn.component_of(dst) != Some(component) {
+            return None;
+        }
+        let labels = labels.get(&component)?;
+        let links = updown_route_avoiding(ctx.topology, labels, src, dst, &ctx.down)?;
+        Some(links.into_iter().map(|link| (link, 0)).collect())
+    }
+
+    /// Pulls the given packets' flits out of the network and re-queues each
+    /// packet at its source on its flow's route from `new_routes` — the
+    /// drain mechanics of [`drain_deadlocked`](Self::drain_deadlocked)
+    /// without the permanent DBR reconfiguration.
+    fn pull_back_to_source(
+        &mut self,
+        victims: &[PacketId],
+        new_routes: &HashMap<FlowId, Vec<(LinkId, usize)>>,
+        flow_queues: &mut BTreeMap<FlowId, VecDeque<PacketId>>,
+    ) {
+        let victim_set: HashSet<PacketId> = victims.iter().copied().collect();
+        let mut removed: HashMap<PacketId, Vec<Flit>> = HashMap::new();
+        for buffer in &mut self.buffers {
+            buffer.retain(|bf| {
+                if victim_set.contains(&bf.flit.packet) {
+                    removed.entry(bf.flit.packet).or_default().push(bf.flit);
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        for owner in &mut self.owner {
+            if owner.is_some_and(|p| victim_set.contains(&p)) {
+                *owner = None;
+            }
+        }
+        let occupancy: Vec<usize> = self.buffers.iter().map(VecDeque::len).collect();
+        self.credits.reset_from_occupancy(occupancy);
+        for &packet_id in victims {
+            let state = self
+                .packets
+                .get_mut(&packet_id)
+                .expect("pulled packets exist");
+            let flow = state.packet.flow;
+            let mut flits = removed.remove(&packet_id).unwrap_or_default();
+            flits.sort_by_key(|f| f.sequence);
+            flits.extend(state.to_inject.drain(..));
+            let remaining = flits.len();
+            debug_assert!(remaining > 0, "pulled-back packets have flits left");
+            for (index, flit) in flits.iter_mut().enumerate() {
+                flit.kind = if remaining == 1 {
+                    FlitKind::HeadTail
+                } else if index == 0 {
+                    FlitKind::Head
+                } else if index + 1 == remaining {
+                    FlitKind::Tail
+                } else {
+                    FlitKind::Body
+                };
+            }
+            state.to_inject = flits.into();
+            state.taken.clear();
+            let route = new_routes
+                .get(&flow)
+                .expect("pulled packets have a committed route");
+            assert!(
+                !route.is_empty(),
+                "flow {flow} pulled back onto an empty route"
+            );
+            state.links = route.iter().map(|&(link, _)| link).collect();
+            state.assigned = route.iter().map(|&(_, vc)| vc).collect();
+        }
+        // Re-queue, oldest first, never burying a surviving mid-injection
+        // front (same invariant as the DBR drain).
+        let mut per_flow: BTreeMap<FlowId, Vec<PacketId>> = BTreeMap::new();
+        for &packet_id in victims {
+            per_flow
+                .entry(self.packets[&packet_id].packet.flow)
+                .or_default()
+                .push(packet_id);
+        }
+        for (flow, mut ids) in per_flow {
+            ids.sort();
+            let queue = flow_queues.entry(flow).or_default();
+            queue.retain(|id| !victim_set.contains(id));
+            let insert_at = match queue.front() {
+                Some(front) if !self.packets[front].taken.is_empty() => 1,
+                _ => 0,
+            };
+            for &id in ids.iter().rev() {
+                queue.insert(insert_at, id);
+            }
+        }
+    }
+
+    /// Removes every undelivered packet of the given flows from the network
+    /// and the accounting.  Returns the number of packets purged (each
+    /// becomes an unreachable packet, not a stranded one).
+    fn strand_flows(
+        &mut self,
+        flows: &[FlowId],
+        flow_queues: &mut BTreeMap<FlowId, VecDeque<PacketId>>,
+        in_flight: &mut usize,
+    ) -> usize {
+        let flow_set: HashSet<FlowId> = flows.iter().copied().collect();
+        let mut victims: Vec<PacketId> = self
+            .packets
+            .iter()
+            .filter(|(_, s)| flow_set.contains(&s.packet.flow) && s.ejected < s.packet.length)
+            .map(|(&id, _)| id)
+            .collect();
+        victims.sort();
+        if victims.is_empty() {
+            return 0;
+        }
+        let victim_set: HashSet<PacketId> = victims.iter().copied().collect();
+        for buffer in &mut self.buffers {
+            buffer.retain(|bf| !victim_set.contains(&bf.flit.packet));
+        }
+        for owner in &mut self.owner {
+            if owner.is_some_and(|p| victim_set.contains(&p)) {
+                *owner = None;
+            }
+        }
+        let occupancy: Vec<usize> = self.buffers.iter().map(VecDeque::len).collect();
+        self.credits.reset_from_occupancy(occupancy);
+        for flow in flows {
+            if let Some(queue) = flow_queues.get_mut(flow) {
+                queue.retain(|id| !victim_set.contains(id));
+            }
+        }
+        for id in &victims {
+            self.packets.remove(id);
+        }
+        *in_flight -= victims.len();
+        victims.len()
     }
 }
 
@@ -1289,6 +2053,287 @@ mod tests {
         let b =
             VcSimulator::new(&comm, &routes, &vc_map, &SingleVc, &config).run(&pressure_traffic());
         assert_eq!(a, b);
+    }
+
+    /// Bidirectional 6-ring with two disjoint clockwise 2-hop flows — an
+    /// acyclic design whose routes a link fault can break.
+    fn faultable_ring() -> (
+        Topology,
+        CommGraph,
+        CoreMap,
+        RouteSet,
+        Vec<noc_topology::SwitchId>,
+    ) {
+        let generated = generators::bidirectional_ring(6, 1.0);
+        let mut comm = CommGraph::new();
+        let cores: Vec<_> = (0..6).map(|i| comm.add_core(format!("c{i}"))).collect();
+        comm.add_flow(cores[0], cores[2], 100.0);
+        comm.add_flow(cores[3], cores[5], 100.0);
+        let mut map = CoreMap::new(6);
+        for (i, &c) in cores.iter().enumerate() {
+            map.assign(c, generated.switches[i]).unwrap();
+        }
+        let routes = route_all_shortest(&generated.topology, &comm, &map).unwrap();
+        (generated.topology, comm, map, routes, generated.switches)
+    }
+
+    #[test]
+    fn armed_with_an_empty_plan_is_byte_identical() {
+        let (topo, comm, map, routes, _) = faultable_ring();
+        let vc_map = VcMap::from_design(&topo, &routes);
+        let config = VcSimConfig::default();
+        let traffic = pressure_traffic();
+        let plain = VcSimulator::new(&comm, &routes, &vc_map, &AssignedVc, &config).run(&traffic);
+        let armed = VcSimulator::new(&comm, &routes, &vc_map, &AssignedVc, &config)
+            .with_faults(&topo, &map, crate::fault::FaultPlan::none())
+            .run(&traffic);
+        assert_eq!(plain, armed);
+        assert_eq!(
+            armed.reconfig,
+            noc_deadlock::report::ReconfigStats::default()
+        );
+    }
+
+    #[test]
+    fn link_fault_reroutes_and_delivers() {
+        let (topo, comm, map, routes, switches) = faultable_ring();
+        let vc_map = VcMap::from_design(&topo, &routes);
+        // Kill the clockwise 1→2 link mid-run: flow 0→2 must detour.
+        let dead = topo.find_link(switches[1], switches[2]).unwrap();
+        let plan = crate::fault::FaultPlan::new(vec![crate::fault::FaultEvent {
+            cycle: 20,
+            kind: crate::fault::FaultKind::LinkDown(dead),
+        }]);
+        let mut sim = VcSimulator::new(
+            &comm,
+            &routes,
+            &vc_map,
+            &AssignedVc,
+            &VcSimConfig::default(),
+        )
+        .with_faults(&topo, &map, plan);
+        let outcome = sim.run(&pressure_traffic());
+        assert!(!outcome.deadlocked);
+        assert_eq!(outcome.stranded_packets, 0);
+        assert_eq!(outcome.unreachable_packets, 0);
+        assert!(outcome.unreachable_flows.is_empty());
+        assert_eq!(
+            outcome.stats.delivered_packets,
+            outcome.stats.injected_packets
+        );
+        assert_eq!(outcome.reconfig.epochs_committed, 1);
+        assert!(outcome.reconfig.flows_rerouted >= 1);
+        assert_eq!(outcome.reconfig.cyclic_commits, 0);
+    }
+
+    #[test]
+    fn partition_is_a_typed_unreachable_not_a_timeout() {
+        let generated = generators::chain(3, 1.0);
+        let mut comm = CommGraph::new();
+        let a = comm.add_core("a");
+        let b = comm.add_core("b");
+        comm.add_flow(a, b, 100.0);
+        let mut map = CoreMap::new(2);
+        map.assign(a, generated.switches[0]).unwrap();
+        map.assign(b, generated.switches[2]).unwrap();
+        let routes = route_all_shortest(&generated.topology, &comm, &map).unwrap();
+        let vc_map = VcMap::from_design(&generated.topology, &routes);
+        // The destination switch dies mid-run: the flow is stranded.
+        let plan = crate::fault::FaultPlan::new(vec![crate::fault::FaultEvent {
+            cycle: 30,
+            kind: crate::fault::FaultKind::SwitchDown(generated.switches[2]),
+        }]);
+        let traffic = TrafficConfig {
+            packets_per_flow: 10,
+            packet_length: 4,
+            mean_gap_cycles: 10,
+            seed: 1,
+            ..TrafficConfig::default()
+        };
+        let mut sim = VcSimulator::new(
+            &comm,
+            &routes,
+            &vc_map,
+            &AssignedVc,
+            &VcSimConfig::default(),
+        )
+        .with_faults(&generated.topology, &map, plan);
+        let outcome = sim.run(&traffic);
+        assert!(!outcome.deadlocked, "a partition is not a deadlock");
+        assert!(outcome.detection.is_none(), "no knot, no detection");
+        assert_eq!(outcome.stranded_packets, 0);
+        assert_eq!(outcome.unreachable_flows, vec![FlowId::from_index(0)]);
+        assert!(outcome.unreachable_packets >= 1);
+        assert_eq!(
+            outcome.stats.delivered_packets as usize + outcome.unreachable_packets,
+            outcome.stats.injected_packets as usize,
+            "delivered + unreachable accounts for every injected packet"
+        );
+        assert_eq!(outcome.reconfig.events.len(), 1);
+        assert_eq!(outcome.reconfig.events[0].flows_unreachable, 1);
+        assert_eq!(outcome.reconfig.cyclic_commits, 0);
+    }
+
+    #[test]
+    fn repair_restores_a_stranded_flow() {
+        let generated = generators::chain(3, 1.0);
+        let mut comm = CommGraph::new();
+        let a = comm.add_core("a");
+        let b = comm.add_core("b");
+        comm.add_flow(a, b, 100.0);
+        let mut map = CoreMap::new(2);
+        map.assign(a, generated.switches[0]).unwrap();
+        map.assign(b, generated.switches[2]).unwrap();
+        let routes = route_all_shortest(&generated.topology, &comm, &map).unwrap();
+        let vc_map = VcMap::from_design(&generated.topology, &routes);
+        let fwd = generated
+            .topology
+            .find_link(generated.switches[1], generated.switches[2])
+            .unwrap();
+        let bwd = generated
+            .topology
+            .find_link(generated.switches[2], generated.switches[1])
+            .unwrap();
+        let plan = crate::fault::FaultPlan::new(vec![
+            crate::fault::FaultEvent {
+                cycle: 30,
+                kind: crate::fault::FaultKind::LinkDown(fwd),
+            },
+            crate::fault::FaultEvent {
+                cycle: 30,
+                kind: crate::fault::FaultKind::LinkDown(bwd),
+            },
+            crate::fault::FaultEvent {
+                cycle: 200,
+                kind: crate::fault::FaultKind::LinkUp(fwd),
+            },
+            crate::fault::FaultEvent {
+                cycle: 200,
+                kind: crate::fault::FaultKind::LinkUp(bwd),
+            },
+        ]);
+        let traffic = TrafficConfig {
+            packets_per_flow: 20,
+            packet_length: 4,
+            mean_gap_cycles: 20,
+            seed: 2,
+            ..TrafficConfig::default()
+        };
+        let mut sim = VcSimulator::new(
+            &comm,
+            &routes,
+            &vc_map,
+            &AssignedVc,
+            &VcSimConfig::default(),
+        )
+        .with_faults(&generated.topology, &map, plan);
+        let outcome = sim.run(&traffic);
+        assert!(!outcome.deadlocked);
+        assert_eq!(outcome.stranded_packets, 0);
+        assert!(
+            outcome.unreachable_flows.is_empty(),
+            "the repair puts the flow back in service"
+        );
+        assert!(
+            outcome.unreachable_packets >= 1,
+            "the outage dropped traffic"
+        );
+        assert!(
+            outcome.stats.delivered_packets >= 1,
+            "traffic after the repair is delivered"
+        );
+        assert_eq!(
+            outcome.stats.delivered_packets as usize + outcome.unreachable_packets,
+            outcome.stats.injected_packets as usize
+        );
+        assert_eq!(outcome.reconfig.cyclic_commits, 0);
+    }
+
+    #[test]
+    fn fault_on_a_trapped_ring_commits_acyclic_via_the_fallback() {
+        // The Figure 1 trap on a bidirectional ring (cyclic committed
+        // routes, single VC) plus a pendant switch.  The pendant link dies
+        // at cycle 1, while the ring knot is fully formed: the pendant flow
+        // is disconnected, but no surviving candidate crosses the dead
+        // link, so the committed cycle reaches the fallback loop — which
+        // must reroute the ring flows onto up*/down*, drain the knotted
+        // worms, and never commit cyclic.
+        let mut generated = generators::bidirectional_ring(4, 1.0);
+        let n = 4;
+        let pendant_switch = generated.topology.add_switch("pendant");
+        let (pendant_link, _) =
+            generated
+                .topology
+                .add_bidirectional_link(pendant_switch, generated.switches[0], 1.0);
+        let mut comm = CommGraph::new();
+        let cores: Vec<_> = (0..n).map(|i| comm.add_core(format!("c{i}"))).collect();
+        for i in 0..n {
+            comm.add_flow(cores[i], cores[(i + 2) % n], 100.0);
+        }
+        let pendant_core = comm.add_core("cp");
+        let pendant_flow = comm.add_flow(pendant_core, cores[2], 100.0);
+        let mut map = CoreMap::new(n + 1);
+        for (i, &c) in cores.iter().enumerate() {
+            map.assign(c, generated.switches[i]).unwrap();
+        }
+        map.assign(pendant_core, pendant_switch).unwrap();
+        let topo = generated.topology;
+        let cw: Vec<LinkId> = (0..n)
+            .map(|i| {
+                topo.find_link(generated.switches[i], generated.switches[(i + 1) % n])
+                    .expect("ring link exists")
+            })
+            .collect();
+        let mut routes = RouteSet::new(n + 1);
+        for i in 0..n {
+            routes.set_route(
+                FlowId::from_index(i),
+                Route::from_links([cw[i], cw[(i + 1) % n]]),
+            );
+        }
+        routes.set_route(
+            pendant_flow,
+            Route::from_links([pendant_link, cw[0], cw[1]]),
+        );
+        assert!(noc_deadlock::verify::check_deadlock_free(&topo, &routes).is_err());
+        let vc_map = VcMap::from_design(&topo, &routes);
+        // Fire at cycle 1: the exact detector ends a recovery-less run on
+        // the first stalled cycle, so the epoch must land while the trap is
+        // formed but before detection condemns it.
+        let plan = crate::fault::FaultPlan::new(vec![crate::fault::FaultEvent {
+            cycle: 1,
+            kind: crate::fault::FaultKind::LinkDown(pendant_link),
+        }]);
+        let config = VcSimConfig {
+            buffer_depth: 1,
+            max_cycles: 500_000,
+            record_reconfig_routes: true,
+            ..VcSimConfig::default()
+        };
+        let mut sim = VcSimulator::new(&comm, &routes, &vc_map, &SingleVc, &config)
+            .with_faults(&topo, &map, plan);
+        let outcome = sim.run(&pressure_traffic());
+        assert!(!outcome.deadlocked, "the epoch protocol resolves the trap");
+        assert_eq!(outcome.stranded_packets, 0);
+        assert_eq!(outcome.unreachable_flows, vec![pendant_flow]);
+        assert!(outcome.stats.delivered_packets >= 1);
+        assert_eq!(
+            outcome.stats.delivered_packets as usize + outcome.unreachable_packets,
+            outcome.stats.injected_packets as usize
+        );
+        assert_eq!(outcome.reconfig.cyclic_commits, 0);
+        assert!(
+            outcome.reconfig.flows_rerouted >= n,
+            "every trapped ring flow moves onto up*/down*"
+        );
+        assert!(
+            outcome.reconfig.drain_fallbacks >= 1,
+            "the cyclic committed routes force the fallback"
+        );
+        // The recorded epoch snapshot is deadlock-free end to end.
+        assert_eq!(outcome.reconfig_routes.len(), 1);
+        let snapshot = &outcome.reconfig_routes[0];
+        assert!(noc_deadlock::verify::check_deadlock_free(&topo, snapshot).is_ok());
     }
 
     #[test]

@@ -39,6 +39,7 @@
 pub mod benchmarks;
 pub mod comm;
 pub mod error;
+pub mod fault;
 pub mod generators;
 pub mod ids;
 pub mod topology;
@@ -46,5 +47,6 @@ pub mod validate;
 
 pub use comm::{CommGraph, Core, CoreMap, Flow};
 pub use error::TopologyError;
+pub use fault::{Connectivity, FaultSet};
 pub use ids::{Channel, CoreId, FlowId, LinkId, SwitchId};
 pub use topology::{Link, Switch, Topology};
