@@ -31,7 +31,7 @@ import argparse
 import json
 import sys
 
-SCHEMA_VERSION = 6
+SCHEMA_VERSION = 7
 
 CERTIFY_VERDICTS = ["certified-free", "certified-deadlockable", "unknown"]
 

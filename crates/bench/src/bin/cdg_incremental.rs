@@ -10,8 +10,8 @@
 //! mode at a time, best of three) and `--json <path>` to write the rows
 //! plus aggregate speedups as a JSON artifact.
 
-use noc_bench::artifact::FigureArgs;
-use noc_bench::{artifact, routed_benchmark, sweeps};
+use noc_bench::artifact::FigureCli;
+use noc_bench::{routed_benchmark, sweeps};
 use noc_deadlock::removal::{remove_deadlocks, CdgMode, RemovalConfig};
 use noc_flow::json::{ObjectWriter, ToJson};
 use noc_routing::RouteSet;
@@ -107,7 +107,10 @@ fn time_mode(
 }
 
 fn main() {
-    let args = FigureArgs::parse("cdg_incremental");
+    let args = FigureCli::parse("cdg_incremental");
+    if noc_bench::jobs::run_resumed(&args) {
+        return;
+    }
     let grid: Vec<(Benchmark, usize)> = sweeps::FIG8_SWITCH_COUNTS
         .map(|s| (Benchmark::D26Media, s))
         .chain(sweeps::FIG9_SWITCH_COUNTS.map(|s| (Benchmark::D36x8, s)))
@@ -174,12 +177,10 @@ fn main() {
         total_rebuild_ms / total_incremental_ms.max(1e-9)
     );
 
-    if let Some(path) = args.json {
-        let data = TimingArtifact {
-            points,
-            total_rebuild_ms,
-            total_incremental_ms,
-        };
-        artifact::write_json_artifact(&path, "cdg_incremental", &data);
-    }
+    let data = TimingArtifact {
+        points,
+        total_rebuild_ms,
+        total_incremental_ms,
+    };
+    args.write_artifact(&data);
 }

@@ -7,12 +7,15 @@
 //! `--json <path>` to write the per-benchmark comparison as a JSON
 //! artifact.
 
-use noc_bench::artifact::FigureArgs;
-use noc_bench::{artifact, power_comparisons, sweeps};
+use noc_bench::artifact::FigureCli;
+use noc_bench::{power_comparisons, sweeps};
 use noc_topology::benchmarks::Benchmark;
 
 fn main() {
-    let args = FigureArgs::parse("fig10_power");
+    let args = FigureCli::parse("fig10_power");
+    if noc_bench::jobs::run_resumed(&args) {
+        return;
+    }
     println!(
         "# Figure 10 — normalised power (resource ordering / deadlock removal), {} switches",
         sweeps::FIG10_SWITCHES
@@ -42,7 +45,5 @@ fn main() {
             c.ordering_vcs
         );
     }
-    if let Some(path) = args.json {
-        artifact::write_json_artifact(&path, "fig10_power", &comparisons);
-    }
+    args.write_artifact(&comparisons);
 }

@@ -6,12 +6,15 @@
 //! machine) and `--json <path>` to also write the series as a JSON artifact
 //! for plotting outside Rust.
 
-use noc_bench::artifact::FigureArgs;
-use noc_bench::{artifact, sweeps, vc_overhead_sweep_streaming};
+use noc_bench::artifact::FigureCli;
+use noc_bench::{sweeps, vc_overhead_sweep_streaming};
 use noc_topology::benchmarks::Benchmark;
 
 fn main() {
-    let args = FigureArgs::parse("fig8_d26_media");
+    let args = FigureCli::parse("fig8_d26_media");
+    if noc_bench::jobs::run_resumed(&args) {
+        return;
+    }
     println!("# Figure 8 — D26_media: extra VCs vs. switch count");
     println!(
         "{:>12} {:>22} {:>22} {:>14}",
@@ -37,7 +40,5 @@ fn main() {
             point.cycles_broken
         );
     }
-    if let Some(path) = args.json {
-        artifact::write_json_artifact(&path, "fig8_d26_media", &points);
-    }
+    args.write_artifact(&points);
 }

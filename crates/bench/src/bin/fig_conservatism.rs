@@ -15,11 +15,14 @@
 //! Pass `--threads <n>` to pin the executor worker count and
 //! `--json <path>` to write the full report as a JSON artifact.
 
-use noc_bench::artifact::FigureArgs;
-use noc_bench::{artifact, conservatism_sweep, DEFAULT_RANDOM_DESIGNS};
+use noc_bench::artifact::FigureCli;
+use noc_bench::{conservatism_sweep, DEFAULT_RANDOM_DESIGNS};
 
 fn main() {
-    let args = FigureArgs::parse("fig_conservatism");
+    let args = FigureCli::parse("fig_conservatism");
+    if noc_bench::jobs::run_resumed(&args) {
+        return;
+    }
     println!(
         "# Conservatism of the CDG check vs. the certified verifier \
          (Figure 8/9 grids + {DEFAULT_RANDOM_DESIGNS} random designs)"
@@ -51,7 +54,5 @@ fn main() {
             group.witness_realized
         );
     }
-    if let Some(path) = args.json {
-        artifact::write_json_artifact(&path, "fig_conservatism", &report);
-    }
+    args.write_artifact(&report);
 }

@@ -16,8 +16,8 @@
 //! Pass `--threads <n>` to pin the executor worker count and
 //! `--json <path>` to write the full sweep as a JSON artifact.
 
-use noc_bench::artifact::FigureArgs;
-use noc_bench::{artifact, fault_strategy_sweep, FaultSweepPoint, FAULT_STRATEGIES};
+use noc_bench::artifact::FigureCli;
+use noc_bench::{fault_strategy_sweep, FaultSweepPoint, FAULT_STRATEGIES};
 use noc_flow::json::{ObjectWriter, ToJson};
 
 /// The artifact payload: the strategy axis, the sweep wall time (guarded by
@@ -39,7 +39,10 @@ impl ToJson for FaultsArtifact {
 }
 
 fn main() {
-    let args = FigureArgs::parse("fig_faults");
+    let args = FigureCli::parse("fig_faults");
+    if noc_bench::jobs::run_resumed(&args) {
+        return;
+    }
     println!("# Fault storms under cycle-safe live reconfiguration — Figure 8/9 grids");
     println!(
         "{:>12} {:>9} {:>7} {:>10} {:>10} {:>11} {:>9} {:>10} {:>12}",
@@ -84,12 +87,10 @@ fn main() {
         );
     }
     println!("# swept {} points in {:.0} ms", points.len(), wall_ms);
-    if let Some(path) = args.json {
-        let data = FaultsArtifact {
-            strategies: FAULT_STRATEGIES.map(str::to_string).to_vec(),
-            wall_ms,
-            points,
-        };
-        artifact::write_json_artifact(&path, "fig_faults", &data);
-    }
+    let data = FaultsArtifact {
+        strategies: FAULT_STRATEGIES.map(str::to_string).to_vec(),
+        wall_ms,
+        points,
+    };
+    args.write_artifact(&data);
 }

@@ -13,11 +13,14 @@
 //! `--json <path>` to write the rows plus aggregate speedups as a JSON
 //! artifact.
 
-use noc_bench::artifact::FigureArgs;
-use noc_bench::{artifact, scale_sweep, SCALE_RUNS, SCALE_STRATEGY_SWITCH_CAP};
+use noc_bench::artifact::FigureCli;
+use noc_bench::{scale_sweep, SCALE_RUNS, SCALE_STRATEGY_SWITCH_CAP};
 
 fn main() {
-    let args = FigureArgs::parse("fig_scale");
+    let args = FigureCli::parse("fig_scale");
+    if noc_bench::jobs::run_resumed(&args) {
+        return;
+    }
 
     println!(
         "# Removal scaling: incremental SCC vs. full Tarjan (best of {SCALE_RUNS} runs per mode)"
@@ -78,7 +81,5 @@ fn main() {
         }
     }
 
-    if let Some(path) = args.json {
-        artifact::write_json_artifact(&path, "fig_scale", &data);
-    }
+    args.write_artifact(&data);
 }

@@ -20,10 +20,8 @@
 //! Pass `--threads <n>` to pin the executor worker count and
 //! `--json <path>` to write the full sweep as a JSON artifact.
 
-use noc_bench::artifact::FigureArgs;
-use noc_bench::{
-    artifact, sim_strategy_sweep, SimSweepPoint, SIM_INJECTION_GAPS, SIM_STRATEGY_POLICIES,
-};
+use noc_bench::artifact::FigureCli;
+use noc_bench::{sim_strategy_sweep, SimSweepPoint, SIM_INJECTION_GAPS, SIM_STRATEGY_POLICIES};
 use noc_flow::json::{ObjectWriter, ToJson};
 
 /// The artifact payload: both sweep axes plus every grid point.
@@ -44,7 +42,10 @@ impl ToJson for SimStrategiesArtifact {
 }
 
 fn main() {
-    let args = FigureArgs::parse("fig_sim_strategies");
+    let args = FigureCli::parse("fig_sim_strategies");
+    if noc_bench::jobs::run_resumed(&args) {
+        return;
+    }
     println!("# VC-aware wormhole simulation — per-strategy delivery/latency, Figure 8/9 grids");
     println!(
         "{:>12} {:>9} {:>7} {:>16} {:>10} {:>11} {:>11} {:>11} {:>9}",
@@ -107,12 +108,10 @@ fn main() {
             drains
         );
     }
-    if let Some(path) = args.json {
-        let data = SimStrategiesArtifact {
-            injection_gaps: SIM_INJECTION_GAPS.iter().map(|&g| g as usize).collect(),
-            policies: SIM_STRATEGY_POLICIES.map(str::to_string).to_vec(),
-            points,
-        };
-        artifact::write_json_artifact(&path, "fig_sim_strategies", &data);
-    }
+    let data = SimStrategiesArtifact {
+        injection_gaps: SIM_INJECTION_GAPS.iter().map(|&g| g as usize).collect(),
+        policies: SIM_STRATEGY_POLICIES.map(str::to_string).to_vec(),
+        points,
+    };
+    args.write_artifact(&data);
 }

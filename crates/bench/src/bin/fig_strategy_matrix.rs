@@ -11,8 +11,8 @@
 //! to individual (point × strategy) tasks) and `--json <path>` to write the
 //! full sweep as a JSON artifact.
 
-use noc_bench::artifact::FigureArgs;
-use noc_bench::{artifact, strategy_matrix_sweep, STRATEGY_MATRIX_NAMES};
+use noc_bench::artifact::FigureCli;
+use noc_bench::{strategy_matrix_sweep, STRATEGY_MATRIX_NAMES};
 use noc_flow::json::{ObjectWriter, ToJson};
 use noc_flow::SweepPoint;
 
@@ -32,7 +32,10 @@ impl ToJson for MatrixArtifact {
 }
 
 fn main() {
-    let args = FigureArgs::parse("fig_strategy_matrix");
+    let args = FigureCli::parse("fig_strategy_matrix");
+    if noc_bench::jobs::run_resumed(&args) {
+        return;
+    }
     println!("# Strategy matrix — extra VCs per deadlock strategy, Figure 8/9 grids");
     println!(
         "{:>12} {:>10} {:>16} {:>18} {:>16} {:>18} {:>8} {:>12}",
@@ -72,11 +75,9 @@ fn main() {
             extra_hops.max(0.0)
         );
     }
-    if let Some(path) = args.json {
-        let data = MatrixArtifact {
-            strategies: STRATEGY_MATRIX_NAMES.map(str::to_string).to_vec(),
-            points,
-        };
-        artifact::write_json_artifact(&path, "fig_strategy_matrix", &data);
-    }
+    let data = MatrixArtifact {
+        strategies: STRATEGY_MATRIX_NAMES.map(str::to_string).to_vec(),
+        points,
+    };
+    args.write_artifact(&data);
 }

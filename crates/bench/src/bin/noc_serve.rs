@@ -1,0 +1,303 @@
+//! The long-running evaluation service: figure sweeps as JSON jobs.
+//!
+//! Jobs arrive as newline-delimited JSON job specs (`{"id", "figure",
+//! "params", "threads"}` — see `noc_jobs::JobRequest`) on **stdin**, one
+//! response line per job on **stdout**; or, with `--spool <dir>`, as files
+//! dropped into a spool directory — no network dependencies either way:
+//!
+//! ```text
+//! <spool>/inbox/<name>.json    submitted job specs (id defaults to <name>)
+//! <spool>/jobs/<id>/           resumable job stores (survive kills)
+//! <spool>/outbox/<id>.json     committed artifacts
+//! <spool>/done/<id>.json       specs that completed (moved from inbox)
+//! <spool>/failed/<id>.json     specs that errored (moved from inbox)
+//! ```
+//!
+//! A job interrupted by a kill — or truncated by `--max-tasks <n>` — leaves
+//! its spec in the inbox and its completed tasks in the job store; the next
+//! pass finishes only the missing tasks and commits an artifact
+//! byte-identical to an uninterrupted run.  `--cache <dir>` adds the
+//! cross-job content-hash result cache, so a re-submitted identical job
+//! (even under a new id) completes without recomputing anything.
+//!
+//! `--once` drains the inbox a single time and exits (the CI smoke test);
+//! the default is to poll the inbox until killed.
+
+use noc_bench::jobs::job_source;
+use noc_flow::json::{write_atomic, ObjectWriter};
+use noc_jobs::{ArtifactCache, JobError, JobReport, JobRequest, JobRunner, JobStore};
+use std::io::{BufRead as _, Write as _};
+use std::path::{Path, PathBuf};
+
+const USAGE: &str = "usage: noc_serve [--spool <dir>] [--jobs <dir>] [--cache <dir>] \
+[--threads <n>] [--max-tasks <n>] [--once]
+  --spool <dir>      serve jobs from <dir>/inbox instead of stdin
+  --jobs <dir>       job-store root for stdin mode (default .noc-jobs)
+  --cache <dir>      enable the cross-job content-hash result cache
+  --threads <n>      worker threads per job (0 or unset: auto-size)
+  --max-tasks <n>    compute at most n new tasks per job per pass
+  --once             drain the spool inbox once, then exit";
+
+struct ServeArgs {
+    spool: Option<PathBuf>,
+    jobs: PathBuf,
+    cache: Option<PathBuf>,
+    threads: usize,
+    max_tasks: usize,
+    once: bool,
+}
+
+fn parse_args() -> ServeArgs {
+    let mut parsed = ServeArgs {
+        spool: None,
+        jobs: PathBuf::from(".noc-jobs"),
+        cache: None,
+        threads: 0,
+        max_tasks: usize::MAX,
+        once: false,
+    };
+    let mut args = std::env::args().skip(1);
+    let fail = |message: String| -> ! {
+        eprintln!("noc_serve: {message}");
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    };
+    while let Some(arg) = args.next() {
+        let (flag, inline) = match arg.split_once('=') {
+            Some((flag, value)) => (flag.to_string(), Some(value.to_string())),
+            None => (arg, None),
+        };
+        if flag == "--once" {
+            if inline.is_some() {
+                fail("--once takes no value".into());
+            }
+            parsed.once = true;
+            continue;
+        }
+        let mut value = || {
+            inline
+                .clone()
+                .or_else(|| args.next())
+                .unwrap_or_else(|| fail(format!("{flag} requires a value")))
+        };
+        match flag.as_str() {
+            "--spool" => parsed.spool = Some(PathBuf::from(value())),
+            "--jobs" => parsed.jobs = PathBuf::from(value()),
+            "--cache" => parsed.cache = Some(PathBuf::from(value())),
+            "--threads" => {
+                let v = value();
+                parsed.threads = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(format!("--threads expects a number, got {v:?}")));
+            }
+            "--max-tasks" => {
+                let v = value();
+                parsed.max_tasks = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(format!("--max-tasks expects a number, got {v:?}")));
+            }
+            other => fail(format!("unknown argument {other:?}")),
+        }
+    }
+    parsed
+}
+
+/// A job id safe to use as a path component: non-reserved characters are
+/// mapped to `-`, an empty id falls back to the spec's content digest.
+fn sanitize_id(id: &str, spec: &JobRequest) -> String {
+    let cleaned: String = id
+        .chars()
+        .map(|c| match c {
+            'A'..='Z' | 'a'..='z' | '0'..='9' | '.' | '_' | '-' => c,
+            _ => '-',
+        })
+        .collect();
+    if cleaned.trim_matches(['-', '.']).is_empty() {
+        spec.digest()[..16].to_string()
+    } else {
+        cleaned
+    }
+}
+
+/// Runs one job to completion (or to the `--max-tasks` budget) against its
+/// resumable store, with the optional shared cache.
+fn run_job(
+    spec: JobRequest,
+    store_dir: &Path,
+    cache: Option<&ArtifactCache>,
+    max_tasks: usize,
+) -> Result<JobReport, JobError> {
+    let source = job_source(&spec)?;
+    let store = JobStore::open(store_dir, spec)?;
+    let mut runner = JobRunner::new(store);
+    if let Some(cache) = cache {
+        runner = runner.with_cache(cache);
+    }
+    runner.run_bounded(source.as_ref(), max_tasks)
+}
+
+/// One stdout response line per job: id, status, run stats, and where the
+/// artifact was committed (spool outbox or job store).
+fn response_line(id: &str, figure: &str, report: &JobReport, artifact: Option<&Path>) -> String {
+    let status = if report.artifact.is_some() {
+        "ok"
+    } else {
+        "incomplete"
+    };
+    let mut out = String::new();
+    let mut object = ObjectWriter::new(&mut out)
+        .field("id", &id)
+        .field("figure", &figure)
+        .field("status", &status)
+        .field("total", &report.stats.total)
+        .field("computed", &report.stats.computed)
+        .field("resumed", &report.stats.resumed)
+        .field("cache_hits", &report.stats.cache_hits);
+    if let Some(path) = artifact {
+        object = object.field("artifact", &path.display().to_string());
+    }
+    object.finish();
+    out
+}
+
+fn error_line(id: &str, error: &JobError) -> String {
+    let mut out = String::new();
+    ObjectWriter::new(&mut out)
+        .field("id", &id)
+        .field("status", &"error")
+        .field("error", &error.to_string())
+        .finish();
+    out
+}
+
+/// stdin mode: one job spec per line, one response line per job.
+fn serve_stdin(args: &ServeArgs, cache: Option<&ArtifactCache>) {
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    for line in stdin.lock().lines() {
+        let line = line.unwrap_or_else(|e| {
+            eprintln!("noc_serve: stdin: {e}");
+            std::process::exit(1);
+        });
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match JobRequest::from_json(&line) {
+            Err(error) => error_line("", &error),
+            Ok(mut spec) => {
+                if args.threads != 0 {
+                    spec.threads = args.threads;
+                }
+                let id = sanitize_id(&spec.id, &spec);
+                let figure = spec.figure.clone();
+                let store_dir = args.jobs.join(&id);
+                match run_job(spec, &store_dir, cache, args.max_tasks) {
+                    Ok(report) => {
+                        let artifact = report.artifact.as_ref().map(|a| a.path.clone());
+                        response_line(&id, &figure, &report, artifact.as_deref())
+                    }
+                    Err(error) => error_line(&id, &error),
+                }
+            }
+        };
+        writeln!(stdout, "{response}").expect("stdout stays writable");
+        stdout.flush().expect("stdout stays writable");
+    }
+}
+
+/// One pass over the spool inbox; returns the number of specs seen.
+fn drain_spool(spool: &Path, args: &ServeArgs, cache: Option<&ArtifactCache>) -> usize {
+    let inbox = spool.join("inbox");
+    let mut entries: Vec<PathBuf> = match std::fs::read_dir(&inbox) {
+        Ok(dir) => dir
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+            .collect(),
+        Err(e) => {
+            eprintln!("noc_serve: {}: {e}", inbox.display());
+            std::process::exit(1);
+        }
+    };
+    entries.sort();
+    for request_path in &entries {
+        let text = match std::fs::read_to_string(request_path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("noc_serve: {}: {e}", request_path.display());
+                continue;
+            }
+        };
+        let parsed = JobRequest::from_json(text.trim()).map(|mut spec| {
+            if spec.id.is_empty() {
+                // The file name is the natural id of a spooled job.
+                if let Some(stem) = request_path.file_stem().and_then(|s| s.to_str()) {
+                    spec.id = stem.to_string();
+                }
+            }
+            if args.threads != 0 {
+                spec.threads = args.threads;
+            }
+            spec
+        });
+        let outcome = parsed.and_then(|spec| {
+            let id = sanitize_id(&spec.id, &spec);
+            let figure = spec.figure.clone();
+            let report = run_job(spec, &spool.join("jobs").join(&id), cache, args.max_tasks)?;
+            Ok((id, figure, report))
+        });
+        match outcome {
+            Ok((id, figure, report)) => {
+                if let Some(artifact) = &report.artifact {
+                    let out = spool.join("outbox").join(format!("{id}.json"));
+                    if let Err(e) = write_atomic(&out, artifact.text.as_bytes()) {
+                        eprintln!("noc_serve: {}: {e}", out.display());
+                        continue;
+                    }
+                    move_spec(request_path, &spool.join("done"), &id);
+                    println!("{}", response_line(&id, &figure, &report, Some(&out)));
+                } else {
+                    // Budget ran out mid-job: leave the spec in the inbox so
+                    // the next pass resumes from the store.
+                    println!("{}", response_line(&id, &figure, &report, None));
+                }
+            }
+            Err(error) => {
+                let id = request_path
+                    .file_stem()
+                    .and_then(|s| s.to_str())
+                    .unwrap_or("job");
+                eprintln!("noc_serve: {id}: {error}");
+                move_spec(request_path, &spool.join("failed"), id);
+                println!("{}", error_line(id, &error));
+            }
+        }
+    }
+    entries.len()
+}
+
+fn move_spec(from: &Path, to_dir: &Path, id: &str) {
+    let to = to_dir.join(format!("{id}.json"));
+    let moved = std::fs::create_dir_all(to_dir).and_then(|()| std::fs::rename(from, &to));
+    if let Err(e) = moved {
+        eprintln!(
+            "noc_serve: moving {} to {}: {e}",
+            from.display(),
+            to.display()
+        );
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let cache = args.cache.as_ref().map(ArtifactCache::new);
+    match &args.spool {
+        None => serve_stdin(&args, cache.as_ref()),
+        Some(spool) => loop {
+            drain_spool(spool, &args, cache.as_ref());
+            if args.once {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(500));
+        },
+    }
+}

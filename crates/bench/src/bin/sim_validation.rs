@@ -12,12 +12,15 @@
 //! machine) and `--json <path>` to write the per-benchmark outcomes as a
 //! JSON artifact.
 
-use noc_bench::artifact::FigureArgs;
-use noc_bench::{artifact, simulate_before_after_all, SimValidation};
+use noc_bench::artifact::FigureCli;
+use noc_bench::{simulate_before_after_all, sweeps, SimValidation};
 use noc_topology::benchmarks::Benchmark;
 
 fn main() {
-    let args = FigureArgs::parse("sim_validation");
+    let args = FigureCli::parse("sim_validation");
+    if noc_bench::jobs::run_resumed(&args) {
+        return;
+    }
     println!("# Wormhole simulation: deadlock behaviour before/after removal (10-switch designs)");
     println!(
         "{:>12} {:>14} {:>20} {:>18} {:>16} {:>16} {:>12}",
@@ -30,7 +33,7 @@ fn main() {
         "fixed_p95"
     );
     let validations: Vec<SimValidation> =
-        simulate_before_after_all(&Benchmark::ALL, 10, args.threads);
+        simulate_before_after_all(&Benchmark::ALL, sweeps::SIM_SWITCHES, args.threads);
     for v in &validations {
         println!(
             "{:>12} {:>14} {:>20} {:>18} {:>16} {:>16.1} {:>12}",
@@ -43,7 +46,5 @@ fn main() {
             v.fixed_p95_latency
         );
     }
-    if let Some(path) = args.json {
-        artifact::write_json_artifact(&path, "sim_validation", &validations);
-    }
+    args.write_artifact(&validations);
 }

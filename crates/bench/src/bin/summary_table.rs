@@ -7,8 +7,8 @@
 //! machine) and `--json <path>` to write the comparisons and aggregates as
 //! a JSON artifact.
 
-use noc_bench::artifact::FigureArgs;
-use noc_bench::{artifact, power_comparisons, summary, sweeps, PowerComparison, Summary};
+use noc_bench::artifact::FigureCli;
+use noc_bench::{power_comparisons, summary, sweeps, PowerComparison, Summary};
 use noc_flow::json::{ObjectWriter, ToJson};
 use noc_topology::benchmarks::Benchmark;
 
@@ -28,7 +28,10 @@ impl ToJson for SummaryArtifact {
 }
 
 fn main() {
-    let args = FigureArgs::parse("summary_table");
+    let args = FigureCli::parse("summary_table");
+    if noc_bench::jobs::run_resumed(&args) {
+        return;
+    }
     println!(
         "# Section 5 summary — per-benchmark comparison at {} switches",
         sweeps::FIG10_SWITCHES
@@ -89,11 +92,9 @@ fn main() {
         "mean area overhead vs. no removal:       {:>6.2}%",
         s.mean_area_overhead * 100.0
     );
-    if let Some(path) = args.json {
-        let data = SummaryArtifact {
-            comparisons,
-            summary: s,
-        };
-        artifact::write_json_artifact(&path, "summary_table", &data);
-    }
+    let data = SummaryArtifact {
+        comparisons,
+        summary: s,
+    };
+    args.write_artifact(&data);
 }

@@ -1804,98 +1804,191 @@ impl ToJson for ScaleArtifact {
     }
 }
 
-/// `--json <path>` / `--threads <n>` CLI support shared by the figure
-/// binaries.
+/// The shared figure-binary command line and artifact writer.
+///
+/// Every figure binary parses the same flags through
+/// [`FigureCli`](artifact::FigureCli) —
+/// one flag table, one generated usage string, one typed error enum —
+/// and writes its artifact through the unified
+/// [`Artifact`](noc_flow::json::Artifact) envelope (atomic temp-file +
+/// rename, self-validated).  The envelope version lives in
+/// `noc_flow::json` as the single crate-level constant; it is
+/// re-exported here for convenience.
 pub mod artifact {
-    use noc_flow::json::{JsonValue, ObjectWriter, ToJson};
-    use std::path::PathBuf;
+
+    use noc_flow::json::{Artifact, ToJson};
+    use std::fmt;
+    use std::path::{Path, PathBuf};
+
+    pub use noc_flow::json::SCHEMA_VERSION;
+
+    /// The flag table the usage text and the parser are both generated
+    /// from: `(flag, value placeholder, help)`.
+    const FLAGS: [(&str, &str, &str); 4] = [
+        ("--json", "<path>", "write the artifact to this exact path"),
+        (
+            "--threads",
+            "<n>",
+            "executor worker count (0 or unset: auto-size to the machine)",
+        ),
+        (
+            "--resume",
+            "<dir>",
+            "run through the resumable job store in this directory",
+        ),
+        (
+            "--out-dir",
+            "<dir>",
+            "write the artifact to <dir>/<figure>.json (unless --json is given)",
+        ),
+    ];
 
     /// The command-line options every figure binary accepts.
     #[derive(Debug, Clone, Default, PartialEq, Eq)]
-    pub struct FigureArgs {
-        /// `--json <path>`: also write the series as a JSON artifact.
+    pub struct FigureCli {
+        /// The figure name (artifact envelope, default filenames, errors).
+        pub figure: String,
+        /// `--json <path>`: write the artifact to this exact path.
         pub json: Option<PathBuf>,
         /// `--threads <n>`: executor worker count (`0`, the default,
         /// auto-sizes to the machine's available parallelism).
         pub threads: usize,
+        /// `--resume <dir>`: route the sweep through the resumable job
+        /// store rooted at this directory.
+        pub resume: Option<PathBuf>,
+        /// `--out-dir <dir>`: default artifact location
+        /// (`<dir>/<figure>.json`) when `--json` is not given.
+        pub out_dir: Option<PathBuf>,
     }
 
-    impl FigureArgs {
-        /// Parses the process arguments (`--json <path>`, `--json=<path>`,
-        /// `--threads <n>`, `--threads=<n>`).
-        ///
-        /// # Panics
-        ///
-        /// Panics with a usage message on a flag without its value, a
-        /// non-numeric thread count, or an unknown argument — the figure
-        /// binaries take no other arguments.
-        pub fn parse(figure: &str) -> Self {
-            Self::from_iter(figure, std::env::args().skip(1))
-        }
+    /// Why a figure command line was rejected.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum CliError {
+        /// A flag that needs a value was last on the line.
+        MissingValue {
+            /// The flag, e.g. `--json`.
+            flag: &'static str,
+        },
+        /// A flag's value did not parse.
+        InvalidValue {
+            /// The flag, e.g. `--threads`.
+            flag: &'static str,
+            /// What was passed.
+            value: String,
+        },
+        /// An argument that matches no known flag.
+        UnknownArgument(String),
+    }
 
-        fn from_iter(figure: &str, args: impl IntoIterator<Item = String>) -> Self {
-            let usage = || {
-                format!(
-                    "usage: {figure} [--json <path>] [--threads <n>]  \
-                     (--threads 0 or unset auto-sizes to the machine's \
-                     available parallelism)"
-                )
-            };
-            let mut parsed = FigureArgs::default();
-            let mut args = args.into_iter();
-            while let Some(arg) = args.next() {
-                if arg == "--json" {
-                    let value = args.next().unwrap_or_else(|| panic!("{}", usage()));
-                    parsed.json = Some(PathBuf::from(value));
-                } else if let Some(value) = arg.strip_prefix("--json=") {
-                    parsed.json = Some(PathBuf::from(value));
-                } else if arg == "--threads" {
-                    let value = args.next().unwrap_or_else(|| panic!("{}", usage()));
-                    parsed.threads = parse_threads(figure, &value);
-                } else if let Some(value) = arg.strip_prefix("--threads=") {
-                    parsed.threads = parse_threads(figure, value);
-                } else {
-                    panic!("unknown argument {arg:?}; {}", usage());
+    impl fmt::Display for CliError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                CliError::MissingValue { flag } => write!(f, "{flag} requires a value"),
+                CliError::InvalidValue { flag, value } => {
+                    write!(f, "{flag} expects a number, got {value:?}")
+                }
+                CliError::UnknownArgument(arg) => write!(f, "unknown argument {arg:?}"),
+            }
+        }
+    }
+
+    impl std::error::Error for CliError {}
+
+    impl FigureCli {
+        /// Parses the process arguments, printing the error plus the
+        /// generated usage text and exiting with status 2 on a bad line.
+        pub fn parse(figure: &str) -> Self {
+            match Self::from_iter(figure, std::env::args().skip(1)) {
+                Ok(cli) => cli,
+                Err(error) => {
+                    eprintln!("{figure}: {error}");
+                    eprintln!("{}", Self::usage(figure));
+                    std::process::exit(2);
                 }
             }
-            parsed
+        }
+
+        /// Parses an explicit argument list (both `--flag value` and
+        /// `--flag=value` spellings), returning a typed error instead of
+        /// exiting.
+        pub fn from_iter(
+            figure: &str,
+            args: impl IntoIterator<Item = String>,
+        ) -> Result<Self, CliError> {
+            let mut cli = FigureCli {
+                figure: figure.to_string(),
+                ..FigureCli::default()
+            };
+            let mut args = args.into_iter();
+            while let Some(arg) = args.next() {
+                let (flag, value) = match arg.split_once('=') {
+                    Some((flag, value)) => (flag.to_string(), Some(value.to_string())),
+                    None => (arg, None),
+                };
+                let known = FLAGS.iter().find(|(name, _, _)| *name == flag);
+                let Some(&(name, _, _)) = known else {
+                    return Err(CliError::UnknownArgument(flag));
+                };
+                let value = match value.or_else(|| args.next()) {
+                    Some(value) => value,
+                    None => return Err(CliError::MissingValue { flag: name }),
+                };
+                match name {
+                    "--json" => cli.json = Some(PathBuf::from(value)),
+                    "--resume" => cli.resume = Some(PathBuf::from(value)),
+                    "--out-dir" => cli.out_dir = Some(PathBuf::from(value)),
+                    "--threads" => {
+                        cli.threads = value
+                            .parse()
+                            .map_err(|_| CliError::InvalidValue { flag: name, value })?;
+                    }
+                    _ => unreachable!("every table entry is matched"),
+                }
+            }
+            Ok(cli)
+        }
+
+        /// The usage text, generated from the flag table.
+        pub fn usage(figure: &str) -> String {
+            let mut out = format!("usage: {figure}");
+            for (flag, placeholder, _) in FLAGS {
+                out.push_str(&format!(" [{flag} {placeholder}]"));
+            }
+            for (flag, _, help) in FLAGS {
+                out.push_str(&format!("\n  {flag:<10} {help}"));
+            }
+            out
+        }
+
+        /// Where the artifact goes: `--json` verbatim, else
+        /// `<out-dir>/<figure>.json`, else nowhere.
+        pub fn artifact_path(&self) -> Option<PathBuf> {
+            self.json.clone().or_else(|| {
+                self.out_dir
+                    .as_ref()
+                    .map(|dir| dir.join(format!("{}.json", self.figure)))
+            })
+        }
+
+        /// Writes `data` under the versioned envelope to
+        /// [`FigureCli::artifact_path`] (no-op when no path was requested),
+        /// atomically.  Exits with status 1 on a write failure — the
+        /// binary has nothing useful left to do.
+        pub fn write_artifact(&self, data: &dyn ToJson) {
+            if let Some(path) = self.artifact_path() {
+                write_json_artifact(&path, &self.figure, data);
+            }
         }
     }
 
-    fn parse_threads(figure: &str, value: &str) -> usize {
-        value
-            .parse()
-            .unwrap_or_else(|_| panic!("{figure}: --threads expects a number, got {value:?}"))
-    }
-
-    /// Version of the artifact envelope and the per-figure payload schemas,
-    /// checked by `ci/check_artifact.py`.  Bump it whenever a payload field
-    /// is added, removed or changes meaning (v2 added the envelope `schema`
-    /// field itself, the per-outcome `kind`/`mean_hops` fields of sweep
-    /// points, and the `fig_strategy_matrix` artifact; v3 added the
-    /// `fig_sim_strategies` artifact, the per-outcome `sim` block, and the
-    /// `fixed_p95_latency` column of `sim_validation`; v4 added the
-    /// `fig_conservatism` artifact and the per-outcome `certify` block of
-    /// sweep points; v5 added the `fig_scale` artifact; v6 added the
-    /// `fig_faults` artifact and the per-outcome `fault` block of sweep
-    /// points).
-    pub const SCHEMA_VERSION: usize = 6;
-
-    /// Renders a figure artifact — `{"figure": ..., "schema": ..., "data":
-    /// ...}` — and writes it to `path`, re-parsing the output first so a
-    /// serializer bug can never produce an unreadable artifact.
-    pub fn write_json_artifact(path: &std::path::Path, figure: &str, data: &dyn ToJson) {
-        let mut out = String::new();
-        ObjectWriter::new(&mut out)
-            .field("figure", &figure)
-            .field("schema", &SCHEMA_VERSION)
-            .field("data", data)
-            .finish();
-        out.push('\n');
-        JsonValue::parse(&out)
-            .unwrap_or_else(|e| panic!("internal error: artifact for {figure} is invalid: {e}"));
-        std::fs::write(path, &out)
-            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    /// Renders a figure artifact under the versioned envelope and commits
+    /// it to `path` atomically (temp file + rename), re-parsing the output
+    /// first so a serializer bug can never publish an unreadable artifact.
+    pub fn write_json_artifact(path: &Path, figure: &str, data: &dyn ToJson) {
+        if let Err(error) = Artifact::new(figure, data).write(path) {
+            eprintln!("{figure}: {error}");
+            std::process::exit(1);
+        }
         eprintln!("wrote {}", path.display());
     }
 
@@ -1903,34 +1996,70 @@ pub mod artifact {
     mod tests {
         use super::*;
 
-        fn parse(args: &[&str]) -> FigureArgs {
-            FigureArgs::from_iter("fig", args.iter().map(|s| s.to_string()))
+        fn parse(args: &[&str]) -> Result<FigureCli, CliError> {
+            FigureCli::from_iter("fig", args.iter().map(|s| s.to_string()))
         }
 
         #[test]
-        fn parses_json_and_threads_in_both_spellings() {
-            assert_eq!(parse(&[]), FigureArgs::default());
-            let a = parse(&["--json", "out.json", "--threads", "4"]);
-            assert_eq!(a.json.as_deref(), Some(std::path::Path::new("out.json")));
+        fn parses_all_flags_in_both_spellings() {
+            let empty = parse(&[]).unwrap();
+            assert_eq!(empty.figure, "fig");
+            assert_eq!(empty.json, None);
+            assert_eq!(empty.threads, 0);
+
+            let a = parse(&["--json", "out.json", "--threads", "4"]).unwrap();
+            assert_eq!(a.json.as_deref(), Some(Path::new("out.json")));
             assert_eq!(a.threads, 4);
-            let b = parse(&["--threads=2", "--json=x.json"]);
+
+            let b = parse(&["--threads=2", "--json=x.json", "--resume=st", "--out-dir=o"]).unwrap();
             assert_eq!(b.threads, 2);
-            assert_eq!(b.json.as_deref(), Some(std::path::Path::new("x.json")));
+            assert_eq!(b.json.as_deref(), Some(Path::new("x.json")));
+            assert_eq!(b.resume.as_deref(), Some(Path::new("st")));
+            assert_eq!(b.out_dir.as_deref(), Some(Path::new("o")));
         }
 
         #[test]
-        #[should_panic(expected = "--threads expects a number")]
-        fn rejects_non_numeric_threads() {
-            parse(&["--threads", "lots"]);
+        fn rejects_bad_lines_with_typed_errors() {
+            assert_eq!(
+                parse(&["--threads", "lots"]),
+                Err(CliError::InvalidValue {
+                    flag: "--threads",
+                    value: "lots".to_string()
+                })
+            );
+            assert_eq!(
+                parse(&["--frobnicate"]),
+                Err(CliError::UnknownArgument("--frobnicate".to_string()))
+            );
+            assert_eq!(
+                parse(&["--json"]),
+                Err(CliError::MissingValue { flag: "--json" })
+            );
         }
 
         #[test]
-        #[should_panic(expected = "unknown argument")]
-        fn rejects_unknown_arguments() {
-            parse(&["--frobnicate"]);
+        fn artifact_path_prefers_json_over_out_dir() {
+            let both = parse(&["--json=a.json", "--out-dir=d"]).unwrap();
+            assert_eq!(both.artifact_path().as_deref(), Some(Path::new("a.json")));
+            let dir_only = parse(&["--out-dir=d"]).unwrap();
+            assert_eq!(
+                dir_only.artifact_path().as_deref(),
+                Some(Path::new("d/fig.json"))
+            );
+            assert_eq!(parse(&[]).unwrap().artifact_path(), None);
+        }
+
+        #[test]
+        fn usage_lists_every_flag() {
+            let usage = FigureCli::usage("fig");
+            for (flag, _, _) in FLAGS {
+                assert!(usage.contains(flag), "usage must mention {flag}");
+            }
         }
     }
 }
+
+pub mod jobs;
 
 /// The switch-count ranges used by the paper for its two sweep figures.
 pub mod sweeps {
@@ -1940,6 +2069,8 @@ pub mod sweeps {
     pub const FIG9_SWITCH_COUNTS: std::ops::RangeInclusive<usize> = 10..=35;
     /// Figure 10 uses 14-switch topologies for every benchmark.
     pub const FIG10_SWITCHES: usize = 14;
+    /// The dynamic validation simulates every benchmark at 10 switches.
+    pub const SIM_SWITCHES: usize = 10;
 }
 
 #[cfg(test)]

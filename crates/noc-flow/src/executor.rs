@@ -253,6 +253,69 @@ pub fn parallel_map_ordered<T: Sync, R: Send>(
         .collect()
 }
 
+/// Like [`parallel_map_ordered`], but hands each result to `on_complete`
+/// on the coordinating thread *as it arrives* (completion order, not input
+/// order) before returning the full vector in input order.
+///
+/// This is the seam the `noc-jobs` runner needs: a resumable job must
+/// append each task's completion record to its on-disk log the moment the
+/// task finishes — batching records until the whole map returns would lose
+/// every in-flight result on a crash.  `on_complete` runs on the
+/// coordinator, so it may hold `&mut` state (an open log file) without
+/// synchronization.
+///
+/// # Example
+///
+/// ```
+/// let mut seen = Vec::new();
+/// let doubled = noc_flow::executor::parallel_map_streaming(
+///     &[1, 2, 3],
+///     2,
+///     |_, &x| x * 2,
+///     |index, result| seen.push((index, *result)),
+/// );
+/// assert_eq!(doubled, vec![2, 4, 6]);
+/// seen.sort_unstable();
+/// assert_eq!(seen, vec![(0, 2), (1, 4), (2, 6)]);
+/// ```
+pub fn parallel_map_streaming<T: Sync, R: Send>(
+    items: &[T],
+    threads: usize,
+    f: impl Fn(usize, &T) -> R + Sync,
+    mut on_complete: impl FnMut(usize, &R),
+) -> Vec<R> {
+    let workers = worker_count(threads, items.len());
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    let mut slots: Vec<Option<R>> = Vec::new();
+    slots.resize_with(items.len(), || None);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(index) else {
+                    break;
+                };
+                if tx.send((index, f(index, item))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (index, result) in rx {
+            on_complete(index, &result);
+            slots[index] = Some(result);
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every item was mapped exactly once"))
+        .collect()
+}
+
 /// Resolves the configured thread count: `0` auto-sizes to the machine's
 /// available parallelism; the pool never exceeds the grid size and is at
 /// least one thread.
@@ -277,5 +340,25 @@ mod tests {
         assert_eq!(worker_count(4, 100), 4);
         assert_eq!(worker_count(1, 0), 1, "empty grids still get one worker");
         assert!(worker_count(0, 100) >= 1, "auto mode is at least one");
+    }
+
+    #[test]
+    fn streaming_map_sees_every_result_before_return() {
+        let items: Vec<usize> = (0..32).collect();
+        let mut streamed = Vec::new();
+        let results = parallel_map_streaming(
+            &items,
+            4,
+            |index, &x| (index, x * x),
+            |index, result| streamed.push((index, *result)),
+        );
+        assert_eq!(results.len(), 32);
+        for (i, &(index, square)) in results.iter().enumerate() {
+            assert_eq!(index, i, "results come back in input order");
+            assert_eq!(square, i * i);
+        }
+        streamed.sort_unstable();
+        let expected: Vec<_> = (0..32).map(|i| (i, (i, i * i))).collect();
+        assert_eq!(streamed, expected, "every result streamed exactly once");
     }
 }

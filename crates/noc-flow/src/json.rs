@@ -23,6 +23,9 @@ use noc_deadlock::report::{BreakStep, CdgMaintenanceStats, RemovalReport, Strate
 use noc_sim::{DrainStats, LatencyBucket, SimStats};
 use noc_topology::benchmarks::Benchmark;
 use std::fmt;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Serializes a value as JSON into a growing buffer.
 ///
@@ -768,6 +771,244 @@ impl<'a> Parser<'a> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Artifact envelope
+// ---------------------------------------------------------------------------
+
+/// Version of the artifact envelope and the per-figure payload schemas,
+/// checked by `ci/check_artifact.py`.  Bump it whenever a payload field is
+/// added, removed or changes meaning (v2 added the envelope `schema` field
+/// itself, the per-outcome `kind`/`mean_hops` fields of sweep points, and
+/// the `fig_strategy_matrix` artifact; v3 added the `fig_sim_strategies`
+/// artifact, the per-outcome `sim` block, and the `fixed_p95_latency`
+/// column of `sim_validation`; v4 added the `fig_conservatism` artifact and
+/// the per-outcome `certify` block of sweep points; v5 added the
+/// `fig_scale` artifact; v6 added the `fig_faults` artifact and the
+/// per-outcome `fault` block of sweep points; v7 unified the envelope
+/// behind [`Artifact`] with this crate-level constant and added the
+/// `noc-jobs` resumable job store, whose on-disk records carry the same
+/// version).
+pub const SCHEMA_VERSION: usize = 7;
+
+/// A JSON value that is *already serialized*: its text is spliced into the
+/// output verbatim.  This is how the job store re-emits recorded task
+/// results byte-identically instead of round-tripping them through
+/// [`JsonValue`].
+///
+/// The wrapped text must be exactly one valid JSON value; [`Artifact::write`]
+/// still self-validates the final document, so a bad splice fails loudly at
+/// the writer instead of producing an unreadable artifact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RawJson<'a>(pub &'a str);
+
+impl ToJson for RawJson<'_> {
+    fn write_json(&self, out: &mut String) {
+        out.push_str(self.0);
+    }
+}
+
+/// The versioned `{"figure", "schema", "data"}` envelope every figure and
+/// job artifact is wrapped in — one generic writer/parser instead of
+/// per-figure envelope code.
+///
+/// # Example
+///
+/// ```
+/// use noc_flow::json::{Artifact, ParsedArtifact, SCHEMA_VERSION};
+///
+/// let text = Artifact::new("fig8_d26_media", &vec![1usize, 2, 3]).render();
+/// let parsed = ParsedArtifact::parse(&text).unwrap();
+/// assert_eq!(parsed.figure, "fig8_d26_media");
+/// assert_eq!(parsed.schema, SCHEMA_VERSION);
+/// assert_eq!(parsed.data.as_array().unwrap().len(), 3);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Artifact<'a, T: ToJson + ?Sized> {
+    /// Figure (or job kind) name carried in the envelope.
+    pub figure: &'a str,
+    /// The payload serialized under `"data"`.
+    pub data: &'a T,
+}
+
+impl<'a, T: ToJson + ?Sized> Artifact<'a, T> {
+    /// Wraps a payload in the envelope.
+    pub fn new(figure: &'a str, data: &'a T) -> Self {
+        Artifact { figure, data }
+    }
+
+    /// The envelope document, newline-terminated.
+    pub fn render(&self) -> String {
+        let mut out = self.to_json();
+        out.push('\n');
+        out
+    }
+
+    /// Renders the envelope, re-parses it (so a serializer bug can never
+    /// produce an unreadable artifact), and writes it to `path` atomically
+    /// — temp file in the destination directory plus rename, so readers
+    /// never observe a torn artifact and a crash mid-write leaves any
+    /// previous version intact.
+    pub fn write(&self, path: &Path) -> Result<(), ArtifactError> {
+        let out = self.render();
+        ParsedArtifact::parse(&out)?;
+        write_atomic(path, out.as_bytes()).map_err(|source| ArtifactError::Io {
+            path: path.to_path_buf(),
+            source,
+        })
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for Artifact<'_, T> {
+    fn write_json(&self, out: &mut String) {
+        ObjectWriter::new(out)
+            .field("figure", &self.figure)
+            .field("schema", &SCHEMA_VERSION)
+            .field("data", &self.data)
+            .finish();
+    }
+}
+
+/// An [`Artifact`] envelope read back from text, version-checked against
+/// [`SCHEMA_VERSION`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedArtifact {
+    /// Figure (or job kind) name from the envelope.
+    pub figure: String,
+    /// Envelope schema version (always [`SCHEMA_VERSION`] after a
+    /// successful parse).
+    pub schema: usize,
+    /// The payload under `"data"`.
+    pub data: JsonValue,
+}
+
+impl ParsedArtifact {
+    /// Parses and validates an envelope document.
+    pub fn parse(text: &str) -> Result<ParsedArtifact, ArtifactError> {
+        let value = JsonValue::parse(text)?;
+        let figure = value
+            .get("figure")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| ArtifactError::Envelope("missing string field \"figure\"".into()))?
+            .to_string();
+        let schema = value
+            .get("schema")
+            .and_then(JsonValue::as_number)
+            .ok_or_else(|| ArtifactError::Envelope("missing numeric field \"schema\"".into()))?;
+        if schema != SCHEMA_VERSION as f64 {
+            return Err(ArtifactError::SchemaMismatch { found: schema });
+        }
+        let data = value
+            .get("data")
+            .ok_or_else(|| ArtifactError::Envelope("missing field \"data\"".into()))?
+            .clone();
+        Ok(ParsedArtifact {
+            figure,
+            schema: SCHEMA_VERSION,
+            data,
+        })
+    }
+}
+
+/// Why an artifact could not be written or read back.
+#[derive(Debug)]
+pub enum ArtifactError {
+    /// The document is not valid JSON.
+    Json(JsonParseError),
+    /// The document parses but the envelope is malformed.
+    Envelope(String),
+    /// The envelope's schema version differs from [`SCHEMA_VERSION`].
+    SchemaMismatch {
+        /// The version found in the document.
+        found: f64,
+    },
+    /// A filesystem operation failed.
+    Io {
+        /// The artifact path involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::Json(e) => write!(f, "artifact is not valid JSON: {e}"),
+            ArtifactError::Envelope(message) => write!(f, "malformed artifact envelope: {message}"),
+            ArtifactError::SchemaMismatch { found } => write!(
+                f,
+                "artifact schema is {found}, this build expects {SCHEMA_VERSION}"
+            ),
+            ArtifactError::Io { path, source } => {
+                write!(f, "cannot write {}: {source}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ArtifactError::Json(e) => Some(e),
+            ArtifactError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<JsonParseError> for ArtifactError {
+    fn from(error: JsonParseError) -> Self {
+        ArtifactError::Json(error)
+    }
+}
+
+/// Distinguishes concurrent writers' temp files (two processes committing
+/// into the same directory must never rename each other's half-written
+/// file into place).
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Writes `bytes` to `path` atomically: the data goes to a uniquely named
+/// temp file in the destination directory (created if missing), is synced,
+/// and is renamed over `path` — so a crash at any point leaves either the
+/// old file or the new one, never a torn mix.  Shared by the artifact
+/// writer and the job store's commit path.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let dir = match path.parent() {
+        Some(parent) if !parent.as_os_str().is_empty() => parent,
+        _ => Path::new("."),
+    };
+    std::fs::create_dir_all(dir)?;
+    let file_name = path.file_name().ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("{} has no file name", path.display()),
+        )
+    })?;
+    let tmp = dir.join(format!(
+        ".{}.tmp.{}.{}",
+        file_name.to_string_lossy(),
+        std::process::id(),
+        TMP_COUNTER.fetch_add(1, Ordering::Relaxed),
+    ));
+    let result = (|| {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+        return result;
+    }
+    // Persist the rename itself (best effort: directory handles are not
+    // syncable on every platform).
+    if let Ok(handle) = std::fs::File::open(dir) {
+        let _ = handle.sync_all();
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -949,5 +1190,83 @@ mod tests {
         let cdg = value.get("cdg").unwrap();
         assert_eq!(cdg.get("incremental"), Some(&JsonValue::Bool(true)));
         assert_eq!(cdg.get("deps_removed").unwrap().as_number(), Some(2.0));
+    }
+
+    #[test]
+    fn artifact_envelope_round_trips() {
+        let data = vec![1usize, 2, 3];
+        let text = Artifact::new("fig_demo", &data).render();
+        assert!(text.ends_with('\n'));
+        let parsed = ParsedArtifact::parse(&text).expect("valid envelope");
+        assert_eq!(parsed.figure, "fig_demo");
+        assert_eq!(parsed.schema, SCHEMA_VERSION);
+        assert_eq!(parsed.data.as_array().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn artifact_parse_rejects_wrong_schema_and_missing_fields() {
+        let stale = format!(
+            "{{\"figure\":\"f\",\"schema\":{},\"data\":[]}}",
+            SCHEMA_VERSION - 1
+        );
+        assert!(matches!(
+            ParsedArtifact::parse(&stale),
+            Err(ArtifactError::SchemaMismatch { .. })
+        ));
+        assert!(matches!(
+            ParsedArtifact::parse("{\"schema\":7,\"data\":[]}"),
+            Err(ArtifactError::Envelope(_))
+        ));
+        assert!(matches!(
+            ParsedArtifact::parse("not json"),
+            Err(ArtifactError::Json(_))
+        ));
+    }
+
+    #[test]
+    fn raw_json_splices_verbatim() {
+        let raw = RawJson("{\"a\":1}");
+        let mut out = String::new();
+        ObjectWriter::new(&mut out).field("inner", &raw).finish();
+        assert_eq!(out, "{\"inner\":{\"a\":1}}");
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_creates_parents() {
+        let dir = std::env::temp_dir().join(format!(
+            "noc-json-atomic-{}-{}",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let path = dir.join("nested").join("artifact.json");
+        write_atomic(&path, b"first").expect("initial write");
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        write_atomic(&path, b"second").expect("overwrite");
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        // No temp litter left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(path.parent().unwrap())
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .collect();
+        assert_eq!(leftovers.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn artifact_write_is_readable_back() {
+        let dir = std::env::temp_dir().join(format!(
+            "noc-json-artifact-{}-{}",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let path = dir.join("fig.json");
+        let data = vec![0.5f64, 1.25];
+        Artifact::new("fig_demo", &data)
+            .write(&path)
+            .expect("write");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let parsed = ParsedArtifact::parse(&text).unwrap();
+        assert_eq!(parsed.figure, "fig_demo");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

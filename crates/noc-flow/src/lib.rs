@@ -61,7 +61,10 @@ pub mod sweep;
 
 pub use error::FlowError;
 pub use executor::SweepProgress;
-pub use json::{JsonParseError, JsonValue, ToJson};
+pub use json::{
+    Artifact, ArtifactError, JsonParseError, JsonValue, ParsedArtifact, RawJson, ToJson,
+    SCHEMA_VERSION,
+};
 pub use noc_deadlock::report::StrategyKind;
 pub use router::{Router, ShortestPathRouter, UpDownRouter, XyRouter};
 pub use stage::{
@@ -72,6 +75,6 @@ pub use strategy::{
     ResourceOrdering,
 };
 pub use sweep::{
-    CertifyOutcome, FaultRunStats, FaultSweepSim, FlowSweep, StrategyOutcome, StrategySimStats,
-    SweepPoint, VcSweepSim,
+    CertifyOutcome, FaultRunStats, FaultSweepSim, FlowSweep, PreparedPoint, StrategyOutcome,
+    StrategySimStats, SweepPoint, VcSweepSim,
 };

@@ -664,6 +664,39 @@ impl FlowSweep {
         })
     }
 
+    /// The feasible, deduplicated (benchmark, switch-count) grid in
+    /// deterministic sweep order — the public face of `FlowSweep::grid`
+    /// for callers (like the `noc-jobs` task decomposer) that need to
+    /// enumerate a sweep's work units without running it.
+    pub fn grid_points(&self) -> Vec<(Benchmark, usize)> {
+        self.grid()
+    }
+
+    /// Prepares one grid point — synthesize, route, estimate — returning
+    /// the shared design every strategy task of the point is charged
+    /// against.  Together with [`FlowSweep::charge`] this lets external
+    /// schedulers (the `noc-jobs` runner) drive a sweep one (point ×
+    /// strategy) task at a time while producing points byte-identical to
+    /// [`FlowSweep::run`].
+    pub fn prepare(
+        &self,
+        benchmark: Benchmark,
+        switch_count: usize,
+    ) -> Result<PreparedPoint, FlowError> {
+        self.prepare_point(benchmark, switch_count, None)
+            .map(|seed| PreparedPoint { seed })
+    }
+
+    /// Charges one strategy against a prepared point (on a clone of the
+    /// routed design, so outcomes are independent of execution order).
+    pub fn charge(
+        &self,
+        point: &PreparedPoint,
+        strategy: &dyn DeadlockStrategy,
+    ) -> Result<StrategyOutcome, FlowError> {
+        self.strategy_outcome(&point.seed, strategy)
+    }
+
     fn run_inner(
         &self,
         router: Option<&dyn Router>,
@@ -710,6 +743,33 @@ impl PointSeed {
             original_area_um2: self.original_area_um2,
             outcomes,
         }
+    }
+}
+
+/// A grid point prepared through [`FlowSweep::prepare`]: an opaque handle
+/// over the routed design that [`FlowSweep::charge`] charges strategies
+/// against and that [`PreparedPoint::assemble`] turns into the final
+/// [`SweepPoint`].
+pub struct PreparedPoint {
+    seed: PointSeed,
+}
+
+impl PreparedPoint {
+    /// The benchmark this point was prepared for.
+    pub fn benchmark(&self) -> Benchmark {
+        self.seed.benchmark
+    }
+
+    /// The switch count this point was prepared for.
+    pub fn switch_count(&self) -> usize {
+        self.seed.switch_count
+    }
+
+    /// Assembles the final point from the per-strategy outcomes (in
+    /// strategy declaration order) — identical to what a full
+    /// [`FlowSweep::run`] would have produced for this point.
+    pub fn assemble(&self, outcomes: Vec<StrategyOutcome>) -> SweepPoint {
+        self.seed.point(outcomes)
     }
 }
 

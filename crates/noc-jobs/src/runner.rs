@@ -1,0 +1,245 @@
+//! The worker-pool job runner: resumes from the store, consults the
+//! cache, computes what is missing, and commits the assembled artifact.
+
+use crate::cache::ArtifactCache;
+use crate::digest::sha256_hex;
+use crate::error::JobError;
+use crate::source::{AssembleContext, JobSource};
+use crate::spec::JobRequest;
+use crate::store::JobStore;
+use noc_flow::executor::parallel_map_streaming;
+use noc_flow::json::ParsedArtifact;
+use std::path::PathBuf;
+
+/// The content-hash key of one task: the digest of
+/// `{"job": <canonical spec>, "task": <index>}` — see [`task_key`] for the
+/// pre-image.  This is the cache key a re-submitted identical job hits.
+pub fn task_digest(spec: &JobRequest, index: usize) -> String {
+    sha256_hex(task_key(spec, index).as_bytes())
+}
+
+/// The pre-image of [`task_digest`], kept in cache entries for audit.
+pub fn task_key(spec: &JobRequest, index: usize) -> String {
+    format!("{{\"job\":{},\"task\":{index}}}", spec.canonical())
+}
+
+/// How a finished job's tasks were satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunStats {
+    /// Total tasks in the job.
+    pub total: usize,
+    /// Tasks computed in this run.
+    pub computed: usize,
+    /// Tasks replayed from the job store's completion log.
+    pub resumed: usize,
+    /// Tasks satisfied from the content-hash cache.
+    pub cache_hits: usize,
+    /// Total recorded task wall time, in milliseconds.
+    pub task_ms_total: u64,
+}
+
+/// The outcome of a [`JobRunner::run`] / [`JobRunner::run_bounded`] call.
+#[derive(Debug, Clone)]
+pub struct JobReport {
+    /// How the tasks were satisfied.
+    pub stats: RunStats,
+    /// The committed artifact (path + full text) — `None` when a bounded
+    /// run exhausted its task budget with tasks still missing.
+    pub artifact: Option<JobArtifact>,
+}
+
+/// A committed artifact.
+#[derive(Debug, Clone)]
+pub struct JobArtifact {
+    /// Where the store committed it (`<job dir>/artifact.json`).
+    pub path: PathBuf,
+    /// The full document text.
+    pub text: String,
+}
+
+/// Drives one job to completion (or up to a task budget) against an open
+/// [`JobStore`], optionally consulting an [`ArtifactCache`].
+#[derive(Debug)]
+pub struct JobRunner<'a> {
+    store: JobStore,
+    cache: Option<&'a ArtifactCache>,
+}
+
+impl<'a> JobRunner<'a> {
+    /// Wraps an open store.
+    pub fn new(store: JobStore) -> Self {
+        JobRunner { store, cache: None }
+    }
+
+    /// Consult (and populate) `cache` for task results.
+    pub fn with_cache(mut self, cache: &'a ArtifactCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The underlying store (e.g. to inspect records in tests).
+    pub fn store(&self) -> &JobStore {
+        &self.store
+    }
+
+    /// Releases the underlying store.
+    pub fn into_store(self) -> JobStore {
+        self.store
+    }
+
+    /// Runs the job to completion and commits the artifact.
+    pub fn run(&mut self, source: &dyn JobSource) -> Result<JobReport, JobError> {
+        self.run_bounded(source, usize::MAX)
+    }
+
+    /// Runs the job, computing at most `max_new_tasks` previously
+    /// unrecorded tasks in this call.  Returns a report with
+    /// `artifact: None` when the budget ran out before the job finished —
+    /// every computed task is durably recorded, so a later call (or
+    /// process) picks up exactly where this one stopped.
+    pub fn run_bounded(
+        &mut self,
+        source: &dyn JobSource,
+        max_new_tasks: usize,
+    ) -> Result<JobReport, JobError> {
+        let spec = self.store.spec().clone();
+        if spec.figure != source.figure() {
+            return Err(JobError::Spec(format!(
+                "source evaluates {:?} but the job requests {:?}",
+                source.figure(),
+                spec.figure
+            )));
+        }
+        let total = source.task_count();
+        self.store.forget_beyond(total);
+
+        // A previously committed artifact ends the job immediately: the
+        // tasks all have records, the text is already assembled.
+        if let Some(text) = self.store.committed_artifact() {
+            if ParsedArtifact::parse(&text).is_ok() && self.store.records().len() == total {
+                return Ok(JobReport {
+                    stats: RunStats {
+                        total,
+                        resumed: total,
+                        task_ms_total: self.task_ms(),
+                        ..RunStats::default()
+                    },
+                    artifact: Some(JobArtifact {
+                        path: self.store.artifact_path(),
+                        text,
+                    }),
+                });
+            }
+        }
+
+        let resumed = self.store.records().len();
+        let mut cache_hits = 0usize;
+
+        // Satisfy missing tasks from the cache first — a hit becomes a
+        // durable record like any computed result, so later resumes no
+        // longer depend on the cache.
+        let mut missing: Vec<usize> = Vec::new();
+        for index in 0..total {
+            if self.store.records().contains_key(&index) {
+                continue;
+            }
+            let digest = task_digest(&spec, index);
+            match self.cache.and_then(|cache| cache.lookup(&digest)) {
+                Some(result) => {
+                    self.store.record(index, 0, result)?;
+                    cache_hits += 1;
+                }
+                None => missing.push(index),
+            }
+        }
+
+        // Compute what remains, up to the budget, streaming each result
+        // into the completion log the moment it lands.
+        let truncated = missing.len() > max_new_tasks;
+        missing.truncate(max_new_tasks);
+        let computed = missing.len();
+        let mut record_error: Option<JobError> = None;
+        let results = parallel_map_streaming(
+            &missing,
+            spec.threads,
+            |_, &index| {
+                let started = std::time::Instant::now();
+                let result = source.run_task(index);
+                let elapsed_ms = started.elapsed().as_millis().min(u128::from(u64::MAX)) as u64;
+                (index, elapsed_ms, result)
+            },
+            |_, (index, elapsed_ms, result)| {
+                if record_error.is_some() {
+                    return;
+                }
+                if let Ok(result) = result {
+                    if let Err(e) = self.store.record(*index, *elapsed_ms, result.clone()) {
+                        record_error = Some(e);
+                        return;
+                    }
+                    if let Some(cache) = self.cache {
+                        cache.store(
+                            &task_digest(&spec, *index),
+                            &task_key(&spec, *index),
+                            result,
+                        );
+                    }
+                }
+            },
+        );
+        if let Some(e) = record_error {
+            return Err(e);
+        }
+        // Task failures surface after every in-flight success is durably
+        // recorded; the earliest task index wins, like the sweep executor.
+        if let Some((_, _, Err(e))) = results.into_iter().find(|(_, _, r)| r.is_err()) {
+            return Err(e);
+        }
+
+        let stats = RunStats {
+            total,
+            computed,
+            resumed,
+            cache_hits,
+            task_ms_total: self.task_ms(),
+        };
+        if truncated {
+            return Ok(JobReport {
+                stats,
+                artifact: None,
+            });
+        }
+
+        let ordered: Vec<String> = self
+            .store
+            .records()
+            .values()
+            .map(|record| record.result.clone())
+            .collect();
+        debug_assert_eq!(ordered.len(), total);
+        let text = source.assemble(&AssembleContext {
+            figure: &spec.figure,
+            results: &ordered,
+            task_ms_total: stats.task_ms_total,
+        })?;
+        // Self-validate before committing — a splice bug must fail the
+        // run, never publish an unreadable artifact.
+        ParsedArtifact::parse(&text)?;
+        self.store.commit_artifact(&text)?;
+        Ok(JobReport {
+            stats,
+            artifact: Some(JobArtifact {
+                path: self.store.artifact_path(),
+                text,
+            }),
+        })
+    }
+
+    fn task_ms(&self) -> u64 {
+        self.store
+            .records()
+            .values()
+            .map(|record| record.elapsed_ms)
+            .sum()
+    }
+}

@@ -1,0 +1,245 @@
+//! Job specs: the JSON request a client submits, and its canonical
+//! content-hash identity.
+
+use crate::digest::sha256_hex;
+use crate::error::JobError;
+use noc_flow::json::{JsonValue, ToJson, SCHEMA_VERSION};
+
+/// A submitted job: which figure to evaluate and with what parameters.
+///
+/// The wire form is a single JSON object:
+///
+/// ```json
+/// {"id": "fig8-nightly", "figure": "fig8_d26_media", "params": {}, "threads": 4}
+/// ```
+///
+/// `id` (optional) is a client-chosen handle for spool filenames and log
+/// lines; `params` (optional, default `{}`) is the figure-specific
+/// configuration; `threads` (optional, default `0` = auto-size) is the
+/// worker-pool width.  Neither `id` nor `threads` is part of the job's
+/// *identity*: two requests for the same figure with the same params are
+/// the same job — see [`JobRequest::canonical`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRequest {
+    /// Client-chosen handle (may be empty).
+    pub id: String,
+    /// The figure to evaluate (must name a registered job source).
+    pub figure: String,
+    /// Figure-specific parameters (a JSON object; empty by default).
+    pub params: JsonValue,
+    /// Worker-pool width (`0` auto-sizes to the machine).
+    pub threads: usize,
+}
+
+impl JobRequest {
+    /// A request for `figure` with default (empty) parameters.
+    pub fn new(figure: impl Into<String>) -> Self {
+        JobRequest {
+            id: String::new(),
+            figure: figure.into(),
+            params: JsonValue::Object(Vec::new()),
+            threads: 0,
+        }
+    }
+
+    /// Parses a request from its JSON wire form, rejecting unknown keys so
+    /// a typo'd parameter fails loudly instead of silently running the
+    /// default sweep.
+    pub fn from_json(text: &str) -> Result<JobRequest, JobError> {
+        let value = JsonValue::parse(text)?;
+        let JsonValue::Object(fields) = &value else {
+            return Err(JobError::Spec("a job spec must be a JSON object".into()));
+        };
+        let mut request = JobRequest::new(String::new());
+        for (key, field) in fields {
+            match key.as_str() {
+                "id" => match field {
+                    JsonValue::String(id) => request.id = id.clone(),
+                    _ => return Err(JobError::Spec("\"id\" must be a string".into())),
+                },
+                "figure" => match field {
+                    JsonValue::String(figure) => request.figure = figure.clone(),
+                    _ => return Err(JobError::Spec("\"figure\" must be a string".into())),
+                },
+                "params" => match field {
+                    JsonValue::Object(_) => request.params = field.clone(),
+                    _ => return Err(JobError::Spec("\"params\" must be an object".into())),
+                },
+                "threads" => match field {
+                    JsonValue::Number(n) if *n >= 0.0 && n.fract() == 0.0 => {
+                        request.threads = *n as usize;
+                    }
+                    _ => {
+                        return Err(JobError::Spec(
+                            "\"threads\" must be a non-negative integer".into(),
+                        ))
+                    }
+                },
+                other => {
+                    return Err(JobError::Spec(format!("unknown key {other:?}")));
+                }
+            }
+        }
+        if request.figure.is_empty() {
+            return Err(JobError::Spec("missing required key \"figure\"".into()));
+        }
+        Ok(request)
+    }
+
+    /// The canonical identity of the job: figure, recursively key-sorted
+    /// params, and the artifact schema version (so a schema bump never
+    /// reuses stale cached results).  `id` and `threads` are deliberately
+    /// excluded — they change how and where a job runs, not what it
+    /// computes.
+    pub fn canonical(&self) -> String {
+        let mut out = String::from("{\"figure\":");
+        self.figure.write_json(&mut out);
+        out.push_str(",\"params\":");
+        write_canonical(&self.params, &mut out);
+        out.push_str(&format!(",\"schema\":{SCHEMA_VERSION}}}"));
+        out
+    }
+
+    /// SHA-256 hex digest of [`JobRequest::canonical`] — the job's
+    /// content-hash key in store directories and the result cache.
+    pub fn digest(&self) -> String {
+        sha256_hex(self.canonical().as_bytes())
+    }
+
+    /// Renders the request back to its wire form (document key order).
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::from("{\"id\":");
+        self.id.write_json(&mut out);
+        out.push_str(",\"figure\":");
+        self.figure.write_json(&mut out);
+        out.push_str(",\"params\":");
+        write_value(&self.params, &mut out);
+        out.push_str(&format!(",\"threads\":{}}}", self.threads));
+        out
+    }
+}
+
+/// Renders a parsed [`JsonValue`] preserving document key order.
+pub fn write_value(value: &JsonValue, out: &mut String) {
+    write_json_value(value, out, false);
+}
+
+/// Renders a parsed [`JsonValue`] in canonical form: object keys
+/// recursively sorted (bytewise), numbers through the writer's
+/// shortest-round-trip `f64` rendering.  Two specs that parse to the same
+/// value always canonicalize to the same bytes — the property the digest
+/// keys rely on.
+pub fn write_canonical(value: &JsonValue, out: &mut String) {
+    write_json_value(value, out, true);
+}
+
+fn write_json_value(value: &JsonValue, out: &mut String, canonical: bool) {
+    match value {
+        JsonValue::Null => out.push_str("null"),
+        JsonValue::Bool(b) => b.write_json(out),
+        JsonValue::Number(n) => n.write_json(out),
+        JsonValue::String(s) => s.write_json(out),
+        JsonValue::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json_value(item, out, canonical);
+            }
+            out.push(']');
+        }
+        JsonValue::Object(fields) => {
+            let mut ordered: Vec<&(String, JsonValue)> = fields.iter().collect();
+            if canonical {
+                ordered.sort_by(|a, b| a.0.cmp(&b.0));
+            }
+            out.push('{');
+            for (i, (key, field)) in ordered.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                key.write_json(out);
+                out.push(':');
+                write_json_value(field, out, canonical);
+            }
+            out.push('}');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_and_full_specs() {
+        let minimal = JobRequest::from_json("{\"figure\":\"fig8_d26_media\"}").unwrap();
+        assert_eq!(minimal.figure, "fig8_d26_media");
+        assert_eq!(minimal.threads, 0);
+        assert!(minimal.id.is_empty());
+
+        let full = JobRequest::from_json(
+            "{\"id\":\"n1\",\"figure\":\"fig_strategy_matrix\",\
+             \"params\":{\"switch_counts\":[6,8]},\"threads\":2}",
+        )
+        .unwrap();
+        assert_eq!(full.id, "n1");
+        assert_eq!(full.threads, 2);
+    }
+
+    #[test]
+    fn rejects_unknown_keys_and_bad_types() {
+        assert!(matches!(
+            JobRequest::from_json("{\"figure\":\"f\",\"frobnicate\":1}"),
+            Err(JobError::Spec(_))
+        ));
+        assert!(matches!(
+            JobRequest::from_json("{\"figure\":7}"),
+            Err(JobError::Spec(_))
+        ));
+        assert!(matches!(
+            JobRequest::from_json("{\"id\":\"x\"}"),
+            Err(JobError::Spec(_))
+        ));
+        assert!(matches!(
+            JobRequest::from_json("{\"figure\":\"f\",\"threads\":-1}"),
+            Err(JobError::Spec(_)) | Err(JobError::Json(_))
+        ));
+    }
+
+    #[test]
+    fn identity_ignores_id_and_threads_but_not_params() {
+        let a = JobRequest::from_json("{\"id\":\"a\",\"figure\":\"f\",\"threads\":1}").unwrap();
+        let b = JobRequest::from_json("{\"id\":\"b\",\"figure\":\"f\",\"threads\":8}").unwrap();
+        assert_eq!(a.digest(), b.digest());
+
+        let c = JobRequest::from_json("{\"figure\":\"f\",\"params\":{\"n\":1}}").unwrap();
+        assert_ne!(a.digest(), c.digest());
+    }
+
+    #[test]
+    fn canonical_form_sorts_keys_recursively() {
+        let a = JobRequest::from_json(
+            "{\"figure\":\"f\",\"params\":{\"b\":{\"y\":1,\"x\":2},\"a\":3}}",
+        )
+        .unwrap();
+        let b = JobRequest::from_json(
+            "{\"figure\":\"f\",\"params\":{\"a\":3,\"b\":{\"x\":2,\"y\":1}}}",
+        )
+        .unwrap();
+        assert_eq!(a.canonical(), b.canonical());
+        assert!(a.canonical().contains("\"a\":3,\"b\":{\"x\":2,\"y\":1}"));
+    }
+
+    #[test]
+    fn wire_form_round_trips() {
+        let spec = "{\"id\":\"j\",\"figure\":\"f\",\"params\":{\"k\":[1,2]},\"threads\":3}";
+        let request = JobRequest::from_json(spec).unwrap();
+        assert_eq!(request.to_json_string(), spec);
+        assert_eq!(
+            JobRequest::from_json(&request.to_json_string()).unwrap(),
+            request
+        );
+    }
+}

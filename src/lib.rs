@@ -14,6 +14,7 @@
 pub use noc_deadlock as deadlock;
 pub use noc_flow as flow;
 pub use noc_graph as graph;
+pub use noc_jobs as jobs;
 pub use noc_power as power;
 pub use noc_routing as routing;
 pub use noc_sim as sim;
