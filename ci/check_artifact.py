@@ -25,13 +25,18 @@ reference on the scaling grid (incremental/tarjan > 1 + T).
 recorded wall time: live reconfiguration getting pathologically slower
 (e.g. the epoch protocol looping on its fallback) fails CI even when every
 logical invariant still holds.
+
+`--min-attribution` applies to `noc_trace` artifacts (the Chrome-trace
+files `--trace` writes): fail when less than the given fraction of the
+root span's wall time is covered by named phase spans, i.e. when the
+instrumentation stops accounting for where the time goes.
 """
 
 import argparse
 import json
 import sys
 
-SCHEMA_VERSION = 7
+SCHEMA_VERSION = 8
 
 CERTIFY_VERDICTS = ["certified-free", "certified-deadlockable", "unknown"]
 
@@ -161,6 +166,28 @@ def check_sim_validation(data):
         )
 
 
+def check_phase_breakdown(phases, wall_ms, what):
+    """One telemetry-attributed timing breakdown: the phases are disjoint
+    (build / search-net-of-SCC / SCC / other), so they must sum back to the
+    reported wall time, and the wall time must match the lump field it
+    replaced."""
+    require_keys(phases, ["wall_ms", "build_ms", "search_ms", "scc_ms", "other_ms"], what)
+    for key, value in phases.items():
+        require(
+            isinstance(value, (int, float)) and value >= 0.0,
+            f"{what}: {key} must be a non-negative number, got {value!r}",
+        )
+    require(
+        abs(phases["wall_ms"] - wall_ms) < 1e-9,
+        f"{what}: phase wall_ms {phases['wall_ms']} disagrees with the point's {wall_ms}",
+    )
+    covered = phases["build_ms"] + phases["search_ms"] + phases["scc_ms"] + phases["other_ms"]
+    require(
+        covered <= phases["wall_ms"] * 1.001 + 1e-6,
+        f"{what}: phases sum to {covered:.3f} ms > wall {phases['wall_ms']:.3f} ms",
+    )
+
+
 def check_cdg_incremental(data, timing_tolerance):
     require_keys(
         data,
@@ -180,9 +207,16 @@ def check_cdg_incremental(data, timing_tolerance):
                 "deps_added",
                 "rebuild_ms",
                 "incremental_ms",
+                "rebuild_phases",
+                "incremental_phases",
                 "speedup",
             ],
             "cdg_incremental point",
+        )
+        where = f"cdg_incremental {point['benchmark']} @ {point['switch_count']} switches"
+        check_phase_breakdown(point["rebuild_phases"], point["rebuild_ms"], f"{where} rebuild")
+        check_phase_breakdown(
+            point["incremental_phases"], point["incremental_ms"], f"{where} incremental"
         )
     require(
         any(p["cycles_broken"] > 0 for p in points),
@@ -236,12 +270,20 @@ def check_fig_scale(data, timing_tolerance):
                 "added_vcs",
                 "incremental_scc_ms",
                 "full_tarjan_ms",
+                "incremental_scc_phases",
+                "full_tarjan_phases",
                 "speedup",
                 "strategies",
             ],
             "fig_scale point",
         )
         where = f"fig_scale {point['family']} @ {point['switches']} switches"
+        check_phase_breakdown(
+            point["incremental_scc_phases"], point["incremental_scc_ms"], f"{where} inc-scc"
+        )
+        check_phase_breakdown(
+            point["full_tarjan_phases"], point["full_tarjan_ms"], f"{where} tarjan"
+        )
         require(
             point["family"] in SCALE_FAMILIES,
             f"{where}: unknown family; known: {SCALE_FAMILIES}",
@@ -735,6 +777,94 @@ def check_conservatism(data):
     )
 
 
+# Every trace must carry the root span's category plus at least one of the
+# work categories — a trace with a root and no attributed work means the
+# instrumentation seam came unplugged somewhere.
+TRACE_WORK_CATEGORIES = {"stage", "sweep", "removal", "sim", "jobs", "scc", "timing"}
+
+
+def check_noc_trace(artifact, min_attribution):
+    """The Chrome-trace telemetry artifact: a schema-v8 envelope whose
+    document also carries a `traceEvents` array (Perfetto ignores the
+    envelope keys, the envelope parser ignores `traceEvents`)."""
+    data = artifact["data"]
+    require_keys(
+        data,
+        ["source", "span_count", "dropped_spans", "phases", "counters", "histograms", "threads"],
+        "noc_trace data",
+    )
+    require("traceEvents" in artifact, "noc_trace document must carry a traceEvents array")
+    events = artifact["traceEvents"]
+    require(isinstance(events, list) and events, "traceEvents must be a non-empty array")
+
+    spans = []
+    seqs = set()
+    for event in events:
+        require(isinstance(event, dict), "every trace event must be an object")
+        phase = event.get("ph")
+        require(phase in ("M", "X"), f"unexpected event phase {phase!r}")
+        if phase == "M":
+            require_keys(event, ["name", "pid", "tid", "args"], "metadata event")
+            continue
+        require_keys(
+            event, ["name", "cat", "ph", "ts", "dur", "pid", "tid", "seq", "parent"], "span event"
+        )
+        for key in ("ts", "dur", "tid", "seq", "parent"):
+            require(
+                isinstance(event[key], int) and event[key] >= 0,
+                f"span event {key} must be a non-negative integer, got {event[key]!r}",
+            )
+        require(event["seq"] not in seqs, f"duplicate span sequence number {event['seq']}")
+        seqs.add(event["seq"])
+        spans.append(event)
+    require(spans, "trace has no complete (ph == X) span events")
+    require(
+        data["span_count"] == len(spans),
+        f"data.span_count {data['span_count']} != {len(spans)} recorded span events",
+    )
+
+    # Timestamps must be monotone per thread in file order (the writer
+    # sorts by start time, so a violation means a broken clock or sort).
+    last_ts = {}
+    for event in spans:
+        tid = event["tid"]
+        require(
+            last_ts.get(tid, 0) <= event["ts"],
+            f"thread {tid} timestamps go backwards at seq {event['seq']}",
+        )
+        last_ts[tid] = event["ts"]
+
+    categories = {event["cat"] for event in spans}
+    require("figure" in categories, "trace has no root 'figure' span")
+    require(
+        categories & TRACE_WORK_CATEGORIES,
+        f"trace has no work-phase spans; categories present: {sorted(categories)}",
+    )
+
+    if min_attribution is not None:
+        root = max(
+            (e for e in spans if e["parent"] == 0), key=lambda e: (e["dur"], -e["seq"])
+        )
+        window = (root["ts"], root["ts"] + root["dur"])
+        intervals = sorted(
+            (max(e["ts"], window[0]), min(e["ts"] + e["dur"], window[1]))
+            for e in spans
+            if e["seq"] != root["seq"]
+        )
+        covered, cursor = 0, window[0]
+        for lo, hi in intervals:
+            lo = max(lo, cursor)
+            if hi > lo:
+                covered += hi - lo
+                cursor = hi
+        attribution = covered / root["dur"] if root["dur"] else 1.0
+        require(
+            attribution >= min_attribution,
+            f"only {100 * attribution:.1f}% of the root span's wall time is "
+            f"attributed to named phases (required {100 * min_attribution:.1f}%)",
+        )
+
+
 CHECKS = {
     "fig8_d26_media": lambda data, _: check_vc_sweep(data, "fig8"),
     "fig9_d36_8": lambda data, _: check_vc_sweep(data, "fig9"),
@@ -767,6 +897,14 @@ def main():
         metavar="W",
         help="for fig_faults: fail if the recorded sweep wall time exceeds W milliseconds",
     )
+    parser.add_argument(
+        "--min-attribution",
+        type=float,
+        default=None,
+        metavar="F",
+        help="for noc_trace: fail if less than fraction F of the root span's "
+        "wall time is covered by named phase spans",
+    )
     args = parser.parse_args()
 
     with open(args.artifact) as handle:
@@ -779,12 +917,17 @@ def main():
             artifact["schema"] == SCHEMA_VERSION,
             f"schema version {artifact['schema']} != expected {SCHEMA_VERSION}",
         )
-        check = CHECKS.get(figure)
-        require(check is not None, f"unknown figure name {figure!r}; known: {sorted(CHECKS)}")
-        # The second argument is the figure's guard option: the recorded
-        # wall-time bound for fig_faults, the timing ratio for the rest.
-        guard = args.max_wall_ms if figure == "fig_faults" else args.timing_tolerance
-        check(artifact["data"], guard)
+        if figure == "noc_trace":
+            # The trace check needs the whole document: its events live
+            # beside the envelope, not inside data.
+            check_noc_trace(artifact, args.min_attribution)
+        else:
+            check = CHECKS.get(figure)
+            require(check is not None, f"unknown figure name {figure!r}; known: {sorted(CHECKS)}")
+            # The second argument is the figure's guard option: the recorded
+            # wall-time bound for fig_faults, the timing ratio for the rest.
+            guard = args.max_wall_ms if figure == "fig_faults" else args.timing_tolerance
+            check(artifact["data"], guard)
     except CheckError as error:
         print(f"{args.artifact}: FAIL — {error}", file=sys.stderr)
         return 1

@@ -11,13 +11,12 @@
 //! plus aggregate speedups as a JSON artifact.
 
 use noc_bench::artifact::FigureCli;
-use noc_bench::{routed_benchmark, sweeps};
+use noc_bench::{attributed_removal_run, routed_benchmark, sweeps, RemovalTiming};
 use noc_deadlock::removal::{remove_deadlocks, CdgMode, RemovalConfig};
 use noc_flow::json::{ObjectWriter, ToJson};
 use noc_routing::RouteSet;
 use noc_topology::benchmarks::Benchmark;
 use noc_topology::Topology;
-use std::time::Instant;
 
 /// Timing runs per mode per grid point; the best (minimum) is reported.
 const RUNS: usize = 3;
@@ -29,14 +28,14 @@ struct TimingPoint {
     cycles_broken: usize,
     deps_removed: usize,
     deps_added: usize,
-    rebuild_ms: f64,
-    incremental_ms: f64,
+    rebuild: RemovalTiming,
+    incremental: RemovalTiming,
 }
 
 impl TimingPoint {
     fn speedup(&self) -> f64 {
-        if self.incremental_ms > 0.0 {
-            self.rebuild_ms / self.incremental_ms
+        if self.incremental.wall_ms > 0.0 {
+            self.rebuild.wall_ms / self.incremental.wall_ms
         } else {
             1.0
         }
@@ -51,8 +50,10 @@ impl ToJson for TimingPoint {
             .field("cycles_broken", &self.cycles_broken)
             .field("deps_removed", &self.deps_removed)
             .field("deps_added", &self.deps_added)
-            .field("rebuild_ms", &self.rebuild_ms)
-            .field("incremental_ms", &self.incremental_ms)
+            .field("rebuild_ms", &self.rebuild.wall_ms)
+            .field("incremental_ms", &self.incremental.wall_ms)
+            .field("rebuild_phases", &self.rebuild)
+            .field("incremental_phases", &self.incremental)
             .field("speedup", &self.speedup())
             .finish();
     }
@@ -82,32 +83,39 @@ impl ToJson for TimingArtifact {
     }
 }
 
-/// Best-of-[`RUNS`] wall time of one removal mode, in milliseconds, plus
-/// the report of the last run.
+/// Best-of-[`RUNS`] timing of one removal mode (by wall time), attributed
+/// to phases from telemetry spans, plus the report of the last run.
 fn time_mode(
     topology: &Topology,
     routes: &RouteSet,
     cdg_mode: CdgMode,
-) -> (f64, noc_deadlock::RemovalReport) {
+) -> (RemovalTiming, noc_deadlock::RemovalReport) {
     let config = RemovalConfig {
         cdg_mode,
         ..RemovalConfig::default()
     };
-    let mut best = f64::INFINITY;
+    let mut best: Option<RemovalTiming> = None;
     let mut report = None;
     for _ in 0..RUNS {
         let mut topo = topology.clone();
         let mut routes = routes.clone();
-        let start = Instant::now();
-        let r = remove_deadlocks(&mut topo, &mut routes, &config).expect("removal succeeds");
-        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        let (timing, r) = attributed_removal_run(|| {
+            remove_deadlocks(&mut topo, &mut routes, &config).expect("removal succeeds")
+        });
+        if best.is_none_or(|b| timing.wall_ms < b.wall_ms) {
+            best = Some(timing);
+        }
         report = Some(r);
     }
-    (best, report.expect("at least one run"))
+    (
+        best.expect("at least one run"),
+        report.expect("at least one run"),
+    )
 }
 
 fn main() {
     let args = FigureCli::parse("cdg_incremental");
+    let _trace = args.trace_session();
     if noc_bench::jobs::run_resumed(&args) {
         return;
     }
@@ -138,9 +146,8 @@ fn main() {
     );
     let mut points = Vec::with_capacity(grid.len());
     for ((benchmark, switches), (topology, routes)) in grid.iter().zip(designs) {
-        let (rebuild_ms, rebuild_report) = time_mode(&topology, &routes, CdgMode::FullRebuild);
-        let (incremental_ms, incremental_report) =
-            time_mode(&topology, &routes, CdgMode::Incremental);
+        let (rebuild, rebuild_report) = time_mode(&topology, &routes, CdgMode::FullRebuild);
+        let (incremental, incremental_report) = time_mode(&topology, &routes, CdgMode::Incremental);
         assert!(
             incremental_report.same_outcome(&rebuild_report),
             "{benchmark}/{switches}: modes disagree — timing numbers would be meaningless"
@@ -151,8 +158,8 @@ fn main() {
             cycles_broken: incremental_report.cycles_broken,
             deps_removed: incremental_report.cdg.deps_removed(),
             deps_added: incremental_report.cdg.deps_added(),
-            rebuild_ms,
-            incremental_ms,
+            rebuild,
+            incremental,
         };
         println!(
             "{:>12} {:>10} {:>8} {:>12} {:>10} {:>14.3} {:>18.3} {:>8.2}x",
@@ -161,15 +168,28 @@ fn main() {
             point.cycles_broken,
             point.deps_removed,
             point.deps_added,
-            point.rebuild_ms,
-            point.incremental_ms,
+            point.rebuild.wall_ms,
+            point.incremental.wall_ms,
             point.speedup()
+        );
+        println!(
+            "{:>12}   phases: rebuild build/search/scc/other = \
+             {:.3}/{:.3}/{:.3}/{:.3} ms, incremental = {:.3}/{:.3}/{:.3}/{:.3} ms",
+            "",
+            point.rebuild.build_ms,
+            point.rebuild.search_ms,
+            point.rebuild.scc_ms,
+            point.rebuild.other_ms(),
+            point.incremental.build_ms,
+            point.incremental.search_ms,
+            point.incremental.scc_ms,
+            point.incremental.other_ms()
         );
         points.push(point);
     }
 
-    let total_rebuild_ms: f64 = points.iter().map(|p| p.rebuild_ms).sum();
-    let total_incremental_ms: f64 = points.iter().map(|p| p.incremental_ms).sum();
+    let total_rebuild_ms: f64 = points.iter().map(|p| p.rebuild.wall_ms).sum();
+    let total_incremental_ms: f64 = points.iter().map(|p| p.incremental.wall_ms).sum();
     println!();
     println!(
         "totals: rebuild {total_rebuild_ms:.1} ms, incremental {total_incremental_ms:.1} ms, \

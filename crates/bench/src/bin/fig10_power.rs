@@ -13,6 +13,7 @@ use noc_topology::benchmarks::Benchmark;
 
 fn main() {
     let args = FigureCli::parse("fig10_power");
+    let _trace = args.trace_session();
     if noc_bench::jobs::run_resumed(&args) {
         return;
     }

@@ -12,6 +12,7 @@ use noc_topology::benchmarks::Benchmark;
 
 fn main() {
     let args = FigureCli::parse("fig8_d26_media");
+    let _trace = args.trace_session();
     if noc_bench::jobs::run_resumed(&args) {
         return;
     }

@@ -12,6 +12,7 @@ use noc_topology::benchmarks::Benchmark;
 
 fn main() {
     let args = FigureCli::parse("fig9_d36_8");
+    let _trace = args.trace_session();
     if noc_bench::jobs::run_resumed(&args) {
         return;
     }

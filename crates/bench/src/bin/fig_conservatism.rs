@@ -20,6 +20,7 @@ use noc_bench::{conservatism_sweep, DEFAULT_RANDOM_DESIGNS};
 
 fn main() {
     let args = FigureCli::parse("fig_conservatism");
+    let _trace = args.trace_session();
     if noc_bench::jobs::run_resumed(&args) {
         return;
     }

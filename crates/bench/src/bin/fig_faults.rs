@@ -40,6 +40,7 @@ impl ToJson for FaultsArtifact {
 
 fn main() {
     let args = FigureCli::parse("fig_faults");
+    let _trace = args.trace_session();
     if noc_bench::jobs::run_resumed(&args) {
         return;
     }

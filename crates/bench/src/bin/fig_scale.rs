@@ -18,6 +18,7 @@ use noc_bench::{scale_sweep, SCALE_RUNS, SCALE_STRATEGY_SWITCH_CAP};
 
 fn main() {
     let args = FigureCli::parse("fig_scale");
+    let _trace = args.trace_session();
     if noc_bench::jobs::run_resumed(&args) {
         return;
     }
@@ -51,6 +52,19 @@ fn main() {
             point.incremental_scc_ms,
             point.full_tarjan_ms,
             point.speedup()
+        );
+        println!(
+            "{:>10}   phases: inc_scc build/search/scc/other = \
+             {:.3}/{:.3}/{:.3}/{:.3} ms, tarjan = {:.3}/{:.3}/{:.3}/{:.3} ms",
+            "",
+            point.incremental_scc_phases.build_ms,
+            point.incremental_scc_phases.search_ms,
+            point.incremental_scc_phases.scc_ms,
+            point.incremental_scc_phases.other_ms(),
+            point.full_tarjan_phases.build_ms,
+            point.full_tarjan_phases.search_ms,
+            point.full_tarjan_phases.scc_ms,
+            point.full_tarjan_phases.other_ms()
         );
     });
     println!();

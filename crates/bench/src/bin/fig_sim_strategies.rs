@@ -43,6 +43,7 @@ impl ToJson for SimStrategiesArtifact {
 
 fn main() {
     let args = FigureCli::parse("fig_sim_strategies");
+    let _trace = args.trace_session();
     if noc_bench::jobs::run_resumed(&args) {
         return;
     }

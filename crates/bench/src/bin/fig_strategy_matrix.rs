@@ -33,6 +33,7 @@ impl ToJson for MatrixArtifact {
 
 fn main() {
     let args = FigureCli::parse("fig_strategy_matrix");
+    let _trace = args.trace_session();
     if noc_bench::jobs::run_resumed(&args) {
         return;
     }

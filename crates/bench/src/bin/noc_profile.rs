@@ -1,0 +1,50 @@
+//! Summarizes a Chrome-trace telemetry artifact (written by any figure
+//! binary's `--trace <path>` flag) as a per-phase wall-time breakdown.
+//!
+//! ```text
+//! noc_profile summary <trace.json>
+//! ```
+//!
+//! The table attributes the root `figure` span's wall time to the named
+//! phase categories (`stage`, `sweep`, `removal`, `sim`, `jobs`,
+//! `artifact`) by merged-interval self time, and lists the recorded
+//! counters.  Exits 1 when the file is missing, is not a `noc_trace`
+//! artifact, or its events are malformed — CI uses that as a
+//! well-formedness smoke check on top of `ci/check_artifact.py`.
+
+use noc_flow::TraceSummary;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: noc_profile summary <trace.json>";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let path = match args.as_slice() {
+        [command, path] if command == "summary" => path,
+        [help] if help == "--help" || help == "-h" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(error) => {
+            eprintln!("noc_profile: {path}: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match TraceSummary::parse(&text) {
+        Ok(summary) => {
+            print!("{}", summary.render_table());
+            ExitCode::SUCCESS
+        }
+        Err(error) => {
+            eprintln!("noc_profile: {path}: {error}");
+            ExitCode::FAILURE
+        }
+    }
+}

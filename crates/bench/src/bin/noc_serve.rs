@@ -11,7 +11,13 @@
 //! <spool>/outbox/<id>.json     committed artifacts
 //! <spool>/done/<id>.json       specs that completed (moved from inbox)
 //! <spool>/failed/<id>.json     specs that errored (moved from inbox)
+//! <spool>/failed/<id>.error.json  why: typed error kind, message, task index
 //! ```
+//!
+//! Liveness and progress are observable without parsing human prose:
+//! stderr carries NDJSON events (`{"event":"heartbeat"|"job_start"|
+//! "job_done", "uptime_us": ..., ...}`) interleaved with plain error
+//! messages that never parse as JSON.
 //!
 //! A job interrupted by a kill — or truncated by `--max-tasks <n>` — leaves
 //! its spec in the inbox and its completed tasks in the job store; the next
@@ -24,7 +30,7 @@
 //! the default is to poll the inbox until killed.
 
 use noc_bench::jobs::job_source;
-use noc_flow::json::{write_atomic, ObjectWriter};
+use noc_flow::json::{write_atomic, ObjectWriter, ToJson};
 use noc_jobs::{ArtifactCache, JobError, JobReport, JobRequest, JobRunner, JobStore};
 use std::io::{BufRead as _, Write as _};
 use std::path::{Path, PathBuf};
@@ -170,6 +176,46 @@ fn error_line(id: &str, error: &JobError) -> String {
     out
 }
 
+/// Emits one structured progress event on **stderr** as NDJSON:
+/// `{"event": <kind>, "uptime_us": <µs since start>, ...}`.  Supervisors
+/// tail stderr for liveness (`heartbeat`) and per-job progress
+/// (`job_start` / `job_done`); stdout stays reserved for response lines.
+/// Human-readable error messages share the stream but never parse as
+/// JSON, so NDJSON consumers skip them by construction.
+fn emit_event(kind: &str, fields: &[(&str, &dyn ToJson)]) {
+    let mut out = String::new();
+    let mut object = ObjectWriter::new(&mut out)
+        .field("event", &kind)
+        .field("uptime_us", &noc_telemetry::now_us());
+    for (key, value) in fields {
+        object = object.field(key, *value);
+    }
+    object.finish();
+    eprintln!("{out}");
+}
+
+/// Writes `failed/<id>.error.json` beside the spec just moved into
+/// `failed/`: the typed error kind, the rendered message, and — when a
+/// specific task failed — that task's index.  This replaces the old
+/// opaque failure mode where the only trace of *why* a spec landed in
+/// `failed/` was a scrolled-away stderr line.
+fn write_error_json(failed_dir: &Path, id: &str, error: &JobError) {
+    let mut out = String::new();
+    let mut object = ObjectWriter::new(&mut out)
+        .field("id", &id)
+        .field("kind", &error.kind())
+        .field("message", &error.to_string());
+    if let Some(index) = error.task_index() {
+        object = object.field("task_index", &index);
+    }
+    object.finish();
+    out.push('\n');
+    let path = failed_dir.join(format!("{id}.error.json"));
+    if let Err(e) = write_atomic(&path, out.as_bytes()) {
+        eprintln!("noc_serve: {}: {e}", path.display());
+    }
+}
+
 /// stdin mode: one job spec per line, one response line per job.
 fn serve_stdin(args: &ServeArgs, cache: Option<&ArtifactCache>) {
     let stdin = std::io::stdin();
@@ -191,12 +237,28 @@ fn serve_stdin(args: &ServeArgs, cache: Option<&ArtifactCache>) {
                 let id = sanitize_id(&spec.id, &spec);
                 let figure = spec.figure.clone();
                 let store_dir = args.jobs.join(&id);
+                emit_event("job_start", &[("id", &id), ("figure", &figure)]);
                 match run_job(spec, &store_dir, cache, args.max_tasks) {
                     Ok(report) => {
+                        emit_event(
+                            "job_done",
+                            &[
+                                ("id", &id),
+                                ("figure", &figure),
+                                ("computed", &report.stats.computed),
+                                ("cache_hits", &report.stats.cache_hits),
+                            ],
+                        );
                         let artifact = report.artifact.as_ref().map(|a| a.path.clone());
                         response_line(&id, &figure, &report, artifact.as_deref())
                     }
-                    Err(error) => error_line(&id, &error),
+                    Err(error) => {
+                        emit_event(
+                            "job_done",
+                            &[("id", &id), ("figure", &figure), ("error", &error.kind())],
+                        );
+                        error_line(&id, &error)
+                    }
                 }
             }
         };
@@ -242,11 +304,21 @@ fn drain_spool(spool: &Path, args: &ServeArgs, cache: Option<&ArtifactCache>) ->
         let outcome = parsed.and_then(|spec| {
             let id = sanitize_id(&spec.id, &spec);
             let figure = spec.figure.clone();
+            emit_event("job_start", &[("id", &id), ("figure", &figure)]);
             let report = run_job(spec, &spool.join("jobs").join(&id), cache, args.max_tasks)?;
             Ok((id, figure, report))
         });
         match outcome {
             Ok((id, figure, report)) => {
+                emit_event(
+                    "job_done",
+                    &[
+                        ("id", &id),
+                        ("figure", &figure),
+                        ("computed", &report.stats.computed),
+                        ("cache_hits", &report.stats.cache_hits),
+                    ],
+                );
                 if let Some(artifact) = &report.artifact {
                     let out = spool.join("outbox").join(format!("{id}.json"));
                     if let Err(e) = write_atomic(&out, artifact.text.as_bytes()) {
@@ -266,8 +338,11 @@ fn drain_spool(spool: &Path, args: &ServeArgs, cache: Option<&ArtifactCache>) ->
                     .file_stem()
                     .and_then(|s| s.to_str())
                     .unwrap_or("job");
+                emit_event("job_done", &[("id", &id), ("error", &error.kind())]);
                 eprintln!("noc_serve: {id}: {error}");
-                move_spec(request_path, &spool.join("failed"), id);
+                let failed = spool.join("failed");
+                move_spec(request_path, &failed, id);
+                write_error_json(&failed, id, &error);
                 println!("{}", error_line(id, &error));
             }
         }
@@ -293,7 +368,8 @@ fn main() {
     match &args.spool {
         None => serve_stdin(&args, cache.as_ref()),
         Some(spool) => loop {
-            drain_spool(spool, &args, cache.as_ref());
+            let seen = drain_spool(spool, &args, cache.as_ref());
+            emit_event("heartbeat", &[("inbox", &seen)]);
             if args.once {
                 break;
             }

@@ -18,6 +18,7 @@ use noc_topology::benchmarks::Benchmark;
 
 fn main() {
     let args = FigureCli::parse("sim_validation");
+    let _trace = args.trace_session();
     if noc_bench::jobs::run_resumed(&args) {
         return;
     }

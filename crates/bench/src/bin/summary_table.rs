@@ -29,6 +29,7 @@ impl ToJson for SummaryArtifact {
 
 fn main() {
     let args = FigureCli::parse("summary_table");
+    let _trace = args.trace_session();
     if noc_bench::jobs::run_resumed(&args) {
         return;
     }

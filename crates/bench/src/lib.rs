@@ -1603,11 +1603,18 @@ pub struct ScalePoint {
     /// Extra VCs the removal algorithm added.
     pub added_vcs: usize,
     /// Best-of-[`SCALE_RUNS`] removal time under the incremental SCC
-    /// partition, in milliseconds.
+    /// partition, in milliseconds (wall time of
+    /// [`incremental_scc_phases`](Self::incremental_scc_phases)).
     pub incremental_scc_ms: f64,
     /// Best-of-[`SCALE_RUNS`] removal time under full Tarjan per
-    /// verification scan, in milliseconds.
+    /// verification scan, in milliseconds (wall time of
+    /// [`full_tarjan_phases`](Self::full_tarjan_phases)).
     pub full_tarjan_ms: f64,
+    /// Telemetry-attributed phase breakdown of the best incremental-SCC
+    /// run.
+    pub incremental_scc_phases: RemovalTiming,
+    /// Telemetry-attributed phase breakdown of the best full-Tarjan run.
+    pub full_tarjan_phases: RemovalTiming,
     /// Four-strategy comparison rows (empty above
     /// [`SCALE_STRATEGY_SWITCH_CAP`]).
     pub strategies: Vec<ScaleStrategyOutcome>,
@@ -1647,29 +1654,118 @@ impl ScaleArtifact {
     }
 }
 
-/// Best-of-[`SCALE_RUNS`] wall time of the removal under one SCC mode, in
-/// milliseconds, plus the report of the last run.
+/// Phase breakdown of one `remove_deadlocks` call, attributed from the
+/// telemetry spans the removal loop emits: CDG (re)builds, cycle search
+/// (net of the SCC maintenance nested inside it), and SCC maintenance
+/// (incremental recomputes or the reference full Tarjan passes).  The
+/// timing binaries report these instead of ad-hoc stopwatch fields so the
+/// CI timing guards read numbers that are *attributed* to a phase, not a
+/// lump sum.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RemovalTiming {
+    /// Wall time of the whole call (duration of the wrapper span), in
+    /// milliseconds.
+    pub wall_ms: f64,
+    /// Time inside `Cdg::build`, in milliseconds.
+    pub build_ms: f64,
+    /// Time inside cycle searches excluding nested SCC work, in
+    /// milliseconds.
+    pub search_ms: f64,
+    /// Time inside SCC maintenance, in milliseconds.
+    pub scc_ms: f64,
+}
+
+impl RemovalTiming {
+    /// Wall time the three phases do not cover (cost tables, channel
+    /// duplication, re-routing, delta application), in milliseconds.
+    pub fn other_ms(&self) -> f64 {
+        (self.wall_ms - self.build_ms - self.search_ms - self.scc_ms).max(0.0)
+    }
+}
+
+impl ToJson for RemovalTiming {
+    fn write_json(&self, out: &mut String) {
+        ObjectWriter::new(out)
+            .field("wall_ms", &self.wall_ms)
+            .field("build_ms", &self.build_ms)
+            .field("search_ms", &self.search_ms)
+            .field("scc_ms", &self.scc_ms)
+            .field("other_ms", &self.other_ms())
+            .finish();
+    }
+}
+
+/// Runs `f` (one removal call) under the process-wide telemetry recorder —
+/// installing it if no `--trace` session already did — and attributes its
+/// wall time into phases from the spans it emitted.
+pub fn attributed_removal_run<T>(f: impl FnOnce() -> T) -> (RemovalTiming, T) {
+    let recorder = noc_telemetry::install_recorder();
+    let span = noc_telemetry::span("timing", "removal_run");
+    let enter = span.enter_seq().expect("recorder is installed");
+    let value = f();
+    drop(span);
+    let snapshot = recorder.snapshot();
+    let run = snapshot
+        .spans
+        .iter()
+        .find(|s| s.enter_seq == enter)
+        .expect("run span fits the recording ring");
+    let mut timing = RemovalTiming {
+        wall_ms: run.dur_us as f64 / 1e3,
+        ..RemovalTiming::default()
+    };
+    // Timing runs serially, so "inside the run" is exactly the (enter,
+    // exit) sequence window of the wrapper span.
+    for event in &snapshot.spans {
+        if event.enter_seq <= enter || event.exit_seq >= run.exit_seq {
+            continue;
+        }
+        let ms = event.dur_us as f64 / 1e3;
+        match (event.cat, event.name.as_str()) {
+            ("removal", "cdg_build") => timing.build_ms += ms,
+            ("removal", "cycle_search") => timing.search_ms += ms,
+            // SCC spans always nest inside a `cycle_search` span; move
+            // their share over so the two phases stay disjoint.
+            ("scc", _) => {
+                timing.scc_ms += ms;
+                timing.search_ms -= ms;
+            }
+            _ => {}
+        }
+    }
+    timing.search_ms = timing.search_ms.max(0.0);
+    (timing, value)
+}
+
+/// Best-of-[`SCALE_RUNS`] timing of the removal under one SCC mode (by
+/// wall time), plus the report of the last run.
 fn time_scc_mode(
     topology: &Topology,
     routes: &RouteSet,
     scc_mode: noc_deadlock::removal::SccMode,
-) -> (f64, RemovalReport) {
+) -> (RemovalTiming, RemovalReport) {
     let config = RemovalConfig {
         scc_mode,
         ..RemovalConfig::default()
     };
-    let mut best = f64::INFINITY;
+    let mut best: Option<RemovalTiming> = None;
     let mut report = None;
     for _ in 0..SCALE_RUNS {
         let mut topo = topology.clone();
         let mut routes = routes.clone();
-        let start = std::time::Instant::now();
-        let r = noc_deadlock::removal::remove_deadlocks(&mut topo, &mut routes, &config)
-            .expect("removal succeeds on the scaling grid");
-        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        let (timing, r) = attributed_removal_run(|| {
+            noc_deadlock::removal::remove_deadlocks(&mut topo, &mut routes, &config)
+                .expect("removal succeeds on the scaling grid")
+        });
+        if best.is_none_or(|b| timing.wall_ms < b.wall_ms) {
+            best = Some(timing);
+        }
         report = Some(r);
     }
-    (best, report.expect("at least one timing run"))
+    (
+        best.expect("at least one timing run"),
+        report.expect("at least one timing run"),
+    )
 }
 
 /// Times one prepared scaling design: both SCC modes of cycle breaking
@@ -1683,9 +1779,9 @@ fn time_scc_mode(
 pub fn scale_point(spec: ScaleTopology, design: &ScaleDesign) -> ScalePoint {
     use noc_deadlock::removal::SccMode;
 
-    let (incremental_scc_ms, incremental_report) =
+    let (incremental_scc_phases, incremental_report) =
         time_scc_mode(&design.topology, &design.routes, SccMode::Incremental);
-    let (full_tarjan_ms, full_report) =
+    let (full_tarjan_phases, full_report) =
         time_scc_mode(&design.topology, &design.routes, SccMode::FullTarjan);
     assert!(
         incremental_report.same_outcome(&full_report),
@@ -1730,8 +1826,10 @@ pub fn scale_point(spec: ScaleTopology, design: &ScaleDesign) -> ScalePoint {
         flows: design.flows,
         cycles_broken: incremental_report.cycles_broken,
         added_vcs: incremental_report.added_vcs,
-        incremental_scc_ms,
-        full_tarjan_ms,
+        incremental_scc_ms: incremental_scc_phases.wall_ms,
+        full_tarjan_ms: full_tarjan_phases.wall_ms,
+        incremental_scc_phases,
+        full_tarjan_phases,
         strategies,
     }
 }
@@ -1785,6 +1883,8 @@ impl ToJson for ScalePoint {
             .field("added_vcs", &self.added_vcs)
             .field("incremental_scc_ms", &self.incremental_scc_ms)
             .field("full_tarjan_ms", &self.full_tarjan_ms)
+            .field("incremental_scc_phases", &self.incremental_scc_phases)
+            .field("full_tarjan_phases", &self.full_tarjan_phases)
             .field("speedup", &self.speedup())
             .field("strategies", &self.strategies)
             .finish();
@@ -1817,6 +1917,7 @@ impl ToJson for ScaleArtifact {
 pub mod artifact {
 
     use noc_flow::json::{Artifact, ToJson};
+    use noc_flow::trace::TraceArtifact;
     use std::fmt;
     use std::path::{Path, PathBuf};
 
@@ -1824,7 +1925,7 @@ pub mod artifact {
 
     /// The flag table the usage text and the parser are both generated
     /// from: `(flag, value placeholder, help)`.
-    const FLAGS: [(&str, &str, &str); 4] = [
+    const FLAGS: [(&str, &str, &str); 5] = [
         ("--json", "<path>", "write the artifact to this exact path"),
         (
             "--threads",
@@ -1841,7 +1942,18 @@ pub mod artifact {
             "<dir>",
             "write the artifact to <dir>/<figure>.json (unless --json is given)",
         ),
+        (
+            "--trace",
+            "<path>",
+            "record telemetry and write a Chrome-trace JSON to this path",
+        ),
     ];
+
+    /// The usage footer, kept next to the flag table it qualifies: flags
+    /// compose in any order, and `--resume` does not change where the
+    /// artifact lands.
+    const USAGE_NOTE: &str = "flags compose in any order; --resume only changes how the sweep \
+runs, the artifact still lands at --json (or --out-dir/<figure>.json)";
 
     /// The command-line options every figure binary accepts.
     #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -1859,6 +1971,10 @@ pub mod artifact {
         /// `--out-dir <dir>`: default artifact location
         /// (`<dir>/<figure>.json`) when `--json` is not given.
         pub out_dir: Option<PathBuf>,
+        /// `--trace <path>`: install the telemetry recorder for the run and
+        /// write a Chrome-trace JSON (also a schema-versioned artifact) to
+        /// this path on exit.
+        pub trace: Option<PathBuf>,
     }
 
     /// Why a figure command line was rejected.
@@ -1937,6 +2053,7 @@ pub mod artifact {
                     "--json" => cli.json = Some(PathBuf::from(value)),
                     "--resume" => cli.resume = Some(PathBuf::from(value)),
                     "--out-dir" => cli.out_dir = Some(PathBuf::from(value)),
+                    "--trace" => cli.trace = Some(PathBuf::from(value)),
                     "--threads" => {
                         cli.threads = value
                             .parse()
@@ -1948,7 +2065,20 @@ pub mod artifact {
             Ok(cli)
         }
 
-        /// The usage text, generated from the flag table.
+        /// The usage text, generated from the flag table — the same table
+        /// the parser matches against, so the two cannot drift.
+        ///
+        /// # Example
+        ///
+        /// ```
+        /// let usage = noc_bench::artifact::FigureCli::usage("fig8_d26_media");
+        /// // Every flag the parser accepts is documented...
+        /// for flag in ["--json", "--threads", "--resume", "--out-dir", "--trace"] {
+        ///     assert!(usage.contains(flag), "usage must mention {flag}");
+        /// }
+        /// // ...including how --resume composes with the artifact flags.
+        /// assert!(usage.contains("--resume only changes how the sweep runs"));
+        /// ```
         pub fn usage(figure: &str) -> String {
             let mut out = format!("usage: {figure}");
             for (flag, placeholder, _) in FLAGS {
@@ -1957,6 +2087,7 @@ pub mod artifact {
             for (flag, _, help) in FLAGS {
                 out.push_str(&format!("\n  {flag:<10} {help}"));
             }
+            out.push_str(&format!("\nnote: {USAGE_NOTE}"));
             out
         }
 
@@ -1979,12 +2110,65 @@ pub mod artifact {
                 write_json_artifact(&path, &self.figure, data);
             }
         }
+
+        /// Arms telemetry for the run when `--trace` was given: installs
+        /// the recording collector, labels the calling thread `main`, and
+        /// opens the root `figure` span.  The returned guard closes the
+        /// span and writes the Chrome-trace file when it drops — create it
+        /// right after [`parse`](Self::parse) and keep it alive for the
+        /// whole of `main`.  Without `--trace` this is a no-op guard and
+        /// the collector stays disabled.
+        pub fn trace_session(&self) -> TraceSession {
+            let Some(path) = &self.trace else {
+                return TraceSession {
+                    path: None,
+                    figure: self.figure.clone(),
+                    root: None,
+                };
+            };
+            noc_telemetry::install_recorder();
+            noc_telemetry::set_thread_label("main");
+            TraceSession {
+                path: Some(path.clone()),
+                figure: self.figure.clone(),
+                root: Some(noc_telemetry::span("figure", self.figure.clone())),
+            }
+        }
+    }
+
+    /// RAII guard of a `--trace` run; see [`FigureCli::trace_session`].
+    pub struct TraceSession {
+        path: Option<PathBuf>,
+        figure: String,
+        root: Option<noc_telemetry::SpanGuard>,
+    }
+
+    impl Drop for TraceSession {
+        fn drop(&mut self) {
+            let Some(path) = self.path.take() else {
+                return;
+            };
+            // Close the root span before snapshotting so the trace file
+            // records it (and attribution has a wall-time window).
+            drop(self.root.take());
+            let Some(recorder) = noc_telemetry::uninstall_recorder() else {
+                return;
+            };
+            let snapshot = recorder.snapshot();
+            if let Err(error) = TraceArtifact::new(&self.figure, &snapshot).write(&path) {
+                eprintln!("{}: {error}", self.figure);
+                std::process::exit(1);
+            }
+            eprintln!("wrote trace {}", path.display());
+        }
     }
 
     /// Renders a figure artifact under the versioned envelope and commits
     /// it to `path` atomically (temp file + rename), re-parsing the output
     /// first so a serializer bug can never publish an unreadable artifact.
     pub fn write_json_artifact(path: &Path, figure: &str, data: &dyn ToJson) {
+        let mut span = noc_telemetry::span("artifact", "write");
+        span.arg("figure", figure);
         if let Err(error) = Artifact::new(figure, data).write(path) {
             eprintln!("{figure}: {error}");
             std::process::exit(1);

@@ -187,18 +187,42 @@ pub fn remove_deadlocks(
     let incremental =
         config.cdg_mode == CdgMode::Incremental && config.cycle_order == CycleOrder::SmallestFirst;
     let inc_scc = incremental && config.scc_mode == SccMode::Incremental;
+    let mut removal_span = noc_telemetry::span("removal", "remove_deadlocks");
+    removal_span
+        .arg(
+            "cdg_mode",
+            if incremental {
+                "incremental"
+            } else {
+                "rebuild"
+            },
+        )
+        .arg(
+            "scc_mode",
+            if inc_scc {
+                "incremental"
+            } else {
+                "full_tarjan"
+            },
+        );
     let mut finder = IncrementalCycleFinder::new();
     let mut scc = IncrementalScc::new();
 
     // Step 2–3: build the CDG and look for an initial cycle.
-    let mut cdg = Cdg::build(topology, routes);
+    let mut cdg = {
+        let _span = noc_telemetry::span("removal", "cdg_build");
+        Cdg::build(topology, routes)
+    };
     report.cdg.full_builds = 1;
-    let mut cycle = if inc_scc {
-        cdg.smallest_cycle_with_scc(&mut finder, &mut scc)
-    } else if incremental {
-        cdg.smallest_cycle_with(&mut finder)
-    } else {
-        select_cycle(&cdg, config.cycle_order)
+    let mut cycle = {
+        let _span = noc_telemetry::span("removal", "cycle_search");
+        if inc_scc {
+            cdg.smallest_cycle_with_scc(&mut finder, &mut scc)
+        } else if incremental {
+            cdg.smallest_cycle_with(&mut finder)
+        } else {
+            select_cycle(&cdg, config.cycle_order)
+        }
     };
     if cycle.is_none() {
         report.already_deadlock_free = true;
@@ -207,6 +231,8 @@ pub fn remove_deadlocks(
 
     // Step 4–14: break cycles until none remain.
     while let Some(current) = cycle {
+        let mut iter_span = noc_telemetry::span("removal", "iteration");
+        iter_span.arg("cycle_len", current.len());
         if report.cycles_broken >= config.max_iterations {
             return Err(RemovalError::IterationLimit {
                 limit: config.max_iterations,
@@ -249,6 +275,18 @@ pub fn remove_deadlocks(
 
         report.cycles_broken += 1;
         report.added_vcs += cost;
+        noc_telemetry::counter("removal.cycles_broken", 1);
+        noc_telemetry::counter("removal.added_vcs", cost as u64);
+        iter_span
+            .arg("vcs_added", cost)
+            .arg(
+                "direction",
+                match direction {
+                    Direction::Forward => "forward",
+                    Direction::Backward => "backward",
+                },
+            )
+            .arg("flows_rerouted", outcome.flows_rerouted);
         report.steps.push(BreakStep {
             cycle_len: current.len(),
             direction,
@@ -279,20 +317,27 @@ pub fn remove_deadlocks(
                 finder.mark_dirty(node);
                 scc.mark_dirty(node);
             }
+            iter_span.arg("dirty_nodes", dirty_nodes);
+            noc_telemetry::histogram("removal.dirty_region", dirty_nodes as u64);
             report.cdg.step_deltas.push(CdgDeltaStats {
                 deps_removed: delta.deps_removed,
                 deps_added: delta.deps_added,
                 channels_added: delta.channels_added,
                 dirty_nodes,
             });
+            let _span = noc_telemetry::span("removal", "cycle_search");
             if inc_scc {
                 cdg.smallest_cycle_with_scc(&mut finder, &mut scc)
             } else {
                 cdg.smallest_cycle_with(&mut finder)
             }
         } else {
-            cdg = Cdg::build(topology, routes);
+            cdg = {
+                let _span = noc_telemetry::span("removal", "cdg_build");
+                Cdg::build(topology, routes)
+            };
             report.cdg.full_builds += 1;
+            let _span = noc_telemetry::span("removal", "cycle_search");
             select_cycle(&cdg, config.cycle_order)
         };
     }

@@ -80,6 +80,12 @@ pub(crate) fn run_sharded(
     let work_total = total * per_point;
     let workers = worker_count(sweep.requested_threads(), work_total);
 
+    // Umbrella span on the coordinating thread: per-task spans live on the
+    // workers, so without it the scheduling gaps between tasks would be
+    // unattributed wall time in a trace.
+    let mut sweep_span = noc_telemetry::span("sweep", "run_sharded");
+    sweep_span.arg("points", total).arg("workers", workers);
+
     let next = AtomicUsize::new(0);
     let abort = AtomicBool::new(false);
     let (tx, rx) = mpsc::channel::<(usize, Result<StrategyOutcome, FlowError>)>();
@@ -111,39 +117,51 @@ pub(crate) fn run_sharded(
     let mut completed = 0usize;
 
     std::thread::scope(|scope| {
-        for _ in 0..workers {
+        for worker in 0..workers {
             let tx = tx.clone();
             let next = &next;
             let abort = &abort;
             let grid = &grid;
-            scope.spawn(move || loop {
-                if abort.load(Ordering::Relaxed) {
-                    break;
-                }
-                let work = next.fetch_add(1, Ordering::Relaxed);
-                if work >= work_total {
-                    break;
-                }
-                let (point_index, strategy_index) = (work / per_point, work % per_point);
-                let (benchmark, switch_count) = grid[point_index];
-                let seed = {
-                    let mut slot = seeds[point_index].lock().expect("seed lock");
-                    slot.get_or_insert_with(|| {
-                        sweep
-                            .prepare_point(benchmark, switch_count, router)
-                            .map(Arc::new)
-                    })
-                    .clone()
-                };
-                let result = match seed {
-                    Ok(seed) => sweep.strategy_outcome(&seed, strategies[strategy_index]),
-                    Err(error) => Err(error),
-                };
-                if result.is_err() {
-                    abort.store(true, Ordering::Relaxed);
-                }
-                if tx.send((work, result)).is_err() {
-                    break;
+            scope.spawn(move || {
+                noc_telemetry::set_thread_label(format!("worker-{worker}"));
+                loop {
+                    if abort.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let work = next.fetch_add(1, Ordering::Relaxed);
+                    if work >= work_total {
+                        break;
+                    }
+                    let (point_index, strategy_index) = (work / per_point, work % per_point);
+                    let (benchmark, switch_count) = grid[point_index];
+                    let seed = {
+                        let mut slot = seeds[point_index].lock().expect("seed lock");
+                        slot.get_or_insert_with(|| {
+                            let mut span = noc_telemetry::span("sweep", "prepare_point");
+                            span.arg("benchmark", benchmark.name())
+                                .arg("switches", switch_count);
+                            sweep
+                                .prepare_point(benchmark, switch_count, router)
+                                .map(Arc::new)
+                        })
+                        .clone()
+                    };
+                    let result = match seed {
+                        Ok(seed) => {
+                            let mut span = noc_telemetry::span("sweep", "strategy_outcome");
+                            span.arg("benchmark", benchmark.name())
+                                .arg("switches", switch_count)
+                                .arg("strategy", strategies[strategy_index].name());
+                            sweep.strategy_outcome(&seed, strategies[strategy_index])
+                        }
+                        Err(error) => Err(error),
+                    };
+                    if result.is_err() {
+                        abort.store(true, Ordering::Relaxed);
+                    }
+                    if tx.send((work, result)).is_err() {
+                        break;
+                    }
                 }
             });
         }
@@ -228,17 +246,20 @@ pub fn parallel_map_ordered<T: Sync, R: Send>(
     let mut slots: Vec<Option<R>> = Vec::new();
     slots.resize_with(items.len(), || None);
     std::thread::scope(|scope| {
-        for _ in 0..workers {
+        for worker in 0..workers {
             let tx = tx.clone();
             let next = &next;
             let f = &f;
-            scope.spawn(move || loop {
-                let index = next.fetch_add(1, Ordering::Relaxed);
-                let Some(item) = items.get(index) else {
-                    break;
-                };
-                if tx.send((index, f(item))).is_err() {
-                    break;
+            scope.spawn(move || {
+                noc_telemetry::set_thread_label(format!("worker-{worker}"));
+                loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(index) else {
+                        break;
+                    };
+                    if tx.send((index, f(item))).is_err() {
+                        break;
+                    }
                 }
             });
         }
@@ -290,17 +311,20 @@ pub fn parallel_map_streaming<T: Sync, R: Send>(
     let mut slots: Vec<Option<R>> = Vec::new();
     slots.resize_with(items.len(), || None);
     std::thread::scope(|scope| {
-        for _ in 0..workers {
+        for worker in 0..workers {
             let tx = tx.clone();
             let next = &next;
             let f = &f;
-            scope.spawn(move || loop {
-                let index = next.fetch_add(1, Ordering::Relaxed);
-                let Some(item) = items.get(index) else {
-                    break;
-                };
-                if tx.send((index, f(index, item))).is_err() {
-                    break;
+            scope.spawn(move || {
+                noc_telemetry::set_thread_label(format!("worker-{worker}"));
+                loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(index) else {
+                        break;
+                    };
+                    if tx.send((index, f(index, item))).is_err() {
+                        break;
+                    }
                 }
             });
         }

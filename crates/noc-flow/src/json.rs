@@ -787,8 +787,11 @@ impl<'a> Parser<'a> {
 /// per-outcome `fault` block of sweep points; v7 unified the envelope
 /// behind [`Artifact`] with this crate-level constant and added the
 /// `noc-jobs` resumable job store, whose on-disk records carry the same
-/// version).
-pub const SCHEMA_VERSION: usize = 7;
+/// version; v8 added the `noc_trace` telemetry artifact (envelope plus a
+/// Chrome `traceEvents` array — see [`crate::trace`]) and replaced the
+/// lump `rebuild_ms`/`incremental_ms` timing fields of `cdg_incremental`
+/// and `fig_scale` with telemetry-attributed per-phase breakdowns).
+pub const SCHEMA_VERSION: usize = 8;
 
 /// A JSON value that is *already serialized*: its text is spliced into the
 /// output verbatim.  This is how the job store re-emits recorded task

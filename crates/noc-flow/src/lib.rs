@@ -58,6 +58,7 @@ pub mod router;
 pub mod stage;
 pub mod strategy;
 pub mod sweep;
+pub mod trace;
 
 pub use error::FlowError;
 pub use executor::SweepProgress;
@@ -78,3 +79,4 @@ pub use sweep::{
     CertifyOutcome, FaultRunStats, FaultSweepSim, FlowSweep, PreparedPoint, StrategyOutcome,
     StrategySimStats, SweepPoint, VcSweepSim,
 };
+pub use trace::{PhaseRow, TraceArtifact, TraceSummary, TRACE_FIGURE};

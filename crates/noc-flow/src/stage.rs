@@ -99,6 +99,8 @@ impl DesignFlow {
     /// shortest-path routes, then validates the design triple and the routes
     /// (the checks `tests/end_to_end.rs` used to run by hand).
     pub fn synthesize(self, config: SynthesisConfig) -> Result<SynthesizedStage, FlowError> {
+        let mut span = noc_telemetry::span("stage", "synthesize");
+        span.arg("label", self.label.as_str());
         // The synthesizer routes with a shortest-path router under the
         // configured cost model; remember which one so route_default() can
         // report the scheme accurately.
@@ -180,6 +182,8 @@ impl SynthesizedStage {
     /// Takes `&self` so several routers can be compared on one synthesized
     /// design without caller-side cloning.
     pub fn route(&self, router: &dyn Router) -> Result<RoutedStage, FlowError> {
+        let mut span = noc_telemetry::span("stage", "route");
+        span.arg("router", router.name());
         let routes = router.route(&self.topology, &self.comm, &self.core_map)?;
         validate_routes(&self.topology, &self.comm, &self.core_map, &routes)?;
         Ok(RoutedStage {
@@ -274,6 +278,7 @@ impl RoutedStage {
     /// cycle, this searches for a genuinely trappable configuration and
     /// returns a three-valued verdict with a machine-checkable witness.
     pub fn certify(&self) -> CertifyReport {
+        let _span = noc_telemetry::span("stage", "certify");
         certify_deadlock_free(&self.topology, &self.routes)
     }
 
@@ -300,6 +305,8 @@ impl RoutedStage {
         &self,
         strategy: &dyn DeadlockStrategy,
     ) -> Result<DeadlockFreeStage, FlowError> {
+        let mut span = noc_telemetry::span("stage", "resolve_deadlocks");
+        span.arg("strategy", strategy.name());
         let (topology, routes, resolution) =
             strategy.resolve_cloned(&self.topology, &self.routes)?;
         check_deadlock_free(&topology, &routes).map_err(FlowError::StillCyclic)?;
@@ -324,6 +331,7 @@ impl RoutedStage {
 
     /// Same as [`simulate`](Self::simulate) with an explicit [`SimConfig`].
     pub fn simulate_with(&self, sim: &SimConfig, traffic: &TrafficConfig) -> SimOutcome {
+        let _span = noc_telemetry::span("stage", "simulate");
         Simulator::new(&self.topology, &self.comm, &self.routes, sim).run(traffic)
     }
 
@@ -343,6 +351,7 @@ impl RoutedStage {
         sim: &VcSimConfig,
         traffic: &TrafficConfig,
     ) -> VcSimOutcome {
+        let _span = noc_telemetry::span("stage", "simulate_vc");
         let vc_map = self.vc_map();
         VcSimulator::new(&self.comm, &self.routes, &vc_map, policy, sim).run(traffic)
     }
@@ -364,6 +373,7 @@ impl RoutedStage {
         traffic: &TrafficConfig,
         root: SwitchId,
     ) -> Result<VcSimOutcome, FlowError> {
+        let _span = noc_telemetry::span("stage", "simulate_vc_recovering");
         let recovery = route_all_updown(&self.topology, &self.comm, &self.core_map, root)?;
         let vc_map = self.vc_map();
         Ok(
@@ -376,6 +386,7 @@ impl RoutedStage {
     /// Area/power estimate of the design as routed (the "original" bars of
     /// Figure 10).
     pub fn power(&self, params: TechParams) -> NetworkEstimate {
+        let _span = noc_telemetry::span("stage", "power");
         NetworkPowerModel::new(params).estimate(&self.topology, &self.comm, &self.routes)
     }
 }
@@ -435,6 +446,7 @@ impl DeadlockFreeStage {
     /// [`CertifyVerdict::CertifiedFree`](noc_deadlock::certify::CertifyVerdict) —
     /// the sound end of the three-way verifier lattice.
     pub fn certify(&self) -> CertifyReport {
+        let _span = noc_telemetry::span("stage", "certify");
         certify_deadlock_free(&self.topology, &self.routes)
     }
 
@@ -456,6 +468,7 @@ impl DeadlockFreeStage {
         sim: &SimConfig,
         traffic: &TrafficConfig,
     ) -> Result<SimulatedStage, FlowError> {
+        let _span = noc_telemetry::span("stage", "simulate");
         validate_routes(&self.topology, &self.comm, &self.core_map, &self.routes)?;
         let outcome = Simulator::new(&self.topology, &self.comm, &self.routes, sim).run(traffic);
         Ok(SimulatedStage {
@@ -484,6 +497,7 @@ impl DeadlockFreeStage {
         sim: &VcSimConfig,
         traffic: &TrafficConfig,
     ) -> Result<SimulatedStage, FlowError> {
+        let _span = noc_telemetry::span("stage", "simulate_vc");
         validate_routes(&self.topology, &self.comm, &self.core_map, &self.routes)?;
         let vc_map = self.vc_map();
         let outcome = VcSimulator::new(&self.comm, &self.routes, &vc_map, policy, sim).run(traffic);
@@ -505,6 +519,7 @@ impl DeadlockFreeStage {
         traffic: &TrafficConfig,
         plan: FaultPlan,
     ) -> Result<SimulatedStage, FlowError> {
+        let _span = noc_telemetry::span("stage", "simulate_vc_faulted");
         validate_routes(&self.topology, &self.comm, &self.core_map, &self.routes)?;
         let vc_map = self.vc_map();
         let outcome = VcSimulator::new(&self.comm, &self.routes, &vc_map, policy, sim)
@@ -516,6 +531,7 @@ impl DeadlockFreeStage {
     /// Area/power estimate of the repaired design (the "removal" /
     /// "ordering" bars of Figure 10, depending on the strategy used).
     pub fn power(&self, params: TechParams) -> NetworkEstimate {
+        let _span = noc_telemetry::span("stage", "power");
         NetworkPowerModel::new(params).estimate(&self.topology, &self.comm, &self.routes)
     }
 }

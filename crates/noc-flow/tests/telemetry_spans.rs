@@ -1,0 +1,87 @@
+//! Span nesting and balance properties under the threaded executor: every
+//! span opened on a worker thread closes, sequence windows of parents
+//! strictly contain their children, per-thread timestamps are monotone in
+//! enter order, and worker threads label themselves for the trace's
+//! thread-name metadata.
+
+use noc_flow::executor::{parallel_map_ordered, parallel_map_streaming};
+use noc_telemetry::RecorderScope;
+use std::collections::BTreeMap;
+
+#[test]
+fn executor_spans_balance_and_nest() {
+    let scope = RecorderScope::new();
+
+    let items: Vec<usize> = (0..64).collect();
+    let doubled = parallel_map_ordered(&items, 4, |&n| {
+        let mut outer = noc_telemetry::span("test", format!("outer-{n}"));
+        outer.arg("n", n);
+        let inner = noc_telemetry::span("test", format!("inner-{n}"));
+        drop(inner);
+        n * 2
+    });
+    assert_eq!(doubled, items.iter().map(|n| n * 2).collect::<Vec<_>>());
+
+    let mut seen = 0usize;
+    parallel_map_streaming(&items, 3, |_, &n| n, |_, _| seen += 1);
+    assert_eq!(seen, items.len());
+
+    let recorder = scope.recorder().clone();
+    let snapshot = recorder.snapshot();
+    drop(scope);
+
+    // Balance: every opened guard recorded exactly one closed event.
+    assert_eq!(recorder.spans_opened(), recorder.spans_closed());
+    assert_eq!(snapshot.dropped_spans, 0);
+    let test_spans: Vec<_> = snapshot.spans.iter().filter(|s| s.cat == "test").collect();
+    assert_eq!(test_spans.len(), 2 * items.len());
+
+    // Nesting: a span's parent (when recorded) strictly contains it in
+    // sequence order and lives on the same thread.
+    let by_seq: BTreeMap<u64, _> = snapshot.spans.iter().map(|s| (s.enter_seq, s)).collect();
+    for span in &snapshot.spans {
+        assert!(span.enter_seq < span.exit_seq, "{} unbalanced", span.name);
+        if let Some(parent) = by_seq.get(&span.parent_seq) {
+            assert!(parent.enter_seq < span.enter_seq);
+            assert!(span.exit_seq < parent.exit_seq);
+            assert_eq!(parent.tid, span.tid, "{} crossed threads", span.name);
+        }
+    }
+    // Every inner-N span has its outer-N as parent.
+    for span in test_spans.iter().filter(|s| s.name.starts_with("inner-")) {
+        let parent = by_seq
+            .get(&span.parent_seq)
+            .unwrap_or_else(|| panic!("{} has no recorded parent", span.name));
+        assert_eq!(
+            parent.name,
+            span.name.replace("inner-", "outer-"),
+            "wrong parent"
+        );
+    }
+
+    // Per-thread monotonicity: enter order implies start-time order.
+    let mut last_start: BTreeMap<u32, (u64, u64)> = BTreeMap::new();
+    let mut in_enter_order: Vec<_> = snapshot.spans.iter().collect();
+    in_enter_order.sort_by_key(|s| s.enter_seq);
+    for span in in_enter_order {
+        if let Some(&(seq, start)) = last_start.get(&span.tid) {
+            assert!(seq < span.enter_seq);
+            assert!(
+                start <= span.start_us,
+                "thread {} went back in time",
+                span.tid
+            );
+        }
+        last_start.insert(span.tid, (span.enter_seq, span.start_us));
+    }
+
+    // The executor labelled its workers.
+    assert!(
+        snapshot
+            .threads
+            .iter()
+            .any(|(_, label)| label.starts_with("worker-")),
+        "no worker thread labels in {:?}",
+        snapshot.threads
+    );
+}

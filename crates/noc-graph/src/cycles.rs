@@ -358,7 +358,9 @@ impl IncrementalCycleFinder {
         pool: Option<&[NodeId]>,
     ) -> Option<Vec<NodeId>> {
         // 1. Candidates whose edges all survived still bound the answer.
+        noc_telemetry::counter("cycles.queries", 1);
         self.candidates.retain(|cycle| cycle_is_live(graph, cycle));
+        noc_telemetry::counter("cycles.candidates_live", self.candidates.len() as u64);
         let mut bound = self
             .candidates
             .iter()
@@ -371,11 +373,13 @@ impl IncrementalCycleFinder {
         let mut dirty = std::mem::take(&mut self.dirty);
         dirty.sort_by_key(|a| rank(*a));
         dirty.dedup();
+        noc_telemetry::counter("cycles.dirty_seeds", dirty.len() as u64);
         for &node in &dirty {
             if bound <= 1 {
                 break;
             }
             if let Some(cycle) = bounded_cycle_bfs(graph, node, bound - 1, &rank) {
+                noc_telemetry::counter("cycles.dirty_seed_hits", 1);
                 bound = cycle.len();
                 self.candidates.push(cycle);
             }
@@ -420,10 +424,13 @@ fn bounded_smallest_scan<G: GraphView, K: Ord>(
     rank: &impl Fn(NodeId) -> K,
     bound: usize,
 ) -> Option<Vec<NodeId>> {
-    let nodes: Vec<NodeId> = scc::cyclic_components(graph)
-        .into_iter()
-        .flatten()
-        .collect();
+    let nodes: Vec<NodeId> = {
+        let _span = noc_telemetry::span("scc", "full_tarjan");
+        scc::cyclic_components(graph)
+            .into_iter()
+            .flatten()
+            .collect()
+    };
     bounded_smallest_scan_over(graph, rank, bound, nodes)
 }
 

@@ -145,6 +145,7 @@ impl IncrementalScc {
             "nodes are never removed"
         );
         if !self.valid {
+            let _span = noc_telemetry::span("scc", "full_recompute");
             self.recompute_full(graph);
             return &self.components;
         }
@@ -157,6 +158,7 @@ impl IncrementalScc {
         self.dirty.dedup();
         if self.dirty.is_empty() {
             self.stats.cached_queries += 1;
+            noc_telemetry::counter("scc.cached_queries", 1);
             return &self.components;
         }
         // The cap bounds the waste on graphs whose cyclic region spans
@@ -166,9 +168,19 @@ impl IncrementalScc {
         // linear Tarjan pass anyway.  64 keeps tiny graphs out of the
         // fallback entirely.
         let cap = (n / 8).max(64);
+        // One flat span over region discovery plus whichever recompute it
+        // picks — never nested inside another `scc` span, so summing the
+        // category's durations attributes SCC time without double counting.
+        let mut span = noc_telemetry::span("scc", "recompute");
+        span.arg("dirty", self.dirty.len());
         match self.dirty_region(graph, cap) {
             Some(region) => self.recompute_region(graph, &region),
-            None => self.recompute_full(graph),
+            None => {
+                // The dirty region outgrew the cap: fall back to a linear
+                // full recompute rather than stitch most of the graph.
+                noc_telemetry::counter("scc.fallback_to_full", 1);
+                self.recompute_full(graph);
+            }
         }
         &self.components
     }
@@ -195,6 +207,7 @@ impl IncrementalScc {
         self.known_nodes = graph.node_count();
         self.valid = true;
         self.stats.full_recomputes += 1;
+        noc_telemetry::counter("scc.full_recomputes", 1);
     }
 
     /// `F ∩ B` around the dirty set, as a membership vector, or `None` when
@@ -263,6 +276,7 @@ impl IncrementalScc {
         self.dirty.clear();
         self.known_nodes = graph.node_count();
         self.stats.partial_recomputes += 1;
+        noc_telemetry::counter("scc.partial_recomputes", 1);
     }
 
     fn rebuild_component_of(&mut self, n: usize) {

@@ -50,6 +50,15 @@ pub enum JobError {
         /// The underlying error.
         source: std::io::Error,
     },
+    /// A specific task of a job failed — the runner wraps the task's own
+    /// error with its index so diagnostics (e.g. `noc_serve`'s
+    /// `error.json`) can say *which* unit of work to look at.
+    Task {
+        /// Zero-based index of the failing task.
+        index: usize,
+        /// The task's underlying error.
+        source: Box<JobError>,
+    },
 }
 
 impl JobError {
@@ -58,6 +67,34 @@ impl JobError {
         JobError::Io {
             path: path.into(),
             source,
+        }
+    }
+
+    /// A stable machine-readable slug for the error's variant (the `kind`
+    /// field of `noc_serve`'s structured `error.json`).  [`JobError::Task`]
+    /// reports its underlying error's kind; use [`task_index`](Self::task_index)
+    /// for the wrapper's index.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JobError::Json(_) => "json",
+            JobError::Artifact(_) => "artifact",
+            JobError::Spec(_) => "spec",
+            JobError::SpecMismatch { .. } => "spec_mismatch",
+            JobError::UnknownFigure(_) => "unknown_figure",
+            JobError::Unsupported(_) => "unsupported",
+            JobError::Corrupt { .. } => "corrupt",
+            JobError::Flow(_) => "flow",
+            JobError::Io { .. } => "io",
+            JobError::Task { source, .. } => source.kind(),
+        }
+    }
+
+    /// The failing task's index, when the error is (or wraps) a
+    /// [`JobError::Task`].
+    pub fn task_index(&self) -> Option<usize> {
+        match self {
+            JobError::Task { index, .. } => Some(*index),
+            _ => None,
         }
     }
 }
@@ -94,6 +131,7 @@ impl fmt::Display for JobError {
             ),
             JobError::Flow(e) => write!(f, "flow error: {e}"),
             JobError::Io { path, source } => write!(f, "{}: {source}", path.display()),
+            JobError::Task { index, source } => write!(f, "task {index}: {source}"),
         }
     }
 }
@@ -105,6 +143,7 @@ impl std::error::Error for JobError {
             JobError::Artifact(e) => Some(e),
             JobError::Flow(e) => Some(e),
             JobError::Io { source, .. } => Some(source),
+            JobError::Task { source, .. } => Some(source),
             _ => None,
         }
     }

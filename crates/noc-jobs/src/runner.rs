@@ -103,6 +103,10 @@ impl<'a> JobRunner<'a> {
         max_new_tasks: usize,
     ) -> Result<JobReport, JobError> {
         let spec = self.store.spec().clone();
+        let mut job_span = noc_telemetry::span("jobs", "run_job");
+        job_span
+            .arg("figure", spec.figure.as_str())
+            .arg("id", spec.id.as_str());
         if spec.figure != source.figure() {
             return Err(JobError::Spec(format!(
                 "source evaluates {:?} but the job requests {:?}",
@@ -148,8 +152,14 @@ impl<'a> JobRunner<'a> {
                 Some(result) => {
                     self.store.record(index, 0, result)?;
                     cache_hits += 1;
+                    noc_telemetry::counter("jobs.cache_hits", 1);
                 }
-                None => missing.push(index),
+                None => {
+                    if self.cache.is_some() {
+                        noc_telemetry::counter("jobs.cache_misses", 1);
+                    }
+                    missing.push(index);
+                }
             }
         }
 
@@ -163,6 +173,10 @@ impl<'a> JobRunner<'a> {
             &missing,
             spec.threads,
             |_, &index| {
+                let mut task_span = noc_telemetry::span("jobs", "task");
+                task_span
+                    .arg("figure", spec.figure.as_str())
+                    .arg("index", index);
                 let started = std::time::Instant::now();
                 let result = source.run_task(index);
                 let elapsed_ms = started.elapsed().as_millis().min(u128::from(u64::MAX)) as u64;
@@ -192,10 +206,17 @@ impl<'a> JobRunner<'a> {
         }
         // Task failures surface after every in-flight success is durably
         // recorded; the earliest task index wins, like the sweep executor.
-        if let Some((_, _, Err(e))) = results.into_iter().find(|(_, _, r)| r.is_err()) {
-            return Err(e);
+        // The winner is wrapped with its task index so consumers (e.g.
+        // `noc_serve`'s error.json) can point at the failing unit of work.
+        if let Some((index, _, Err(e))) = results.into_iter().find(|(_, _, r)| r.is_err()) {
+            return Err(JobError::Task {
+                index,
+                source: Box::new(e),
+            });
         }
 
+        noc_telemetry::counter("jobs.tasks_computed", computed as u64);
+        noc_telemetry::counter("jobs.tasks_resumed", resumed as u64);
         let stats = RunStats {
             total,
             computed,

@@ -373,6 +373,10 @@ impl<'a> VcSimulator<'a> {
 
     /// Runs an explicit workload.
     pub fn run_workload(&mut self, workload: &Workload) -> VcSimOutcome {
+        let mut run_span = noc_telemetry::span("sim", "vc_run");
+        run_span
+            .arg("policy", self.policy.name())
+            .arg("packets", workload.packets.len());
         self.reset();
         let mut stats = SimStats::default();
         let mut drain = DrainStats::default();
@@ -454,12 +458,14 @@ impl<'a> VcSimulator<'a> {
                 idle_cycles = 0;
             } else {
                 idle_cycles += 1;
+                noc_telemetry::counter("vc.stall_cycles", 1);
             }
 
             // Exact detection: periodically, and on every idle cycle.
             let exact_enabled = self.config.detect_period > 0;
             let periodic = exact_enabled && (cycle + 1).is_multiple_of(self.config.detect_period);
             if in_flight && exact_enabled && (periodic || !progressed) {
+                noc_telemetry::counter("vc.detector_invocations", 1);
                 let snapshot = self.wait_snapshot(&flow_queues);
                 let dead = snapshot.deadlocked_packets();
                 if !dead.is_empty() {
@@ -550,6 +556,12 @@ impl<'a> VcSimulator<'a> {
         }
 
         stats.cycles = cycle;
+        noc_telemetry::counter("vc.injected_packets", stats.injected_packets as u64);
+        noc_telemetry::counter("vc.delivered_packets", stats.delivered_packets as u64);
+        noc_telemetry::counter("vc.cycles", stats.cycles);
+        run_span
+            .arg("cycles", stats.cycles)
+            .arg("delivered", stats.delivered_packets);
         drain.flows_reconfigured = self.reconfigured.len();
         let stranded_packets = in_flight_packets;
         debug_assert_eq!(
@@ -703,13 +715,19 @@ impl<'a> VcSimulator<'a> {
             } else {
                 // Follower flit: the worm's path is established.
                 let to = state.taken[bf.hop + 1];
-                if !entering[to] && self.credits.can_send(to) {
-                    moves.push(Move::Advance {
-                        from,
-                        to,
-                        claim: false,
-                    });
-                    entering[to] = true;
+                if !entering[to] {
+                    if self.credits.can_send(to) {
+                        moves.push(Move::Advance {
+                            from,
+                            to,
+                            claim: false,
+                        });
+                        entering[to] = true;
+                    } else {
+                        // Established worm blocked on a credit: the
+                        // canonical credit stall (one count per flit-cycle).
+                        noc_telemetry::counter("vc.credit_stall_flit_cycles", 1);
+                    }
                 }
             }
         }
@@ -742,13 +760,17 @@ impl<'a> VcSimulator<'a> {
                 }
             } else {
                 let to = state.taken[0];
-                if !entering[to] && self.credits.can_send(to) {
-                    moves.push(Move::Inject {
-                        packet: packet_id,
-                        to,
-                        claim: false,
-                    });
-                    entering[to] = true;
+                if !entering[to] {
+                    if self.credits.can_send(to) {
+                        moves.push(Move::Inject {
+                            packet: packet_id,
+                            to,
+                            claim: false,
+                        });
+                        entering[to] = true;
+                    } else {
+                        noc_telemetry::counter("vc.credit_stall_flit_cycles", 1);
+                    }
                 }
             }
         }
@@ -1094,6 +1116,8 @@ impl<'a> VcSimulator<'a> {
 
         drain.events += 1;
         drain.packets_drained += dead.len();
+        noc_telemetry::counter("vc.drain_events", 1);
+        noc_telemetry::histogram("vc.drained_packets", dead.len() as u64);
     }
 
     /// Applies every fault event due at `cycle` as one reconfiguration
@@ -1116,7 +1140,12 @@ impl<'a> VcSimulator<'a> {
         // Take the context out so the batch can call `&mut self` helpers;
         // every committed-route lookup inside goes through the context.
         let mut ctx = self.faults.take().expect("due implies armed");
-        self.apply_fault_batch(&mut ctx, cycle, flow_queues, in_flight);
+        {
+            let mut span = noc_telemetry::span("sim", "reconfig_epoch");
+            span.arg("cycle", cycle);
+            self.apply_fault_batch(&mut ctx, cycle, flow_queues, in_flight);
+        }
+        noc_telemetry::counter("vc.reconfig_epochs", 1);
         self.faults = Some(ctx);
         true
     }

@@ -19,4 +19,5 @@ pub use noc_power as power;
 pub use noc_routing as routing;
 pub use noc_sim as sim;
 pub use noc_synth as synth;
+pub use noc_telemetry as telemetry;
 pub use noc_topology as topology;
